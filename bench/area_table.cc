@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Section 6.4: SCU area evaluation — totals, overhead percentages
+ * and the per-component split.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "energy/area_model.hh"
+#include "harness/system.hh"
+
+using namespace scusim;
+using namespace scusim::bench;
+
+namespace
+{
+
+void
+BM_Area(benchmark::State &state, std::string system)
+{
+    for (auto _ : state) {
+        auto cfg = harness::SystemConfig::byName(system);
+        auto r = energy::scuAreaReport(system, cfg.scu);
+        state.counters["scu_mm2"] = r.scuMm2;
+        state.counters["overhead_pct"] = r.overheadPercent();
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Area, GTX980, "GTX980")->Iterations(1);
+BENCHMARK_CAPTURE(BM_Area, TX1, "TX1")->Iterations(1);
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    Table t("Section 6.4: SCU area (paper: 13.27 mm2 / 3.3% GTX980,"
+            " 3.65 mm2 / 4.1% TX1)");
+    t.header({"system", "GPU mm2", "SCU mm2", "overhead %",
+              "component", "component mm2"});
+    for (const char *sys : {"GTX980", "TX1"}) {
+        auto cfg = harness::SystemConfig::byName(sys);
+        auto r = energy::scuAreaReport(sys, cfg.scu);
+        bool first = true;
+        for (const auto &c : r.components) {
+            t.row({first ? sys : "",
+                   first ? fmt("%.0f", r.gpuMm2) : "",
+                   first ? fmt("%.2f", r.scuMm2) : "",
+                   first ? fmt("%.1f", r.overheadPercent()) : "",
+                   c.name, fmt("%.2f", c.mm2)});
+            first = false;
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared machinery of the per-figure benchmark binaries: scale
+ * selection, run memoization (one simulation per configuration per
+ * process) and paper-style table printing.
+ *
+ * Every binary accepts google-benchmark's usual flags plus the
+ * environment variable SCUSIM_SCALE (default 0.05) controlling the
+ * dataset scale; EXPERIMENTS.md records results at the default.
+ */
+
+#ifndef SCUSIM_BENCH_BENCH_COMMON_HH
+#define SCUSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace scusim::bench
+{
+
+/** Dataset scale for this process (SCUSIM_SCALE env override). */
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("SCUSIM_SCALE"))
+        return std::atof(s);
+    return 0.05;
+}
+
+/** Names of the six benchmark datasets, Table 5 order. */
+inline const std::vector<std::string> &
+benchDatasets()
+{
+    static const std::vector<std::string> d{
+        "ca", "cond", "delaunay", "human", "kron", "msdoor"};
+    return d;
+}
+
+/** Run (or fetch the memoized result of) one configuration. */
+inline const harness::RunResult &
+runCached(const std::string &system, harness::Primitive prim,
+          const std::string &dataset, harness::ScuMode mode)
+{
+    static std::map<std::string, harness::RunResult> cache;
+    std::string key = system + "|" + harness::to_string(prim) + "|" +
+                      dataset + "|" + harness::to_string(mode);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        harness::RunConfig cfg;
+        cfg.systemName = system;
+        cfg.primitive = prim;
+        cfg.dataset = dataset;
+        cfg.mode = mode;
+        cfg.scale = benchScale();
+        auto r = harness::runPrimitive(cfg);
+        if (!r.validated) {
+            std::fprintf(stderr,
+                         "WARNING: %s failed validation\n",
+                         key.c_str());
+        }
+        it = cache.emplace(key, r).first;
+    }
+    return it->second;
+}
+
+/** Simple fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : heading(std::move(title)) {}
+
+    void
+    header(const std::vector<std::string> &cols)
+    {
+        headerRow = cols;
+    }
+
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        rows.push_back(cells);
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(headerRow.size(), 0);
+        auto widen = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < r.size(); ++i) {
+                if (i >= widths.size())
+                    widths.resize(i + 1, 0);
+                widths[i] = std::max(widths[i], r[i].size());
+            }
+        };
+        widen(headerRow);
+        for (const auto &r : rows)
+            widen(r);
+
+        std::printf("\n=== %s ===\n", heading.c_str());
+        auto print_row = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < r.size(); ++i)
+                std::printf("%-*s  ",
+                            static_cast<int>(widths[i]),
+                            r[i].c_str());
+            std::printf("\n");
+        };
+        print_row(headerRow);
+        for (const auto &r : rows)
+            print_row(r);
+    }
+
+  private:
+    std::string heading;
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+inline std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+} // namespace scusim::bench
+
+#endif // SCUSIM_BENCH_BENCH_COMMON_HH

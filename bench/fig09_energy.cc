@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 9: normalized energy of the SCU-enhanced system (GPU/SCU
+ * split), relative to the GPU-only baseline, for BFS / SSSP / PR on
+ * every dataset and both systems.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace scusim;
+using namespace scusim::bench;
+
+namespace
+{
+
+void
+BM_Energy(benchmark::State &state, std::string system,
+          harness::Primitive prim, std::string dataset)
+{
+    for (auto _ : state) {
+        const auto &base = runCached(system, prim, dataset,
+                                     harness::ScuMode::GpuOnly);
+        const auto mode = prim == harness::Primitive::Pr
+                              ? harness::ScuMode::ScuBasic
+                              : harness::ScuMode::ScuEnhanced;
+        const auto &scu = runCached(system, prim, dataset, mode);
+        double norm = scu.energy.totalJ() / base.energy.totalJ();
+        state.counters["norm_energy"] = norm;
+        state.counters["gpu_share"] =
+            scu.energy.gpuSideJ() / scu.energy.totalJ();
+        state.counters["scu_share"] =
+            scu.energy.scuSideJ() / scu.energy.totalJ();
+    }
+}
+
+void
+registerAll()
+{
+    for (auto prim : {harness::Primitive::Bfs,
+                      harness::Primitive::Sssp,
+                      harness::Primitive::Pr}) {
+        for (const char *sys : {"GTX980", "TX1"}) {
+            for (const auto &ds : benchDatasets()) {
+                std::string name = "fig09/" +
+                                   harness::to_string(prim) + "/" +
+                                   sys + "/" + ds;
+                ::benchmark::RegisterBenchmark(
+                    name.c_str(),
+                    [sys, prim, ds](benchmark::State &st) {
+                        BM_Energy(st, sys, prim, ds);
+                    })
+                    ->Iterations(1);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    Table t("Figure 9: normalized energy, SCU system vs GPU-only "
+            "baseline (lower is better; paper avg: 0.153 GTX980, "
+            "0.31 TX1)");
+    t.header({"primitive", "system", "dataset", "norm energy",
+              "gpu share", "scu share"});
+    for (auto prim : {harness::Primitive::Bfs,
+                      harness::Primitive::Sssp,
+                      harness::Primitive::Pr}) {
+        for (const char *sys : {"GTX980", "TX1"}) {
+            double avg = 0;
+            for (const auto &ds : benchDatasets()) {
+                const auto &base = runCached(
+                    sys, prim, ds, harness::ScuMode::GpuOnly);
+                const auto mode =
+                    prim == harness::Primitive::Pr
+                        ? harness::ScuMode::ScuBasic
+                        : harness::ScuMode::ScuEnhanced;
+                const auto &scu = runCached(sys, prim, ds, mode);
+                double norm =
+                    scu.energy.totalJ() / base.energy.totalJ();
+                avg += norm;
+                t.row({harness::to_string(prim), sys, ds,
+                       fmt("%.3f", norm),
+                       fmt("%.2f", scu.energy.gpuSideJ() /
+                                       scu.energy.totalJ()),
+                       fmt("%.2f", scu.energy.scuSideJ() /
+                                       scu.energy.totalJ())});
+            }
+            t.row({harness::to_string(prim), sys, "AVG",
+                   fmt("%.3f",
+                       avg / static_cast<double>(
+                                 benchDatasets().size())),
+                   "", ""});
+        }
+    }
+    t.print();
+    return 0;
+}

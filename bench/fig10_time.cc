@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 10: normalized execution time of the SCU system (GPU/SCU
+ * split) relative to the GPU-only baseline, for BFS / SSSP / PR on
+ * every dataset and both systems.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace scusim;
+using namespace scusim::bench;
+
+namespace
+{
+
+harness::ScuMode
+scuModeFor(harness::Primitive prim)
+{
+    // PR does not use the enhanced capabilities (Section 4.6).
+    return prim == harness::Primitive::Pr
+               ? harness::ScuMode::ScuBasic
+               : harness::ScuMode::ScuEnhanced;
+}
+
+void
+BM_Time(benchmark::State &state, std::string system,
+        harness::Primitive prim, std::string dataset)
+{
+    for (auto _ : state) {
+        const auto &base = runCached(system, prim, dataset,
+                                     harness::ScuMode::GpuOnly);
+        const auto &scu =
+            runCached(system, prim, dataset, scuModeFor(prim));
+        state.counters["norm_time"] =
+            static_cast<double>(scu.totalCycles) /
+            static_cast<double>(base.totalCycles);
+        state.counters["speedup"] =
+            static_cast<double>(base.totalCycles) /
+            static_cast<double>(scu.totalCycles);
+    }
+}
+
+void
+registerAll()
+{
+    for (auto prim : {harness::Primitive::Bfs,
+                      harness::Primitive::Sssp,
+                      harness::Primitive::Pr}) {
+        for (const char *sys : {"GTX980", "TX1"}) {
+            for (const auto &ds : benchDatasets()) {
+                std::string name = "fig10/" +
+                                   harness::to_string(prim) + "/" +
+                                   sys + "/" + ds;
+                ::benchmark::RegisterBenchmark(
+                    name.c_str(),
+                    [sys, prim, ds](benchmark::State &st) {
+                        BM_Time(st, sys, prim, ds);
+                    })
+                    ->Iterations(1);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    Table t("Figure 10: normalized time, SCU system vs GPU-only "
+            "(lower is better; paper avg speedups: 1.37x GTX980, "
+            "2.32x TX1)");
+    t.header({"primitive", "system", "dataset", "norm time",
+              "speedup"});
+    for (auto prim : {harness::Primitive::Bfs,
+                      harness::Primitive::Sssp,
+                      harness::Primitive::Pr}) {
+        for (const char *sys : {"GTX980", "TX1"}) {
+            double avg_speedup = 0;
+            for (const auto &ds : benchDatasets()) {
+                const auto &base = runCached(
+                    sys, prim, ds, harness::ScuMode::GpuOnly);
+                const auto &scu =
+                    runCached(sys, prim, ds, scuModeFor(prim));
+                double norm =
+                    static_cast<double>(scu.totalCycles) /
+                    static_cast<double>(base.totalCycles);
+                avg_speedup += 1.0 / norm;
+                t.row({harness::to_string(prim), sys, ds,
+                       fmt("%.3f", norm), fmt("%.2fx", 1.0 / norm)});
+            }
+            t.row({harness::to_string(prim), sys, "AVG", "",
+                   fmt("%.2fx",
+                       avg_speedup / static_cast<double>(
+                                         benchDatasets().size()))});
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tables 1-4: the hardware configurations — SCU parameters, SCU
+ * scalability parameters and the two GPGPU system configurations —
+ * printed from the live config structs so the tables can never
+ * drift from the simulated reality.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "harness/system.hh"
+
+using namespace scusim;
+using namespace scusim::bench;
+
+namespace
+{
+
+void
+BM_Configs(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto hp = harness::SystemConfig::gtx980();
+        auto lp = harness::SystemConfig::tx1();
+        state.counters["gtx980_sms"] = hp.gpu.numSms;
+        state.counters["tx1_sms"] = lp.gpu.numSms;
+        state.counters["gtx980_scu_width"] = hp.scu.pipelineWidth;
+        state.counters["tx1_scu_width"] = lp.scu.pipelineWidth;
+    }
+}
+
+BENCHMARK(BM_Configs)->Iterations(1);
+
+std::string
+kb(std::uint64_t bytes)
+{
+    return fmt("%.0f", static_cast<double>(bytes) / 1024.0) + " KB";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    auto hp = harness::SystemConfig::gtx980();
+    auto lp = harness::SystemConfig::tx1();
+
+    Table t1("Table 1: SCU hardware parameters");
+    t1.header({"parameter", "value"});
+    t1.row({"Frequency",
+            fmt("%.2f", hp.gpu.freqHz / 1e9) + " GHz / " +
+                fmt("%.2f", lp.gpu.freqHz / 1e9) + " GHz"});
+    t1.row({"Vector Buffering", kb(hp.scu.vectorBufferBytes)});
+    t1.row({"FIFO Requests Buffer", kb(hp.scu.fifoRequestBytes)});
+    t1.row({"Hash Request Buffer", kb(hp.scu.hashRequestBytes)});
+    t1.row({"Coalescing Unit",
+            std::to_string(hp.scu.coalesceInflight) +
+                " in-flight requests, " +
+                std::to_string(hp.scu.mergeWindow) + "-merge"});
+    t1.print();
+
+    Table t2("Table 2: SCU scalability parameters");
+    t2.header({"parameter", "GTX980", "TX1"});
+    t2.row({"Pipeline Width",
+            std::to_string(hp.scu.pipelineWidth) + " elems/cycle",
+            std::to_string(lp.scu.pipelineWidth) + " elems/cycle"});
+    auto hash_row = [&](const char *name,
+                        const scu::HashConfig &a,
+                        const scu::HashConfig &b) {
+        t2.row({name,
+                kb(a.sizeBytes) + ", " + std::to_string(a.ways) +
+                    "-way, " + std::to_string(a.entryBytes) +
+                    " B/line",
+                kb(b.sizeBytes) + ", " + std::to_string(b.ways) +
+                    "-way, " + std::to_string(b.entryBytes) +
+                    " B/line"});
+    };
+    hash_row("Filtering BFS Hash", hp.scu.filterBfsHash,
+             lp.scu.filterBfsHash);
+    hash_row("Filtering SSSP Hash", hp.scu.filterSsspHash,
+             lp.scu.filterSsspHash);
+    hash_row("Grouping SSSP Hash", hp.scu.groupHash,
+             lp.scu.groupHash);
+    t2.print();
+
+    auto gpu_table = [&](const char *title,
+                         const harness::SystemConfig &c) {
+        Table t(title);
+        t.header({"parameter", "value"});
+        t.row({"GPU, Frequency",
+               c.gpu.name + ", " +
+                   fmt("%.2f", c.gpu.freqHz / 1e9) + " GHz"});
+        t.row({"Streaming Multiprocessors",
+               std::to_string(c.gpu.numSms) + " (" +
+                   std::to_string(c.gpu.maxThreadsPerSm) +
+                   " threads), Maxwell"});
+        t.row({"L1, L2 caches",
+               kb(c.gpu.l1.sizeBytes) + ", " +
+                   kb(c.gpu.memsys.l2.sizeBytes)});
+        t.row({"Main Memory",
+               std::string("4 GB ") + c.gpu.memsys.dram.name +
+                   ", " +
+                   fmt("%.1f",
+                       c.gpu.memsys.dram.peakBytesPerSec / 1e9) +
+                   " GB/s"});
+        t.print();
+    };
+    gpu_table("Table 3: high-performance GTX980 parameters", hp);
+    gpu_table("Table 4: low-power Tegra X1 parameters", lp);
+    return 0;
+}

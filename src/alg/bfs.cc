@@ -1,0 +1,249 @@
+#include "alg/bfs.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace scusim::alg
+{
+
+BfsRunner::BfsRunner(harness::System &s, const graph::CsrGraph &graph)
+    : sys(s), g(graph), gb(s.addressSpace(), graph),
+      scratch(s.addressSpace(),
+              static_cast<std::size_t>(graph.numEdges()) * 2 + 1024)
+{
+    auto &as = sys.addressSpace();
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    const auto ef_cap =
+        static_cast<std::size_t>(g.numEdges()) * 2 + 1024;
+
+    dist.allocate(as, "bfs_dist", n);
+    visitedBits.allocate(as, "bfs_visited_bits", n / 32 + 1);
+    nodeFrontier.allocate(as, "bfs_node_frontier", ef_cap);
+    edgeFrontier.allocate(as, "bfs_edge_frontier", ef_cap);
+    counts.allocate(as, "bfs_counts", ef_cap);
+    indexes.allocate(as, "bfs_indexes", ef_cap);
+    flags.allocate(as, "bfs_flags", ef_cap);
+    visited.assign(n, 0);
+
+    // Best-effort bitmask visibility: marks made by warps racing in
+    // flight are not observed. The window covers a few warps per SM
+    // (stores commit within hundreds of cycles, and Merrill's warp
+    // culling removes same-warp duplicates), so it is far narrower
+    // than the full thread complement.
+    raceWindow = std::max<std::size_t>(
+        64, sys.config().gpu.numSms * 2 *
+                sys.config().gpu.warpSize);
+    cullTable.assign(4096, invalidNode);
+}
+
+void
+BfsRunner::prepare(std::size_t nf_n)
+{
+    for (std::size_t t = 0; t < nf_n; ++t) {
+        const NodeId u = nodeFrontier[t];
+        counts[t] = gb.offsets[u + 1] - gb.offsets[u];
+        indexes[t] = gb.offsets[u];
+    }
+    gpuStreamKernel(
+        sys, "bfs_prepare", gpu::Phase::Processing, nf_n,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.load(nodeFrontier.addrOf(t), 4);
+            const NodeId u = nodeFrontier[t];
+            rec.load(gb.offsets.addrOf(u), 4);
+            rec.load(gb.offsets.addrOf(u + 1), 4);
+            rec.compute(14);
+            rec.store(counts.addrOf(t), 4);
+            rec.store(indexes.addrOf(t), 4);
+        });
+}
+
+void
+BfsRunner::contractLookup(std::size_t ef_n, std::uint32_t level)
+{
+    // Functional pass with the best-effort visibility window: a mark
+    // becomes visible raceWindow elements after it was made, so
+    // duplicates racing in flight produce false negatives, exactly
+    // the trade-off of the bitmask of Section 2.1.2.
+    // The warp/history culling hash (Merrill) catches most hub
+    // duplicates that race past the bitmask: a small direct-mapped
+    // table of recently seen nodes, reset each pass, with collisions
+    // evicting (so culling stays incomplete — the headroom the SCU
+    // filter exploits).
+    std::fill(cullTable.begin(), cullTable.end(), invalidNode);
+    std::deque<std::pair<std::size_t, NodeId>> pending;
+    for (std::size_t t = 0; t < ef_n; ++t) {
+        while (!pending.empty() &&
+               pending.front().first + raceWindow <= t) {
+            visited[pending.front().second] = 1;
+            pending.pop_front();
+        }
+        const NodeId v = edgeFrontier[t];
+        const std::size_t h =
+            static_cast<std::size_t>(v) % cullTable.size();
+        if (visited[v] || cullTable[h] == v) {
+            flags[t] = 0;
+        } else {
+            cullTable[h] = v;
+            flags[t] = 1;
+            dist[v] = level;
+            pending.emplace_back(t, v);
+        }
+    }
+    for (auto &[pos, v] : pending)
+        visited[v] = 1;
+
+    // Timing kernel: the status-lookup contraction of Section 2.1.2.
+    gpuStreamKernel(
+        sys, "bfs_contract_lookup", gpu::Phase::Processing, ef_n,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.load(edgeFrontier.addrOf(t), 4);
+            const NodeId v = edgeFrontier[t];
+            rec.load(visitedBits.addrOf(v / 32), 4);
+            rec.compute(24);
+            rec.store(flags.addrOf(t), 1);
+            if (flags[t]) {
+                rec.store(dist.addrOf(v), 4);
+                rec.store(visitedBits.addrOf(v / 32), 4);
+            }
+        });
+}
+
+BfsResult
+BfsRunner::run(const AlgOptions &opt)
+{
+    BfsResult res;
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    fatal_if(opt.source >= g.numNodes(), "BFS source out of range");
+
+    // Initialization kernel: dist <- inf, visited <- 0 (memset-like
+    // streaming stores).
+    std::fill(dist.host().begin(), dist.host().end(), infDist);
+    std::fill(visited.begin(), visited.end(), 0);
+    gpuStreamKernel(sys, "bfs_init", gpu::Phase::Processing, n,
+                    [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+                        rec.compute(2);
+                        rec.store(dist.addrOf(t), 4);
+                        if (t % 32 == 0)
+                            rec.store(visitedBits.addrOf(t / 32), 4);
+                    });
+
+    const bool use_scu = opt.mode != harness::ScuMode::GpuOnly;
+    const bool enhanced = opt.mode == harness::ScuMode::ScuEnhanced;
+    if (use_scu)
+        sys.scuDevice().resetFilterTables();
+
+    nodeFrontier[0] = opt.source;
+    visited[opt.source] = 1;
+    dist[opt.source] = 0;
+    std::size_t nf_n = 1;
+    std::uint32_t level = 0;
+
+    while (nf_n > 0 && level < opt.maxIterations) {
+        ++level;
+        ++res.metrics.iterations;
+
+        // --- Expansion -----------------------------------------
+        prepare(nf_n);
+        std::uint64_t produced = 0;
+        for (std::size_t i = 0; i < nf_n; ++i)
+            produced += counts[i];
+        res.metrics.rawExpanded += produced;
+        panic_if(produced > edgeFrontier.size(),
+                 "edge frontier overflow (%llu > %zu)",
+                 static_cast<unsigned long long>(produced),
+                 edgeFrontier.size());
+
+        std::size_t ef_n = 0;
+        if (!use_scu) {
+            ExpandOutput out{
+                &edgeFrontier,
+                [&](std::size_t i, std::uint32_t j,
+                    gpu::ThreadRecorder &rec) -> std::uint32_t {
+                    const std::uint32_t e = indexes[i] + j;
+                    rec.load(gb.edges.addrOf(e), 4);
+                    return gb.edges[e];
+                }};
+            ef_n = gpuExpand(sys, counts, nf_n, {&out, 1}, scratch,
+                             "bfs_expand");
+        } else {
+            auto &scu = sys.scuDevice();
+            sys.scuSection([&] {
+                if (enhanced) {
+                    // Step 1 (Algorithm 4): generate the filter
+                    // vector with an extra expansion pass. The hash
+                    // is reconfigured (reset) per operation so the
+                    // single Table 2-sized region stays L2-resident;
+                    // it removes the intra-frontier duplicates, and
+                    // the GPU bitmask handles nodes visited in
+                    // earlier iterations.
+                    scu.uniqueFilter().reset();
+                    std::vector<std::uint8_t> keep;
+                    scu::OpOptions o1;
+                    o1.writeOutput = false;
+                    o1.filterMode = scu::FilterMode::Unique;
+                    o1.keepOut = &keep;
+                    std::size_t ignore = 0;
+                    auto st1 = scu.accessExpansionCompaction(
+                        gb.edges, indexes, counts, nf_n, nullptr,
+                        edgeFrontier, ignore, o1);
+                    res.metrics.scuFiltered += st1.filtered;
+                    // Step 2: the filtered edge frontier.
+                    scu::OpOptions o2;
+                    o2.keep = &keep;
+                    scu.accessExpansionCompaction(
+                        gb.edges, indexes, counts, nf_n, nullptr,
+                        edgeFrontier, ef_n, o2);
+                } else {
+                    scu.accessExpansionCompaction(
+                        gb.edges, indexes, counts, nf_n, nullptr,
+                        edgeFrontier, ef_n);
+                }
+            });
+        }
+
+        // --- Contraction ---------------------------------------
+        res.metrics.gpuEdgeWork += ef_n;
+        contractLookup(ef_n, level);
+
+        std::size_t next_nf = 0;
+        if (!use_scu) {
+            CompactStream s{&edgeFrontier, &nodeFrontier};
+            gpuCompact(sys, {&s, 1}, flags, ef_n, next_nf, scratch,
+                       "bfs_contract_compact");
+        } else {
+            auto &scu = sys.scuDevice();
+            sys.scuSection([&] {
+                if (enhanced) {
+                    // Duplicates that slipped through the expansion
+                    // filter (hash collisions) and bitmask races are
+                    // removed before they re-enter the frontier.
+                    scu.uniqueFilter().reset();
+                    std::vector<std::uint8_t> keep;
+                    scu::OpOptions o1;
+                    o1.writeOutput = false;
+                    o1.filterMode = scu::FilterMode::Unique;
+                    o1.keepOut = &keep;
+                    std::size_t ignore = 0;
+                    auto st1 = scu.dataCompaction(
+                        edgeFrontier, ef_n, &flags, nodeFrontier,
+                        ignore, o1);
+                    res.metrics.scuFiltered += st1.filtered;
+                    scu::OpOptions o2;
+                    o2.keep = &keep;
+                    scu.dataCompaction(edgeFrontier, ef_n, &flags,
+                                       nodeFrontier, next_nf, o2);
+                } else {
+                    scu.dataCompaction(edgeFrontier, ef_n, &flags,
+                                       nodeFrontier, next_nf);
+                }
+            });
+        }
+        nf_n = next_nf;
+    }
+
+    res.dist.assign(dist.host().begin(), dist.host().end());
+    return res;
+}
+
+} // namespace scusim::alg

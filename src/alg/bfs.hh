@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Breadth-First Search on the simulated system, following the
+ * Merrill-style expand/contract structure of Section 2.1 with the
+ * SCU offloads of Sections 3.3 (basic) and 4.4 (enhanced).
+ */
+
+#ifndef SCUSIM_ALG_BFS_HH
+#define SCUSIM_ALG_BFS_HH
+
+#include <vector>
+
+#include "alg/graph_buffers.hh"
+#include "alg/gpu_primitives.hh"
+#include "alg/options.hh"
+#include "graph/csr.hh"
+#include "harness/system.hh"
+
+namespace scusim::alg
+{
+
+/** Result of one simulated BFS run. */
+struct BfsResult
+{
+    std::vector<std::uint32_t> dist; ///< levels, infDist if unreached
+    AlgMetrics metrics;
+};
+
+/**
+ * BFS runner bound to one system + graph. Owns the device frontiers.
+ */
+class BfsRunner
+{
+  public:
+    BfsRunner(harness::System &sys, const graph::CsrGraph &g);
+
+    BfsResult run(const AlgOptions &opt);
+
+  private:
+    /** GPU preparation kernel: counts/indexes from the frontier. */
+    void prepare(std::size_t nf_n);
+
+    /** GPU contraction status-lookup kernel; fills flags. */
+    void contractLookup(std::size_t ef_n, std::uint32_t level);
+
+    harness::System &sys;
+    const graph::CsrGraph &g;
+    GraphBuffers gb;
+    CompactionScratch scratch;
+
+    Elems dist;
+    Elems visitedBits;
+    Elems nodeFrontier;
+    Elems edgeFrontier;
+    Elems counts;
+    Elems indexes;
+    Flags flags;
+
+    std::vector<std::uint8_t> visited; ///< functional visited set
+    /** Best-effort bitmask race window (threads in flight). */
+    std::size_t raceWindow;
+    /** Warp/history culling hash (Merrill), per contraction pass. */
+    std::vector<NodeId> cullTable;
+};
+
+} // namespace scusim::alg
+
+#endif // SCUSIM_ALG_BFS_HH

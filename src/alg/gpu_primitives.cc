@@ -1,0 +1,180 @@
+#include "alg/gpu_primitives.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace scusim::alg
+{
+
+namespace
+{
+constexpr unsigned scanBlock = 256;
+} // namespace
+
+gpu::KernelStats
+gpuStreamKernel(harness::System &sys, const std::string &name,
+                gpu::Phase phase, std::uint64_t threads,
+                std::function<void(std::uint64_t,
+                                   gpu::ThreadRecorder &)> body)
+{
+    gpu::KernelLaunch k;
+    k.name = name;
+    k.phase = phase;
+    k.numThreads = threads;
+    k.body = std::move(body);
+    return sys.gpuDevice().launch(k);
+}
+
+/**
+ * Shared scan machinery: charges the two scan kernels over @p n
+ * elements whose input loads are described by @p load_input, and
+ * fills @p scratch.scanned functionally with the exclusive scan of
+ * the values @p value_of yields.
+ */
+static void
+gpuScan(harness::System &sys, std::size_t n,
+        CompactionScratch &scratch, const std::string &name,
+        const std::function<void(std::uint64_t,
+                                 gpu::ThreadRecorder &)> &load_input,
+        const std::function<std::uint32_t(std::size_t)> &value_of)
+{
+    // Functional exclusive scan.
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch.scanned[i] = running;
+        running += value_of(i);
+    }
+    scratch.scanned[n] = running;
+
+    // Kernel 1: block-local scan. Each thread loads its input,
+    // participates in a shared-memory tree scan (~8 ops) and stores
+    // its local prefix.
+    gpuStreamKernel(
+        sys, name + "_scan_local", gpu::Phase::Compaction, n,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            load_input(t, rec);
+            rec.compute(18);
+            rec.store(scratch.scanned.addrOf(t), 4);
+            if (t % scanBlock == scanBlock - 1 || t == n - 1)
+                rec.store(scratch.blockSums.addrOf(t / scanBlock), 4);
+        });
+
+    // Kernel 2: scan of the per-block sums + propagation. One thread
+    // per block: loads its block sum, adds the running offset and
+    // rewrites the block's prefix base.
+    const std::uint64_t blocks = divCeil(n, scanBlock);
+    gpuStreamKernel(
+        sys, name + "_scan_blocks", gpu::Phase::Compaction, blocks,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.load(scratch.blockSums.addrOf(t), 4);
+            rec.compute(12);
+            rec.store(scratch.blockSums.addrOf(t), 4);
+        });
+}
+
+std::size_t
+gpuCompact(harness::System &sys,
+           std::span<const CompactStream> streams, const Flags &flags,
+           std::size_t n, std::size_t &out_n,
+           CompactionScratch &scratch, const std::string &name)
+{
+    panic_if(streams.empty(), "gpuCompact with no streams");
+    panic_if(scratch.scanned.size() < n + 1,
+             "compaction scratch too small (%zu < %zu)",
+             scratch.scanned.size(), n + 1);
+
+    gpuScan(
+        sys, n, scratch, name,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.load(flags.addrOf(t), 1);
+        },
+        [&](std::size_t i) -> std::uint32_t {
+            return flags[i] ? 1 : 0;
+        });
+
+    // Scatter kernel: every flagged element copies each stream's
+    // value to the packed position.
+    const std::size_t base = out_n;
+    gpuStreamKernel(
+        sys, name + "_scatter", gpu::Phase::Compaction, n,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.load(flags.addrOf(t), 1);
+            rec.load(scratch.scanned.addrOf(t), 4);
+            rec.compute(12);
+            if (!flags[t])
+                return;
+            const std::size_t pos = base + scratch.scanned[t];
+            for (const auto &s : streams) {
+                rec.load(s.in->addrOf(t), 4);
+                panic_if(pos >= s.out->size(),
+                         "gpuCompact output overflow");
+                (*s.out)[pos] = (*s.in)[t];
+                rec.store(s.out->addrOf(pos), 4);
+            }
+        });
+
+    const std::size_t kept = scratch.scanned[n];
+    out_n += kept;
+    return kept;
+}
+
+std::size_t
+gpuExpand(harness::System &sys, const Elems &counts, std::size_t n,
+          std::span<const ExpandOutput> outputs,
+          CompactionScratch &scratch, const std::string &name)
+{
+    panic_if(outputs.empty(), "gpuExpand with no outputs");
+    panic_if(scratch.scanned.size() < n + 1,
+             "expansion scratch too small");
+
+    gpuScan(
+        sys, n, scratch, name,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.load(counts.addrOf(t), 4);
+        },
+        [&](std::size_t i) -> std::uint32_t { return counts[i]; });
+
+    const std::size_t total = scratch.scanned[n];
+
+    // Gather kernel: one thread per produced element. The Merrill
+    // load-balancing search is CTA-cooperative: a coarse partition
+    // is found once per CTA and refined in shared memory, so each
+    // thread pays a couple of probing loads into the scanned
+    // offsets plus the refinement compute — not a full per-thread
+    // binary search over global memory.
+    gpuStreamKernel(
+        sys, name + "_gather", gpu::Phase::Compaction, total,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            // Owner lookup (functional, exact).
+            auto it = std::upper_bound(
+                scratch.scanned.host().begin(),
+                scratch.scanned.host().begin() +
+                    static_cast<std::ptrdiff_t>(n) + 1,
+                static_cast<std::uint32_t>(t));
+            std::size_t i = static_cast<std::size_t>(
+                it - scratch.scanned.host().begin()) - 1;
+            const auto j = static_cast<std::uint32_t>(
+                t - scratch.scanned[i]);
+
+            // Timing: two probes into the scanned array around the
+            // owning run plus the shared-memory refinement.
+            rec.load(scratch.scanned.addrOf(i), 4);
+            if (i + 1 <= n)
+                rec.load(scratch.scanned.addrOf(i + 1), 4);
+            rec.compute(24);
+
+            for (const auto &o : outputs) {
+                std::uint32_t v = o.value(i, j, rec);
+                panic_if(t >= o.out->size(),
+                         "gpuExpand output overflow");
+                (*o.out)[t] = v;
+                rec.store(o.out->addrOf(t), 4);
+            }
+        });
+
+    return total;
+}
+
+} // namespace scusim::alg

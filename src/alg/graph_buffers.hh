@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The device-resident image of a CSR graph (Figure 2b), uploaded
+ * into the simulated address space so every kernel and SCU operation
+ * touches the true addresses.
+ */
+
+#ifndef SCUSIM_ALG_GRAPH_BUFFERS_HH
+#define SCUSIM_ALG_GRAPH_BUFFERS_HH
+
+#include "common/logging.hh"
+#include "graph/csr.hh"
+#include "mem/address_space.hh"
+
+namespace scusim::alg
+{
+
+/** CSR arrays living in device memory. */
+struct GraphBuffers
+{
+    mem::DeviceArray<std::uint32_t> offsets; ///< n+1 adjacency offsets
+    mem::DeviceArray<std::uint32_t> edges;   ///< destinations
+    mem::DeviceArray<std::uint32_t> weights; ///< edge weights
+    NodeId numNodes = 0;
+    EdgeId numEdges = 0;
+
+    GraphBuffers(mem::AddressSpace &as, const graph::CsrGraph &g)
+    {
+        numNodes = g.numNodes();
+        numEdges = g.numEdges();
+        fatal_if(numEdges > 0xffffffffULL,
+                 "graph too large for 32-bit edge offsets");
+        offsets.allocate(as, "csr_offsets",
+                         static_cast<std::size_t>(numNodes) + 1);
+        edges.allocate(as, "csr_edges",
+                       static_cast<std::size_t>(numEdges));
+        weights.allocate(as, "csr_weights",
+                         static_cast<std::size_t>(numEdges));
+        for (NodeId u = 0; u <= numNodes; ++u) {
+            offsets[u] = static_cast<std::uint32_t>(
+                g.adjacencyOffsets()[u]);
+        }
+        for (EdgeId e = 0; e < numEdges; ++e) {
+            edges[static_cast<std::size_t>(e)] = g.edgeArray()[e];
+            weights[static_cast<std::size_t>(e)] =
+                g.weightArray()[e];
+        }
+    }
+};
+
+} // namespace scusim::alg
+
+#endif // SCUSIM_ALG_GRAPH_BUFFERS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Options and metrics shared by the three graph primitives.
+ */
+
+#ifndef SCUSIM_ALG_OPTIONS_HH
+#define SCUSIM_ALG_OPTIONS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "harness/system.hh"
+
+namespace scusim::alg
+{
+
+/** Per-run options. */
+struct AlgOptions
+{
+    harness::ScuMode mode = harness::ScuMode::GpuOnly;
+    NodeId source = 0;        ///< BFS/SSSP start node
+    unsigned maxIterations = 100000;
+    unsigned prMaxIterations = 5;   ///< PageRank sweep count
+    double prEpsilon = 1e-3;        ///< PageRank convergence bound
+    /** Near/far threshold step; 0 picks 4x the average edge weight. */
+    std::uint32_t ssspDelta = 0;
+};
+
+/** Work metrics accumulated by a run. */
+struct AlgMetrics
+{
+    unsigned iterations = 0;
+    /** Elements the GPU's per-edge kernels actually processed. */
+    std::uint64_t gpuEdgeWork = 0;
+    /** Elements produced by expansion before any SCU filtering. */
+    std::uint64_t rawExpanded = 0;
+    /** Elements the SCU filtering removed. */
+    std::uint64_t scuFiltered = 0;
+};
+
+} // namespace scusim::alg
+
+#endif // SCUSIM_ALG_OPTIONS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PageRank on the simulated system, following the Geil et al.
+ * structure of Section 2.3: expansion, rank update (atomicAdd per
+ * edge), dampening, convergence check. The SCU offload (Algorithm 3)
+ * covers only the expansion — PR uses no filtering or grouping
+ * (Section 4.6).
+ */
+
+#ifndef SCUSIM_ALG_PAGERANK_HH
+#define SCUSIM_ALG_PAGERANK_HH
+
+#include <vector>
+
+#include "alg/graph_buffers.hh"
+#include "alg/gpu_primitives.hh"
+#include "alg/options.hh"
+#include "graph/csr.hh"
+#include "harness/system.hh"
+
+namespace scusim::alg
+{
+
+/** Result of one simulated PageRank run. */
+struct PrResult
+{
+    std::vector<float> ranks;
+    AlgMetrics metrics;
+    bool converged = false;
+};
+
+class PageRankRunner
+{
+  public:
+    PageRankRunner(harness::System &sys, const graph::CsrGraph &g);
+
+    PrResult run(const AlgOptions &opt);
+
+  private:
+    harness::System &sys;
+    const graph::CsrGraph &g;
+    GraphBuffers gb;
+    CompactionScratch scratch;
+
+    Elems rankBits;    ///< float ranks, bit-cast into u32 elements
+    Elems newRankBits; ///< accumulation target of the rank update
+    Elems contribBits; ///< rank / out-degree, the replicated value
+    Elems counts;
+    Elems indexes;
+    Elems edgeFrontier;
+    Elems weightFrontier;
+};
+
+} // namespace scusim::alg
+
+#endif // SCUSIM_ALG_PAGERANK_HH

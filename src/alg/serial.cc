@@ -1,0 +1,88 @@
+#include "alg/serial.hh"
+
+#include <cmath>
+#include <queue>
+
+#include "common/types.hh"
+
+namespace scusim::alg
+{
+
+std::vector<std::uint32_t>
+serialBfs(const graph::CsrGraph &g, NodeId source)
+{
+    std::vector<std::uint32_t> dist(g.numNodes(), infDist);
+    std::queue<NodeId> q;
+    dist[source] = 0;
+    q.push(source);
+    while (!q.empty()) {
+        NodeId u = q.front();
+        q.pop();
+        for (NodeId v : g.neighbors(u)) {
+            if (dist[v] == infDist) {
+                dist[v] = dist[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t>
+serialDijkstra(const graph::CsrGraph &g, NodeId source)
+{
+    std::vector<std::uint32_t> dist(g.numNodes(), infDist);
+    using Item = std::pair<std::uint32_t, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>>
+        pq;
+    dist[source] = 0;
+    pq.push({0, source});
+    while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d != dist[u])
+            continue;
+        auto nbrs = g.neighbors(u);
+        auto ws = g.edgeWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            std::uint32_t nd = d + ws[i];
+            if (nd < dist[nbrs[i]]) {
+                dist[nbrs[i]] = nd;
+                pq.push({nd, nbrs[i]});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+serialPageRank(const graph::CsrGraph &g, double alpha, double epsilon,
+               unsigned max_iters)
+{
+    const NodeId n = g.numNodes();
+    std::vector<double> rank(n, 1.0), next(n, 0.0);
+    for (unsigned it = 0; it < max_iters; ++it) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (NodeId u = 0; u < n; ++u) {
+            const auto deg = g.degree(u);
+            if (deg == 0)
+                continue;
+            const double contrib =
+                rank[u] / static_cast<double>(deg);
+            for (NodeId v : g.neighbors(u))
+                next[v] += contrib;
+        }
+        double max_delta = 0;
+        for (NodeId v = 0; v < n; ++v) {
+            next[v] = alpha + (1.0 - alpha) * next[v];
+            max_delta = std::max(max_delta,
+                                 std::fabs(next[v] - rank[v]));
+        }
+        rank.swap(next);
+        if (max_delta < epsilon)
+            break;
+    }
+    return rank;
+}
+
+} // namespace scusim::alg

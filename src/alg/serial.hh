@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Serial reference implementations used to validate every simulated
+ * run: BFS level labeling, Dijkstra shortest paths and power-iteration
+ * PageRank (Figure 2c ground truth).
+ */
+
+#ifndef SCUSIM_ALG_SERIAL_HH
+#define SCUSIM_ALG_SERIAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace scusim::alg
+{
+
+/** BFS distances (edge counts) from @p source; infDist if unreached. */
+std::vector<std::uint32_t> serialBfs(const graph::CsrGraph &g,
+                                     NodeId source);
+
+/** Dijkstra distances from @p source; infDist if unreached. */
+std::vector<std::uint32_t> serialDijkstra(const graph::CsrGraph &g,
+                                          NodeId source);
+
+/**
+ * PageRank by power iteration with dampening @p alpha, stopping when
+ * the max node-wise change drops below @p epsilon or after
+ * @p max_iters iterations.
+ * @return per-node scores.
+ */
+std::vector<double> serialPageRank(const graph::CsrGraph &g,
+                                   double alpha = 0.15,
+                                   double epsilon = 1e-4,
+                                   unsigned max_iters = 100);
+
+} // namespace scusim::alg
+
+#endif // SCUSIM_ALG_SERIAL_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Single-Source Shortest Paths on the simulated system, following the
+ * Davidson et al. near-far work delegation of Section 2.2 with the
+ * SCU offloads of Sections 3.4 (basic) and 4.5 (enhanced: best-cost
+ * filtering plus grouping).
+ */
+
+#ifndef SCUSIM_ALG_SSSP_HH
+#define SCUSIM_ALG_SSSP_HH
+
+#include <vector>
+
+#include "alg/graph_buffers.hh"
+#include "alg/gpu_primitives.hh"
+#include "alg/options.hh"
+#include "graph/csr.hh"
+#include "harness/system.hh"
+
+namespace scusim::alg
+{
+
+/** Result of one simulated SSSP run. */
+struct SsspResult
+{
+    std::vector<std::uint32_t> dist; ///< costs, infDist if unreached
+    AlgMetrics metrics;
+};
+
+class SsspRunner
+{
+  public:
+    SsspRunner(harness::System &sys, const graph::CsrGraph &g);
+
+    SsspResult run(const AlgOptions &opt);
+
+  private:
+    /** GPU preparation: counts/indexes/source-distance gather. */
+    void prepare(std::size_t nf_n);
+
+    /**
+     * GPU contraction over the current edge/weight frontier:
+     * atomicMin relaxation, lookup-table deduplication and near/far
+     * flag generation.
+     */
+    void contract(std::size_t ef_n, std::uint32_t threshold,
+                  AlgMetrics &m);
+
+    /**
+     * GPU far-pile revalidation: drop settled entries, split the
+     * rest into the new node frontier and the next far pile.
+     */
+    void splitFarPile(std::size_t far_n, std::uint32_t threshold,
+                      bool gpu_dedup);
+
+    harness::System &sys;
+    const graph::CsrGraph &g;
+    GraphBuffers gb;
+    CompactionScratch scratch;
+
+    Elems dist;
+    Elems nodeFrontier;
+    Elems edgeFrontier;
+    Elems weightFrontier;
+    Elems gatherWeights; ///< SCU temp: per-edge weight gather
+    Elems replDist;      ///< SCU temp: replicated source distances
+    Elems srcDist;       ///< per-frontier-node distance (prepare)
+    Elems counts;
+    Elems indexes;
+    Elems farEdges[2];   ///< ping-pong far pile (node ids)
+    Elems farWeights[2]; ///< ping-pong far pile (costs)
+    Elems lookupTable;   ///< one entry per node (GPU dedup)
+    Flags nearFlags;
+    Flags farFlags;
+
+    unsigned farCur = 0; ///< which far pile is current
+};
+
+} // namespace scusim::alg
+
+#endif // SCUSIM_ALG_SSSP_HH

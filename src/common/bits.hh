@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the memory system.
+ */
+
+#ifndef SCUSIM_COMMON_BITS_HH
+#define SCUSIM_COMMON_BITS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace scusim
+{
+
+/** True if @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Smallest power of two >= v. */
+constexpr std::uint64_t
+ceilPowerOf2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** Round @p v down to a multiple of the power-of-two @p align. */
+constexpr Addr
+alignDown(Addr v, Addr align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of the power-of-two @p align. */
+constexpr Addr
+alignUp(Addr v, Addr align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Integer ceil division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Mix the bits of a 64-bit value; used as the hash function of the
+ * SCU filtering/grouping tables and of set-index hashing. This is the
+ * finalizer of MurmurHash3, a cheap function with good avalanche
+ * behaviour, which is the kind of function trivially implementable in
+ * the hardware the paper synthesizes.
+ */
+constexpr std::uint64_t
+mixBits(std::uint64_t k)
+{
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return k;
+}
+
+} // namespace scusim
+
+#endif // SCUSIM_COMMON_BITS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bounded FIFO queue. Models the finite buffering of hardware queues
+ * (the SCU's vector buffer, request buffers, store queues, MSHRs).
+ */
+
+#ifndef SCUSIM_COMMON_FIFO_HH
+#define SCUSIM_COMMON_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace scusim
+{
+
+/**
+ * A bounded FIFO. push() on a full queue is a simulator bug — callers
+ * must check full() first, exactly as hardware must apply
+ * back-pressure before enqueueing.
+ */
+template <typename T>
+class BoundedFifo
+{
+  public:
+    explicit BoundedFifo(std::size_t capacity = 0) : cap(capacity) {}
+
+    /** Change capacity; only allowed while empty. */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        panic_if(!q.empty(), "resizing a non-empty BoundedFifo");
+        cap = capacity;
+    }
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return q.size(); }
+    bool empty() const { return q.empty(); }
+    bool full() const { return q.size() >= cap; }
+
+    /** Free slots remaining. */
+    std::size_t
+    space() const
+    {
+        return q.size() >= cap ? 0 : cap - q.size();
+    }
+
+    void
+    push(const T &v)
+    {
+        panic_if(full(), "push to full BoundedFifo (cap=%zu)", cap);
+        q.push_back(v);
+    }
+
+    void
+    push(T &&v)
+    {
+        panic_if(full(), "push to full BoundedFifo (cap=%zu)", cap);
+        q.push_back(std::move(v));
+    }
+
+    T &
+    front()
+    {
+        panic_if(q.empty(), "front of empty BoundedFifo");
+        return q.front();
+    }
+
+    const T &
+    front() const
+    {
+        panic_if(q.empty(), "front of empty BoundedFifo");
+        return q.front();
+    }
+
+    void
+    pop()
+    {
+        panic_if(q.empty(), "pop of empty BoundedFifo");
+        q.pop_front();
+    }
+
+    /** Iteration support (e.g. for coalescing-window scans). */
+    auto begin() { return q.begin(); }
+    auto end() { return q.end(); }
+    auto begin() const { return q.begin(); }
+    auto end() const { return q.end(); }
+
+    void clear() { q.clear(); }
+
+  private:
+    std::size_t cap;
+    std::deque<T> q;
+};
+
+} // namespace scusim
+
+#endif // SCUSIM_COMMON_FIFO_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for graph synthesis
+ * and workload generation. All simulator randomness flows through
+ * this class so experiments are exactly reproducible.
+ */
+
+#ifndef SCUSIM_COMMON_RNG_HH
+#define SCUSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace scusim
+{
+
+/**
+ * xoshiro256** generator. Small, fast and high quality; seeded
+ * deterministically so every run of a bench reproduces the same
+ * synthetic datasets.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5ca1ab1edeadbeefULL)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t z = seed;
+        for (auto &word : s) {
+            z += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            word = x ^ (x >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless method would be overkill;
+        // modulo bias is negligible for our bounds (< 2^32).
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace scusim
+
+#endif // SCUSIM_COMMON_RNG_HH

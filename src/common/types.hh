@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef SCUSIM_COMMON_TYPES_HH
+#define SCUSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace scusim
+{
+
+/** Simulated time, expressed in core-clock cycles of the GPU domain. */
+using Tick = std::uint64_t;
+
+/** A simulated physical address in the device address space. */
+using Addr = std::uint64_t;
+
+/** Graph node identifier. 32 bits match the paper's 4-byte elements. */
+using NodeId = std::uint32_t;
+
+/** Index into the CSR edge array. 64 bits so offsets never overflow. */
+using EdgeId = std::uint64_t;
+
+/** Edge weight; the paper's graphs carry small integer weights. */
+using Weight = std::uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = static_cast<NodeId>(-1);
+
+/** Sentinel for "unreachable / infinite distance". */
+constexpr std::uint32_t infDist = static_cast<std::uint32_t>(-1);
+
+/** Sentinel tick for "never". */
+constexpr Tick tickNever = static_cast<Tick>(-1);
+
+} // namespace scusim
+
+#endif // SCUSIM_COMMON_TYPES_HH

@@ -1,0 +1,53 @@
+#include "energy/area_model.hh"
+
+#include "common/logging.hh"
+
+namespace scusim::energy
+{
+
+AreaReport
+scuAreaReport(const std::string &gpu_name, const scu::ScuParams &scu)
+{
+    AreaReport r;
+    r.gpuName = gpu_name;
+    if (gpu_name == "GTX980") {
+        // GM204 die is 398 mm^2; the paper reports the SCU at
+        // 13.27 mm^2 = 3.3% of the GPU system.
+        r.gpuMm2 = 398.0;
+        r.scuMm2 = 13.27;
+    } else if (gpu_name == "TX1") {
+        // The paper reports 3.65 mm^2 = 4.1% for the TX1 system.
+        r.gpuMm2 = 89.0;
+        r.scuMm2 = 3.65;
+    } else {
+        fatal("no area data for GPU '%s'", gpu_name.c_str());
+    }
+
+    // Distribute the total across components in proportion to their
+    // storage (Table 1) and datapath width (Table 2). The buffers
+    // (5 + 38 + 18 KB of SRAM) dominate; the pipeline logic scales
+    // with the configured width.
+    const double buffer_kb =
+        static_cast<double>(scu.vectorBufferBytes +
+                            scu.fifoRequestBytes +
+                            scu.hashRequestBytes) / 1024.0;
+    const double total_kb = buffer_kb;
+    const double buffers_mm2 = r.scuMm2 * 0.55;
+    const double datapath_mm2 = r.scuMm2 * 0.30;
+    const double coalesce_mm2 = r.scuMm2 * 0.10;
+    const double control_mm2 = r.scuMm2 * 0.05;
+
+    r.components = {
+        {"request/vector buffers (" +
+             std::to_string(static_cast<int>(total_kb)) + " KB)",
+         buffers_mm2},
+        {"pipeline datapath (width " +
+             std::to_string(scu.pipelineWidth) + ")",
+         datapath_mm2},
+        {"coalescing units", coalesce_mm2},
+        {"address generator / control", control_mm2},
+    };
+    return r;
+}
+
+} // namespace scusim::energy

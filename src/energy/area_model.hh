@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Area model of the SCU (Section 6.4). The paper obtains these
+ * numbers by synthesizing the Verilog design with Synopsys DC at
+ * 32 nm / 0.78 V and characterizing SRAM with CACTI; synthesis is
+ * not reproducible offline, so the totals the paper reports are
+ * taken as the envelope and broken down across components in
+ * proportion to their storage and datapath width.
+ */
+
+#ifndef SCUSIM_ENERGY_AREA_MODEL_HH
+#define SCUSIM_ENERGY_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "scu/scu_config.hh"
+
+namespace scusim::energy
+{
+
+/** One component's contribution to the SCU area. */
+struct AreaComponent
+{
+    std::string name;
+    double mm2;
+};
+
+/** Area report for one GPU system. */
+struct AreaReport
+{
+    std::string gpuName;
+    double gpuMm2;               ///< total GPU die area
+    double scuMm2;               ///< SCU total (paper Section 6.4)
+    std::vector<AreaComponent> components;
+
+    double
+    overheadPercent() const
+    {
+        return 100.0 * scuMm2 / (gpuMm2 /*+ scuMm2 not counted*/);
+    }
+};
+
+/**
+ * Build the area report for @p gpu_name ("GTX980" or "TX1") with the
+ * matching SCU configuration @p scu.
+ */
+AreaReport scuAreaReport(const std::string &gpu_name,
+                         const scu::ScuParams &scu);
+
+} // namespace scusim::energy
+
+#endif // SCUSIM_ENERGY_AREA_MODEL_HH

@@ -1,0 +1,89 @@
+#include "energy/energy_model.hh"
+
+namespace scusim::energy
+{
+
+EnergyParams
+EnergyParams::gtx980()
+{
+    EnergyParams p;
+    p.name = "GTX980";
+    p.threadInstrNj = 0.25;
+    p.smActiveCycleNj = 2.0;
+    p.l1AccessNj = 0.40;
+    p.l2AccessNj = 1.20;
+    p.gpuStaticWatts = 25.0;
+    p.dramActivateNj = 15.0;
+    p.dramLineNj = 20.0;        // ~20 pJ/bit GDDR5
+    p.dramBackgroundWatts = 8.0;
+    p.scuElementNj = 0.05;
+    p.scuTxnNj = 0.20;
+    p.scuStaticWatts = 0.30;
+    return p;
+}
+
+EnergyParams
+EnergyParams::tx1()
+{
+    EnergyParams p;
+    p.name = "TX1";
+    p.threadInstrNj = 0.12;     // low-voltage mobile process point
+    p.smActiveCycleNj = 1.0;
+    p.l1AccessNj = 0.25;
+    p.l2AccessNj = 0.80;
+    p.gpuStaticWatts = 1.5;
+    p.dramActivateNj = 4.0;
+    p.dramLineNj = 4.5;         // ~4 pJ/bit LPDDR4
+    p.dramBackgroundWatts = 0.5;
+    p.scuElementNj = 0.03;
+    p.scuTxnNj = 0.12;
+    p.scuStaticWatts = 0.08;
+    return p;
+}
+
+double
+EnergyModel::gpuDynamicJ(const Activity &a) const
+{
+    return (a.threadInstrs * p.threadInstrNj +
+            a.smActiveCycles * p.smActiveCycleNj +
+            a.l1Accesses * p.l1AccessNj) * 1e-9;
+}
+
+double
+EnergyModel::memDynamicJ(const Activity &a) const
+{
+    return (a.l2Accesses * p.l2AccessNj +
+            a.dramActivates * p.dramActivateNj +
+            a.dramLines * p.dramLineNj) * 1e-9;
+}
+
+double
+EnergyModel::scuDynamicJ(const Activity &a) const
+{
+    return (a.scuElements * p.scuElementNj +
+            a.scuTxns * p.scuTxnNj) * 1e-9;
+}
+
+double
+EnergyModel::dynamicJ(const Activity &a) const
+{
+    return gpuDynamicJ(a) + memDynamicJ(a) + scuDynamicJ(a);
+}
+
+EnergyBreakdown
+EnergyModel::breakdown(const Activity &gpu_side,
+                       const Activity &scu_side, double seconds,
+                       bool scu_present) const
+{
+    EnergyBreakdown e;
+    e.gpuDynamicJ = gpuDynamicJ(gpu_side);
+    e.gpuStaticJ = p.gpuStaticWatts * seconds;
+    e.memDynamicGpuJ = memDynamicJ(gpu_side);
+    e.memDynamicScuJ = memDynamicJ(scu_side);
+    e.memStaticJ = p.dramBackgroundWatts * seconds;
+    e.scuDynamicJ = scuDynamicJ(scu_side);
+    e.scuStaticJ = scu_present ? p.scuStaticWatts * seconds : 0;
+    return e;
+}
+
+} // namespace scusim::energy

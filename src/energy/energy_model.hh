@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Energy model in the GPUWattch/McPAT tradition: per-event dynamic
+ * energies plus static power integrated over run time. The constants
+ * are calibrated against the public TDPs of the two boards the paper
+ * models (GTX 980 ~165 W, Tegra X1 ~10 W class) and against the
+ * relative per-access costs GPUWattch/CACTI report at 32 nm; the
+ * figures the paper reports are all *normalized* energies, which
+ * depend on the activity counts produced by the timing model rather
+ * than on these absolute scale factors.
+ */
+
+#ifndef SCUSIM_ENERGY_ENERGY_MODEL_HH
+#define SCUSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace scusim::energy
+{
+
+/** Per-event energies (nanojoules) and static powers (watts). */
+struct EnergyParams
+{
+    std::string name = "GTX980";
+
+    // GPU core side.
+    double threadInstrNj = 0.25;   ///< per executed lane instruction
+    double smActiveCycleNj = 2.0;  ///< per SM per active cycle
+    double l1AccessNj = 0.40;
+    double l2AccessNj = 1.20;
+    double gpuStaticWatts = 25.0;
+
+    // DRAM (Micron power-calculator style).
+    double dramActivateNj = 15.0;  ///< per row activation
+    double dramLineNj = 20.0;      ///< per 128 B line transferred
+    double dramBackgroundWatts = 8.0;
+
+    // SCU (from the synthesized design's envelope).
+    double scuElementNj = 0.05;    ///< per pipeline element slot
+    double scuTxnNj = 0.20;        ///< per issued memory transaction
+    double scuStaticWatts = 0.30;
+
+    static EnergyParams gtx980();
+    static EnergyParams tx1();
+};
+
+/** Raw activity counts of one run (or one slice of a run). */
+struct Activity
+{
+    double threadInstrs = 0;
+    double smActiveCycles = 0;
+    double l1Accesses = 0;
+    double l2Accesses = 0;
+    double dramActivates = 0;
+    double dramLines = 0;
+    double scuElements = 0;
+    double scuTxns = 0;
+
+    Activity
+    operator-(const Activity &o) const
+    {
+        return {threadInstrs - o.threadInstrs,
+                smActiveCycles - o.smActiveCycles,
+                l1Accesses - o.l1Accesses,
+                l2Accesses - o.l2Accesses,
+                dramActivates - o.dramActivates,
+                dramLines - o.dramLines,
+                scuElements - o.scuElements,
+                scuTxns - o.scuTxns};
+    }
+
+    Activity &
+    operator+=(const Activity &o)
+    {
+        threadInstrs += o.threadInstrs;
+        smActiveCycles += o.smActiveCycles;
+        l1Accesses += o.l1Accesses;
+        l2Accesses += o.l2Accesses;
+        dramActivates += o.dramActivates;
+        dramLines += o.dramLines;
+        scuElements += o.scuElements;
+        scuTxns += o.scuTxns;
+        return *this;
+    }
+};
+
+/** Energy of one run, split the way Figure 9 splits it. */
+struct EnergyBreakdown
+{
+    double gpuDynamicJ = 0;
+    double gpuStaticJ = 0;
+    double memDynamicGpuJ = 0; ///< memory traffic caused by the GPU
+    double memDynamicScuJ = 0; ///< memory traffic caused by the SCU
+    double memStaticJ = 0;
+    double scuDynamicJ = 0;
+    double scuStaticJ = 0;
+
+    /** Everything attributed to the GPU bar of Figure 9. */
+    double
+    gpuSideJ() const
+    {
+        return gpuDynamicJ + gpuStaticJ + memDynamicGpuJ +
+               memStaticJ;
+    }
+
+    /** Everything attributed to the SCU bar of Figure 9. */
+    double
+    scuSideJ() const
+    {
+        return scuDynamicJ + scuStaticJ + memDynamicScuJ;
+    }
+
+    double totalJ() const { return gpuSideJ() + scuSideJ(); }
+};
+
+/** The energy model proper. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params) : p(params) {}
+
+    /** Dynamic energy of an activity slice, in joules. */
+    double dynamicJ(const Activity &a) const;
+
+    /** Memory-only dynamic energy of a slice, in joules. */
+    double memDynamicJ(const Activity &a) const;
+
+    /** GPU-core-only dynamic energy of a slice, in joules. */
+    double gpuDynamicJ(const Activity &a) const;
+
+    /** SCU-only dynamic energy of a slice, in joules. */
+    double scuDynamicJ(const Activity &a) const;
+
+    /**
+     * Full breakdown of a run: @p gpu_side and @p scu_side are the
+     * activity slices attributed to GPU kernels and SCU operations
+     * respectively, @p seconds the wall time of the run.
+     */
+    EnergyBreakdown breakdown(const Activity &gpu_side,
+                              const Activity &scu_side,
+                              double seconds,
+                              bool scu_present) const;
+
+    const EnergyParams &params() const { return p; }
+
+  private:
+    EnergyParams p;
+};
+
+} // namespace scusim::energy
+
+#endif // SCUSIM_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,144 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scusim::gpu
+{
+
+Gpu::Gpu(const GpuParams &params, mem::MemSystem &mem,
+         sim::Simulation &simulation, stats::StatGroup *parent)
+    : p(params), sim(simulation), grp("gpu", parent)
+{
+    for (unsigned i = 0; i < p.numSms; ++i) {
+        sms.push_back(std::make_unique<StreamingMultiprocessor>(
+            p, i, &mem, &grp));
+        sim.addClocked(sms.back().get());
+    }
+}
+
+void
+Gpu::buildWarp(const KernelLaunch &k, std::uint64_t warp_id, Warp &out)
+{
+    const std::uint64_t first = warp_id * p.warpSize;
+    const std::uint64_t last =
+        std::min<std::uint64_t>(first + p.warpSize, k.numThreads);
+
+    // Record each thread's operation list.
+    thread_local ThreadRecorder rec;
+    std::vector<std::vector<ThreadOp>> lanes;
+    lanes.reserve(last - first);
+    for (std::uint64_t tid = first; tid < last; ++tid) {
+        rec.clear();
+        k.body(tid, rec);
+        lanes.push_back(rec.recorded());
+    }
+    out.threads = static_cast<unsigned>(lanes.size());
+
+    // Positional SIMT merge: at each step, the kind of the first
+    // unfinished lane's current op executes; lanes whose current op
+    // differs (divergent paths) wait and execute in a later slot.
+    std::vector<std::size_t> pos(lanes.size(), 0);
+    while (true) {
+        int leader = -1;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            if (pos[i] < lanes[i].size()) {
+                leader = static_cast<int>(i);
+                break;
+            }
+        }
+        if (leader < 0)
+            break;
+        const ThreadOp::Kind kind =
+            lanes[static_cast<std::size_t>(leader)]
+                 [pos[static_cast<std::size_t>(leader)]].kind;
+        WarpInstr wi;
+        wi.kind = kind;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            if (pos[i] >= lanes[i].size())
+                continue;
+            const ThreadOp &op = lanes[i][pos[i]];
+            if (op.kind != kind)
+                continue;
+            if (kind == ThreadOp::Kind::Compute) {
+                wi.computeCount =
+                    std::max(wi.computeCount, op.count);
+            } else {
+                wi.laneAddrs.push_back(op.addr);
+                wi.bytesPerLane = std::max(wi.bytesPerLane, op.count);
+            }
+            ++pos[i];
+        }
+        if (kind == ThreadOp::Kind::Compute && wi.computeCount == 0)
+            wi.computeCount = 1;
+        out.instrs.push_back(std::move(wi));
+    }
+}
+
+KernelStats
+Gpu::launch(const KernelLaunch &k)
+{
+    KernelStats ks;
+    ks.name = k.name;
+    ks.phase = k.phase;
+
+    // Host-side launch latency.
+    sim.step(launchOverhead());
+    ks.startTick = sim.now();
+
+    if (k.numThreads > 0) {
+        const std::uint64_t num_warps =
+            (k.numThreads + p.warpSize - 1) / p.warpSize;
+
+        // Warp w runs on SM (w % numSms); each SM pulls its next warp
+        // lazily when a slot frees up.
+        for (unsigned s = 0; s < p.numSms; ++s) {
+            auto next = std::make_shared<std::uint64_t>(s);
+            sms[s]->beginKernel(
+                [this, &k, next, num_warps](Warp &out) {
+                    if (*next >= num_warps)
+                        return false;
+                    buildWarp(k, *next, out);
+                    *next += p.numSms;
+                    return true;
+                },
+                &ks);
+        }
+        sim.run();
+        for (auto &sm : sms)
+            sm->endKernel(sim.now());
+    }
+
+    ks.endTick = sim.now();
+
+    ++agg.launches;
+    if (k.phase == Phase::Compaction) {
+        agg.compaction.accumulate(ks);
+        agg.compactionCycles += ks.cycles();
+    } else {
+        agg.processing.accumulate(ks);
+        agg.processingCycles += ks.cycles();
+    }
+    return ks;
+}
+
+double
+Gpu::smActiveCycles() const
+{
+    double c = 0;
+    for (const auto &sm : sms)
+        c += sm->activeCycles();
+    return c;
+}
+
+double
+Gpu::l1Accesses() const
+{
+    double c = 0;
+    for (const auto &sm : sms)
+        c += sm->l1().numAccesses();
+    return c;
+}
+
+} // namespace scusim::gpu

@@ -1,0 +1,72 @@
+#include "gpu/gpu_config.hh"
+
+namespace scusim::gpu
+{
+
+GpuParams
+GpuParams::gtx980()
+{
+    GpuParams p;
+    p.name = "GTX980";
+    p.freqHz = 1.27e9;
+    p.numSms = 16;
+    p.maxThreadsPerSm = 2048;
+    p.issueWidth = 2; // practical dual-issue on divergent code
+    p.maxOutstanding = 64;
+    p.launchLatency = 2200; // ~1.7 us at 1.27 GHz
+
+    p.l1.name = "l1";
+    p.l1.sizeBytes = 32 << 10;
+    p.l1.lineBytes = 128;
+    p.l1.ways = 4;
+    p.l1.banks = 4;
+    p.l1.hitLatency = 80;  // measured Maxwell L1/tex load-to-use
+    p.l1.mshrs = 32;
+
+    p.memsys.l2.name = "l2";
+    p.memsys.l2.sizeBytes = 2 << 20;
+    p.memsys.l2.lineBytes = 128;
+    p.memsys.l2.ways = 16;
+    p.memsys.l2.banks = 16;
+    p.memsys.l2.hitLatency = 130; // ~190-cycle L2 load-to-use with icn
+    p.memsys.l2.atomicExtra = 4;
+    p.memsys.l2.mshrs = 256;
+    p.memsys.dram = mem::DramParams::gddr5();
+    p.memsys.icnLatency = 30;
+    return p;
+}
+
+GpuParams
+GpuParams::tx1()
+{
+    GpuParams p;
+    p.name = "TX1";
+    p.freqHz = 1.0e9;
+    p.numSms = 2;
+    p.maxThreadsPerSm = 256;
+    p.issueWidth = 2;
+    p.maxOutstanding = 32;
+    p.launchLatency = 1700; // ~1.7 us at 1 GHz
+
+    p.l1.name = "l1";
+    p.l1.sizeBytes = 32 << 10;
+    p.l1.lineBytes = 128;
+    p.l1.ways = 4;
+    p.l1.banks = 2;
+    p.l1.hitLatency = 80;
+    p.l1.mshrs = 16;
+
+    p.memsys.l2.name = "l2";
+    p.memsys.l2.sizeBytes = 256 << 10;
+    p.memsys.l2.lineBytes = 128;
+    p.memsys.l2.ways = 16;
+    p.memsys.l2.banks = 4;
+    p.memsys.l2.hitLatency = 120;
+    p.memsys.l2.atomicExtra = 4;
+    p.memsys.l2.mshrs = 64;
+    p.memsys.dram = mem::DramParams::lpddr4();
+    p.memsys.icnLatency = 25;
+    return p;
+}
+
+} // namespace scusim::gpu

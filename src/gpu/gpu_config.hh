@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GPU configuration presets matching Tables 3 and 4 of the paper:
+ * a high-performance NVIDIA GTX 980 and a low-power Tegra X1, both
+ * Maxwell-generation.
+ */
+
+#ifndef SCUSIM_GPU_GPU_CONFIG_HH
+#define SCUSIM_GPU_GPU_CONFIG_HH
+
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/mem_system.hh"
+
+namespace scusim::gpu
+{
+
+/** Full configuration of a simulated GPU system. */
+struct GpuParams
+{
+    std::string name = "GTX980";
+    double freqHz = 1.27e9;
+
+    unsigned numSms = 16;
+    unsigned maxThreadsPerSm = 2048;
+    unsigned warpSize = 32;
+    /** Warp schedulers per SM (instructions issued per cycle). */
+    unsigned issueWidth = 4;
+    /** Memory transactions the LSU can inject per cycle. */
+    unsigned lsuThroughput = 1;
+
+    /**
+     * Result latency of an ALU instruction as seen by the next
+     * dependent instruction of the same warp (Maxwell: ~6 cycles).
+     * Graph kernels have little ILP, so a warp re-issues at this
+     * cadence and latency hiding falls entirely on multithreading.
+     */
+    Tick depIssueLatency = 14;
+    /** Outstanding load transactions per SM (MSHR-style limit). */
+    unsigned maxOutstanding = 64;
+
+    /**
+     * Host-side kernel launch latency in core cycles (driver +
+     * dispatch). One of the overheads the SCU's lightweight
+     * operation setup avoids.
+     */
+    Tick launchLatency = 1800;
+
+    mem::CacheParams l1;
+    mem::MemSystemParams memsys;
+
+    unsigned
+    maxResidentWarps() const
+    {
+        return maxThreadsPerSm / warpSize;
+    }
+
+    /** Table 3: GTX980, 16 SMs, 2 MB L2, 4 GB GDDR5 @ 224 GB/s. */
+    static GpuParams gtx980();
+    /** Table 4: Tegra X1, 2 SMs, 256 KB L2, 4 GB LPDDR4 @ 25.6 GB/s. */
+    static GpuParams tx1();
+};
+
+} // namespace scusim::gpu
+
+#endif // SCUSIM_GPU_GPU_CONFIG_HH

@@ -1,0 +1,222 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scusim::gpu
+{
+
+StreamingMultiprocessor::StreamingMultiprocessor(
+    const GpuParams &params, unsigned id, mem::MemLevel *shared_mem,
+    stats::StatGroup *parent)
+    : p(params), smId(id), sharedMem(shared_mem),
+      l1Cache(params.l1, shared_mem, parent),
+      grp(std::string("sm") + std::to_string(id), parent),
+      smActiveCycles(&grp, "active_cycles",
+                     "cycles with at least one resident warp"),
+      issuedInstrs(&grp, "issued_instrs", "warp instructions issued"),
+      issueStallCycles(&grp, "issue_stalls",
+                       "cycles with residents but nothing issuable")
+{
+    resident.reserve(p.maxResidentWarps());
+}
+
+void
+StreamingMultiprocessor::beginKernel(WarpSource source,
+                                     KernelStats *sink)
+{
+    panic_if(!resident.empty(), "beginKernel on a busy SM");
+    warpSource = std::move(source);
+    kstats = sink;
+    sourceDry = false;
+    refill();
+}
+
+void
+StreamingMultiprocessor::endKernel(Tick now)
+{
+    panic_if(busy(now) || nextWakeTick() != tickNever,
+             "endKernel on a busy SM");
+    warpSource = nullptr;
+    kstats = nullptr;
+    // GPU L1s are not kept coherent across kernel launches.
+    l1Cache.invalidateAll(now);
+}
+
+void
+StreamingMultiprocessor::refill()
+{
+    while (!sourceDry && resident.size() < p.maxResidentWarps()) {
+        Warp w;
+        if (!warpSource || !warpSource(w)) {
+            sourceDry = true;
+            break;
+        }
+        if (kstats) {
+            ++kstats->warps;
+            kstats->threads += w.threads;
+        }
+        resident.push_back(std::move(w));
+    }
+}
+
+bool
+StreamingMultiprocessor::busy(Tick now) const
+{
+    // Busy if a warp can issue or retire this cycle; warps that are
+    // merely blocked on memory make the SM wake-able, not busy, so
+    // the simulation fast-forwards over pure stall intervals.
+    if (resident.empty())
+        return !sourceDry && warpSource != nullptr;
+    for (const auto &w : resident) {
+        if (w.blockedUntil <= now)
+            return true;
+    }
+    return false;
+}
+
+Tick
+StreamingMultiprocessor::nextWakeTick() const
+{
+    Tick t = tickNever;
+    for (const auto &w : resident)
+        t = std::min(t, w.blockedUntil);
+    return t;
+}
+
+Tick
+StreamingMultiprocessor::executeMem(const WarpInstr &wi, Tick now)
+{
+    // Coalesce the active lanes into line transactions. Atomics
+    // cannot merge lanes: each distinct address is its own
+    // read-modify-write at the L2.
+    txnScratch.clear();
+    std::size_t txns;
+    if (wi.kind == ThreadOp::Kind::Atomic) {
+        for (Addr a : wi.laneAddrs) {
+            if (std::find(txnScratch.begin(), txnScratch.end(), a) ==
+                txnScratch.end())
+                txnScratch.push_back(a);
+        }
+        txns = txnScratch.size();
+    } else {
+        txns = mem::coalesceLanes(wi.laneAddrs, p.l1.lineBytes,
+                                  txnScratch);
+    }
+
+    if (kstats) {
+        ++kstats->warpMemInstrs;
+        kstats->memTransactions += txns;
+        kstats->memLanes += wi.laneAddrs.size();
+    }
+
+    // The LSU injects transactions at its throughput.
+    Tick start = std::max(now, lsuFree);
+    lsuFree = start + (txns + p.lsuThroughput - 1) / p.lsuThroughput;
+
+    Tick complete = start;
+    Tick inject = start;
+    for (Addr line : txnScratch) {
+        if (wi.kind == ThreadOp::Kind::Load) {
+            // Respect the outstanding-transaction budget.
+            while (!outstandingLoads.empty() &&
+                   outstandingLoads.top() <= inject) {
+                outstandingLoads.pop();
+            }
+            if (outstandingLoads.size() >= p.maxOutstanding) {
+                inject = std::max(inject, outstandingLoads.top());
+                outstandingLoads.pop();
+            }
+            auto r = l1Cache.access(inject, line,
+                                    mem::AccessKind::Read,
+                                    p.l1.lineBytes);
+            outstandingLoads.push(r.complete);
+            complete = std::max(complete, r.complete);
+        } else if (wi.kind == ThreadOp::Kind::Store) {
+            auto r = l1Cache.access(inject, line,
+                                    mem::AccessKind::Write,
+                                    p.l1.lineBytes);
+            complete = std::max(complete, inject + 1);
+            (void)r;
+        } else { // Atomic: performed at the L2, bypassing the L1.
+            auto r = sharedMem->access(inject, line,
+                                       mem::AccessKind::Atomic,
+                                       wi.bytesPerLane);
+            // Posted from the warp's perspective (no return value
+            // consumed by our kernels), but the L2 bank occupancy
+            // and DRAM traffic are fully accounted.
+            complete = std::max(complete, inject + 1);
+            (void)r;
+        }
+        ++inject;
+    }
+    return complete;
+}
+
+bool
+StreamingMultiprocessor::issueOne(Warp &w, Tick now)
+{
+    if (w.done() || w.blockedUntil > now)
+        return false;
+
+    WarpInstr &wi = w.instrs[w.pc];
+    ++issuedInstrs;
+    if (kstats) {
+        ++kstats->warpInstrs;
+        kstats->threadInstrs +=
+            (wi.kind == ThreadOp::Kind::Compute)
+                ? w.threads
+                : wi.laneAddrs.size();
+    }
+
+    if (wi.kind == ThreadOp::Kind::Compute) {
+        if (w.computeLeft == 0)
+            w.computeLeft = wi.computeCount;
+        if (--w.computeLeft == 0)
+            ++w.pc;
+        // Dependent issue: the warp waits out the ALU result
+        // latency before its next instruction.
+        w.blockedUntil = now + p.depIssueLatency;
+        return true;
+    }
+
+    Tick complete = executeMem(wi, now);
+    ++w.pc;
+    if (wi.kind == ThreadOp::Kind::Load)
+        w.blockedUntil = complete;
+    else
+        w.blockedUntil = now + p.depIssueLatency;
+    return true;
+}
+
+void
+StreamingMultiprocessor::tick(Tick now)
+{
+    if (resident.empty()) {
+        refill();
+        if (resident.empty())
+            return;
+    }
+    smActiveCycles += 1;
+
+    unsigned issued = 0;
+    const std::size_t n = resident.size();
+    for (std::size_t i = 0; i < n && issued < p.issueWidth; ++i) {
+        std::size_t idx = (rrCursor + i) % n;
+        if (issueOne(resident[idx], now))
+            ++issued;
+    }
+    rrCursor = n ? (rrCursor + 1) % n : 0;
+    if (!issued)
+        issueStallCycles += 1;
+
+    // Retire finished warps — a warp with its last memory access
+    // still in flight stays resident until it completes.
+    std::erase_if(resident, [now](const Warp &w) {
+        return w.done() && w.blockedUntil <= now;
+    });
+    refill();
+}
+
+} // namespace scusim::gpu

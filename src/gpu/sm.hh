@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming multiprocessor timing model: resident warps, greedy
+ * round-robin warp scheduling with a configurable issue width, an
+ * LSU that injects one coalesced transaction per cycle, per-SM L1,
+ * and an MSHR-style cap on outstanding load transactions.
+ */
+
+#ifndef SCUSIM_GPU_SM_HH
+#define SCUSIM_GPU_SM_HH
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel.hh"
+#include "mem/cache.hh"
+#include "mem/coalescer.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace scusim::gpu
+{
+
+/** One warp-level instruction after SIMT lane merging. */
+struct WarpInstr
+{
+    ThreadOp::Kind kind = ThreadOp::Kind::Compute;
+    std::uint32_t computeCount = 0;  ///< Compute: instructions
+    std::uint32_t bytesPerLane = 4;  ///< mem ops
+    std::vector<Addr> laneAddrs;     ///< active lanes' addresses
+};
+
+/** A resident warp: merged instruction stream plus pipeline state. */
+struct Warp
+{
+    std::vector<WarpInstr> instrs;
+    std::size_t pc = 0;
+    std::uint32_t computeLeft = 0; ///< remaining issues of current op
+    Tick blockedUntil = 0;
+    unsigned threads = 0; ///< active thread count (last warp may be
+                          ///< partial)
+
+    bool done() const { return pc >= instrs.size(); }
+};
+
+/**
+ * Builds the next warp for an SM, or returns false when the kernel
+ * has no more warps for it. Supplied by the Gpu dispatcher.
+ */
+using WarpSource = std::function<bool(Warp &out)>;
+
+class StreamingMultiprocessor : public sim::Clocked
+{
+  public:
+    StreamingMultiprocessor(const GpuParams &params, unsigned id,
+                            mem::MemLevel *shared_mem,
+                            stats::StatGroup *parent);
+
+    /** Attach the warp source and per-kernel stats sink for a launch. */
+    void beginKernel(WarpSource source, KernelStats *sink);
+
+    /** Detach after a launch completes; invalidates the L1. */
+    void endKernel(Tick now);
+
+    void tick(Tick now) override;
+    bool busy(Tick now) const override;
+    Tick nextWakeTick() const override;
+
+    mem::Cache &l1() { return l1Cache; }
+
+    double activeCycles() const { return smActiveCycles.value(); }
+
+  private:
+    /** Issue one instruction of @p w; true if it issued. */
+    bool issueOne(Warp &w, Tick now);
+
+    /** Execute a memory warp instruction; returns block-until tick. */
+    Tick executeMem(const WarpInstr &wi, Tick now);
+
+    /** Pull new warps from the source while slots are free. */
+    void refill();
+
+    const GpuParams &p;
+    unsigned smId;
+    mem::MemLevel *sharedMem; ///< L2 side (atomics bypass the L1)
+    mem::Cache l1Cache;
+
+    WarpSource warpSource;
+    KernelStats *kstats = nullptr;
+    std::vector<Warp> resident;
+    std::size_t rrCursor = 0;
+    bool sourceDry = true;
+
+    Tick lsuFree = 0;
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
+        outstandingLoads;
+    std::vector<Addr> txnScratch;
+
+    stats::StatGroup grp;
+    stats::Scalar smActiveCycles;
+    stats::Scalar issuedInstrs;
+    stats::Scalar issueStallCycles;
+};
+
+} // namespace scusim::gpu
+
+#endif // SCUSIM_GPU_SM_HH

@@ -1,0 +1,76 @@
+#include "graph/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace scusim::graph
+{
+
+GraphStats
+analyzeGraph(const CsrGraph &g)
+{
+    GraphStats st;
+    st.nodes = g.numNodes();
+    st.edges = g.numEdges();
+    st.avgDegree = g.averageDegree();
+
+    double sum = 0, sum_sq = 0;
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        const auto d = g.degree(u);
+        st.maxOutDegree = std::max(st.maxOutDegree, d);
+        if (d == 0)
+            ++st.isolatedNodes;
+        sum += static_cast<double>(d);
+        sum_sq += static_cast<double>(d) * static_cast<double>(d);
+    }
+    if (st.nodes > 0) {
+        double mean = sum / st.nodes;
+        st.degreeStdDev = std::sqrt(
+            std::max(0.0, sum_sq / st.nodes - mean * mean));
+    }
+
+    // In-degree over nodes with at least one in-edge.
+    std::vector<std::uint32_t> indeg(g.numNodes(), 0);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        for (NodeId v : g.neighbors(u))
+            ++indeg[v];
+    }
+    double in_sum = 0;
+    NodeId reachable = 0;
+    for (auto d : indeg) {
+        if (d) {
+            in_sum += d;
+            ++reachable;
+        }
+    }
+    st.avgInDegree = reachable ? in_sum / reachable : 0;
+
+    // Same-line destination adjacency across the whole edge array.
+    const auto &dsts = g.edgeArray();
+    std::uint64_t same_line = 0;
+    for (std::size_t i = 1; i < dsts.size(); ++i) {
+        if (dsts[i] / 32 == dsts[i - 1] / 32)
+            ++same_line;
+    }
+    st.destLineLocality =
+        dsts.size() > 1
+            ? static_cast<double>(same_line) /
+                  static_cast<double>(dsts.size() - 1)
+            : 0;
+    return st;
+}
+
+std::string
+formatDatasetRow(const std::string &name,
+                 const std::string &description, const GraphStats &st)
+{
+    return scusim::strprintf("%-10s %-36s %8.0f %10.2f %10.1f",
+                     name.c_str(), description.c_str(),
+                     static_cast<double>(st.nodes) / 1e3,
+                     static_cast<double>(st.edges) / 1e6,
+                     st.avgDegree);
+}
+
+} // namespace scusim::graph

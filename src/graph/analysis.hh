@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Graph property analysis: the statistics of Table 5 plus structural
+ * measures that explain SCU behaviour (duplicate potential of
+ * frontiers, destination locality).
+ */
+
+#ifndef SCUSIM_GRAPH_ANALYSIS_HH
+#define SCUSIM_GRAPH_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace scusim::graph
+{
+
+/** Summary statistics of a graph. */
+struct GraphStats
+{
+    NodeId nodes = 0;
+    EdgeId edges = 0;
+    double avgDegree = 0;     ///< (in+out)/n, Table 5 convention
+    EdgeId maxOutDegree = 0;
+    double degreeStdDev = 0;
+    NodeId isolatedNodes = 0; ///< nodes with no outgoing edges
+    /**
+     * Duplicate potential: average in-degree of reachable nodes — a
+     * proxy for how many duplicate frontier entries SCU filtering can
+     * remove (each extra in-edge is a potential duplicate).
+     */
+    double avgInDegree = 0;
+    /**
+     * Destination locality: fraction of consecutive edge pairs whose
+     * destinations fall in the same 32-node-wide window (one 128 B
+     * line of 4 B node records) — a proxy for grouping headroom.
+     */
+    double destLineLocality = 0;
+};
+
+/** Compute GraphStats for @p g. */
+GraphStats analyzeGraph(const CsrGraph &g);
+
+/** Format one Table 5 row: name, description, nodes/edges/degree. */
+std::string formatDatasetRow(const std::string &name,
+                             const std::string &description,
+                             const GraphStats &st);
+
+} // namespace scusim::graph
+
+#endif // SCUSIM_GRAPH_ANALYSIS_HH

@@ -1,0 +1,76 @@
+#include "graph/datasets.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+
+namespace scusim::graph
+{
+
+const std::vector<DatasetSpec> &
+datasetTable()
+{
+    static const std::vector<DatasetSpec> table = {
+        {"ca", "California road network", 710000, 3480000},
+        {"cond", "Collaboration network, arxiv.org", 40000, 350000},
+        {"delaunay", "Delaunay triangulation", 524000, 3400000},
+        {"human", "Human gene regulatory network", 22000, 24600000},
+        {"kron", "Graph500, Synthetic Graph", 262144, 21000000},
+        {"msdoor", "Mesh of a 3D object", 415000, 20200000},
+    };
+    return table;
+}
+
+const DatasetSpec &
+datasetSpec(const std::string &name)
+{
+    for (const auto &s : datasetTable()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("unknown dataset '%s'", name.c_str());
+}
+
+CsrGraph
+makeDataset(const std::string &name, double scale, std::uint64_t seed)
+{
+    fatal_if(scale <= 0 || scale > 1.0,
+             "dataset scale must be in (0, 1], got %f", scale);
+    const DatasetSpec &spec = datasetSpec(name);
+    const auto n = std::max<NodeId>(
+        64, static_cast<NodeId>(
+                static_cast<double>(spec.nodes) * scale));
+    const auto m = std::max<EdgeId>(
+        128, static_cast<EdgeId>(
+                 static_cast<double>(spec.edges) * scale));
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + mixBits(spec.nodes));
+
+    EdgeList el;
+    if (name == "ca") {
+        el = roadNetwork(n, m, rng);
+    } else if (name == "cond") {
+        el = communityGraph(n, m, rng);
+    } else if (name == "delaunay") {
+        el = triangularMesh(n, m, rng);
+    } else if (name == "human") {
+        el = denseRegulatory(n, m, rng);
+    } else if (name == "kron") {
+        // R-MAT needs a power-of-two node count; round to the
+        // nearest so small scales do not distort the degree.
+        std::uint64_t up = ceilPowerOf2(n);
+        std::uint64_t down = up > 1 ? up / 2 : 1;
+        unsigned scale_log2 =
+            floorLog2((up - n) <= (n - down) ? up : down);
+        el = rmat(scale_log2, m, rng);
+    } else if (name == "msdoor") {
+        el = femMesh3d(n, m, rng);
+    } else {
+        fatal("dataset '%s' has no generator", name.c_str());
+    }
+    return CsrGraph::fromEdgeList(std::move(el));
+}
+
+} // namespace scusim::graph

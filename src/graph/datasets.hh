@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Registry of the benchmark datasets of Table 5. Each entry maps a
+ * dataset name to the generator that synthesizes a graph of that
+ * class, plus the node/edge counts the paper reports. A scale factor
+ * shrinks node and edge counts proportionally (preserving average
+ * degree) so benches can trade fidelity for wall-clock time.
+ */
+
+#ifndef SCUSIM_GRAPH_DATASETS_HH
+#define SCUSIM_GRAPH_DATASETS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace scusim::graph
+{
+
+/** One row of Table 5. */
+struct DatasetSpec
+{
+    std::string name;
+    std::string description;
+    NodeId nodes;  ///< node count at scale 1.0
+    EdgeId edges;  ///< edge count at scale 1.0
+};
+
+/** The six benchmark datasets, in Table 5 order. */
+const std::vector<DatasetSpec> &datasetTable();
+
+/** Spec of a named dataset; fatal on unknown name. */
+const DatasetSpec &datasetSpec(const std::string &name);
+
+/**
+ * Synthesize dataset @p name at @p scale (0 < scale <= 1 typical).
+ * Deterministic for a given (name, scale, seed).
+ */
+CsrGraph makeDataset(const std::string &name, double scale = 1.0,
+                     std::uint64_t seed = 1);
+
+} // namespace scusim::graph
+
+#endif // SCUSIM_GRAPH_DATASETS_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic graph generators. Two roles: (a) generic generators any
+ * library user may want (Erdős–Rényi, R-MAT, grids); (b) generators
+ * that synthesize stand-ins for the six benchmark datasets of
+ * Table 5, matching each dataset's class, node/edge counts and the
+ * structural properties that matter to the SCU (frontier duplication,
+ * locality of destinations).
+ */
+
+#ifndef SCUSIM_GRAPH_GENERATORS_HH
+#define SCUSIM_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "graph/csr.hh"
+
+namespace scusim::graph
+{
+
+/** Parameters of the R-MAT recursive generator (Graph500 defaults). */
+struct RmatParams
+{
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19; // d = 1 - a - b - c
+    bool allowSelfLoops = false;
+};
+
+/** Uniform random directed graph with @p m edges. */
+EdgeList erdosRenyi(NodeId n, EdgeId m, Rng &rng,
+                    Weight max_weight = 15);
+
+/** R-MAT / Kronecker power-law generator (kron dataset class). */
+EdgeList rmat(unsigned scale_log2, EdgeId m, Rng &rng,
+              const RmatParams &p = {}, Weight max_weight = 15);
+
+/**
+ * 2D road-network-like lattice: 4-connected grid with dropped links
+ * and local shortcut ramps (ca dataset class).
+ */
+EdgeList roadNetwork(NodeId n, EdgeId m, Rng &rng,
+                     Weight max_weight = 16);
+
+/**
+ * Community graph: power-law community sizes, dense intra-community
+ * links, sparse cross links (cond collaboration-network class).
+ */
+EdgeList communityGraph(NodeId n, EdgeId m, Rng &rng,
+                        Weight max_weight = 15);
+
+/**
+ * Triangulated planar mesh: triangular lattice plus jitter links
+ * (delaunay dataset class).
+ */
+EdgeList triangularMesh(NodeId n, EdgeId m, Rng &rng,
+                        Weight max_weight = 15);
+
+/**
+ * Dense regulatory network: a small node set with very high average
+ * degree, hub regulators and clustered target windows (human gene
+ * regulatory class; the duplicate-heaviest dataset).
+ */
+EdgeList denseRegulatory(NodeId n, EdgeId m, Rng &rng,
+                         Weight max_weight = 15);
+
+/**
+ * 3D finite-element mesh: lattice with a wide stencil giving ~50
+ * out-neighbors per node (msdoor class).
+ */
+EdgeList femMesh3d(NodeId n, EdgeId m, Rng &rng,
+                   Weight max_weight = 15);
+
+/** Simple 2D grid (tests). 4-connected, both directions. */
+EdgeList grid2d(unsigned width, unsigned height, Weight w = 1);
+
+/** Directed path 0->1->...->n-1 (tests). */
+EdgeList path(NodeId n, Weight w = 1);
+
+/** Star: center 0 -> all others (tests). */
+EdgeList star(NodeId n, Weight w = 1);
+
+} // namespace scusim::graph
+
+#endif // SCUSIM_GRAPH_GENERATORS_HH

@@ -1,0 +1,165 @@
+#include "graph/loader.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace scusim::graph
+{
+
+namespace
+{
+
+bool
+isCommentOrEmpty(const std::string &line)
+{
+    for (char c : line) {
+        if (c == ' ' || c == '\t')
+            continue;
+        return c == '#' || c == '%';
+    }
+    return true;
+}
+
+} // namespace
+
+EdgeList
+parseEdgeList(std::istream &in)
+{
+    EdgeList el;
+    std::string line;
+    NodeId max_node = 0;
+    while (std::getline(in, line)) {
+        if (isCommentOrEmpty(line))
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t u = 0, v = 0, w = 1;
+        ls >> u >> v;
+        fatal_if(ls.fail(), "malformed edge-list line: '%s'",
+                 line.c_str());
+        ls >> w; // optional
+        el.edges.push_back({static_cast<NodeId>(u),
+                            static_cast<NodeId>(v),
+                            static_cast<Weight>(w ? w : 1)});
+        max_node = std::max({max_node, static_cast<NodeId>(u),
+                             static_cast<NodeId>(v)});
+    }
+    el.numNodes = el.edges.empty() ? 0 : max_node + 1;
+    return el;
+}
+
+EdgeList
+parseDimacs(std::istream &in)
+{
+    EdgeList el;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == 'c')
+            continue;
+        std::istringstream ls(line);
+        char tag = 0;
+        ls >> tag;
+        if (tag == 'p') {
+            std::string kind;
+            std::uint64_t n = 0, m = 0;
+            ls >> kind >> n >> m;
+            fatal_if(ls.fail() || kind != "sp",
+                     "bad DIMACS problem line: '%s'", line.c_str());
+            el.numNodes = static_cast<NodeId>(n);
+            el.edges.reserve(m);
+        } else if (tag == 'a') {
+            std::uint64_t u = 0, v = 0, w = 1;
+            ls >> u >> v >> w;
+            fatal_if(ls.fail() || u == 0 || v == 0,
+                     "bad DIMACS arc line: '%s'", line.c_str());
+            el.edges.push_back({static_cast<NodeId>(u - 1),
+                                static_cast<NodeId>(v - 1),
+                                static_cast<Weight>(w)});
+        }
+    }
+    fatal_if(el.numNodes == 0, "DIMACS file missing 'p sp' header");
+    return el;
+}
+
+EdgeList
+parseMatrixMarket(std::istream &in)
+{
+    std::string line;
+    fatal_if(!std::getline(in, line) ||
+                 line.rfind("%%MatrixMarket", 0) != 0,
+             "not a MatrixMarket file");
+    const bool symmetric =
+        line.find("symmetric") != std::string::npos;
+    const bool pattern = line.find("pattern") != std::string::npos;
+
+    // Skip remaining comments, read the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream hs(line);
+    std::uint64_t rows = 0, cols = 0, nnz = 0;
+    hs >> rows >> cols >> nnz;
+    fatal_if(hs.fail(), "bad MatrixMarket size line: '%s'",
+             line.c_str());
+
+    EdgeList el;
+    el.numNodes = static_cast<NodeId>(std::max(rows, cols));
+    el.edges.reserve(symmetric ? 2 * nnz : nnz);
+    for (std::uint64_t i = 0; i < nnz; ++i) {
+        fatal_if(!std::getline(in, line),
+                 "MatrixMarket file truncated at entry %llu",
+                 static_cast<unsigned long long>(i));
+        std::istringstream ls(line);
+        std::uint64_t r = 0, c = 0;
+        double val = 1.0;
+        ls >> r >> c;
+        if (!pattern)
+            ls >> val;
+        fatal_if(ls.fail() || r == 0 || c == 0,
+                 "bad MatrixMarket entry: '%s'", line.c_str());
+        auto w = static_cast<Weight>(
+            val > 0 && val < 1e9 ? (val < 1 ? 1 : val) : 1);
+        auto u = static_cast<NodeId>(r - 1);
+        auto v = static_cast<NodeId>(c - 1);
+        if (u == v)
+            continue;
+        el.edges.push_back({u, v, w});
+        if (symmetric)
+            el.edges.push_back({v, u, w});
+    }
+    return el;
+}
+
+CsrGraph
+loadGraphFile(const std::string &path, bool dedup)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open graph file '%s'", path.c_str());
+    EdgeList el;
+    if (path.size() > 3 && path.ends_with(".gr")) {
+        el = parseDimacs(in);
+    } else if (path.size() > 4 && path.ends_with(".mtx")) {
+        el = parseMatrixMarket(in);
+    } else {
+        el = parseEdgeList(in);
+    }
+    return CsrGraph::fromEdgeList(std::move(el), dedup);
+}
+
+void
+writeEdgeList(const CsrGraph &g, std::ostream &out)
+{
+    out << "# scusim edge list: " << g.numNodes() << " nodes, "
+        << g.numEdges() << " edges\n";
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        auto nbrs = g.neighbors(u);
+        auto ws = g.edgeWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            out << u << " " << nbrs[i] << " " << ws[i] << "\n";
+    }
+}
+
+} // namespace scusim::graph

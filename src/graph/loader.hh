@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text-format graph loaders and writers so downstream users can run
+ * the simulator on their own graphs: plain edge lists ("u v [w]"),
+ * DIMACS shortest-path files (".gr": "a u v w") and MatrixMarket
+ * coordinate patterns (the UFL sparse collection's format, where the
+ * paper's datasets come from).
+ */
+
+#ifndef SCUSIM_GRAPH_LOADER_HH
+#define SCUSIM_GRAPH_LOADER_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace scusim::graph
+{
+
+/**
+ * Parse a whitespace edge list: one "src dst [weight]" per line,
+ * '#' or '%' comment lines skipped; node ids 0-based. Missing
+ * weights default to 1.
+ */
+EdgeList parseEdgeList(std::istream &in);
+
+/**
+ * Parse the DIMACS shortest-path format: "p sp <n> <m>" header and
+ * "a <u> <v> <w>" arc lines with 1-based node ids.
+ */
+EdgeList parseDimacs(std::istream &in);
+
+/**
+ * Parse a MatrixMarket coordinate header + entries. Symmetric
+ * matrices are expanded to both directions; pattern matrices get
+ * weight 1; 1-based indices.
+ */
+EdgeList parseMatrixMarket(std::istream &in);
+
+/** Load from a path, dispatching on extension (.gr, .mtx, else el). */
+CsrGraph loadGraphFile(const std::string &path, bool dedup = false);
+
+/** Write @p g as a plain edge list. */
+void writeEdgeList(const CsrGraph &g, std::ostream &out);
+
+} // namespace scusim::graph
+
+#endif // SCUSIM_GRAPH_LOADER_HH

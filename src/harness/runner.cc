@@ -1,0 +1,173 @@
+#include "harness/runner.hh"
+
+#include <cmath>
+#include <map>
+
+#include "alg/bfs.hh"
+#include "alg/pagerank.hh"
+#include "alg/serial.hh"
+#include "alg/sssp.hh"
+#include "common/logging.hh"
+#include "graph/datasets.hh"
+
+namespace scusim::harness
+{
+
+std::string
+to_string(Primitive p)
+{
+    switch (p) {
+      case Primitive::Bfs:
+        return "BFS";
+      case Primitive::Sssp:
+        return "SSSP";
+      case Primitive::Pr:
+        return "PR";
+    }
+    return "?";
+}
+
+const graph::CsrGraph &
+cachedDataset(const std::string &name, double scale,
+              std::uint64_t seed)
+{
+    static std::map<std::string, graph::CsrGraph> cache;
+    std::string key = name + "@" + std::to_string(scale) + "#" +
+                      std::to_string(seed);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key,
+                           graph::makeDataset(name, scale, seed))
+                 .first;
+    }
+    return it->second;
+}
+
+namespace
+{
+
+bool
+validateBfs(const graph::CsrGraph &g, NodeId src,
+            const std::vector<std::uint32_t> &got)
+{
+    auto want = alg::serialBfs(g, src);
+    return want == got;
+}
+
+bool
+validateSssp(const graph::CsrGraph &g, NodeId src,
+             const std::vector<std::uint32_t> &got)
+{
+    auto want = alg::serialDijkstra(g, src);
+    return want == got;
+}
+
+bool
+validatePr(const graph::CsrGraph &g, const alg::AlgOptions &opt,
+           const std::vector<float> &got)
+{
+    auto want = alg::serialPageRank(g, 0.15, opt.prEpsilon,
+                                    opt.prMaxIterations);
+    for (std::size_t u = 0; u < got.size(); ++u) {
+        double denom = std::max(1.0, std::fabs(want[u]));
+        if (std::fabs(want[u] - got[u]) / denom > 1e-2)
+            return false;
+    }
+    return true;
+}
+
+/** Pick a well-connected source: the first max-degree-ish node. */
+NodeId
+pickSource(const graph::CsrGraph &g)
+{
+    NodeId best = 0;
+    EdgeId best_deg = 0;
+    const NodeId probe =
+        std::min<NodeId>(g.numNodes(), 1024);
+    for (NodeId u = 0; u < probe; ++u) {
+        if (g.degree(u) > best_deg) {
+            best_deg = g.degree(u);
+            best = u;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+RunResult
+runPrimitive(const RunConfig &cfg, const graph::CsrGraph &g)
+{
+    SystemConfig sc = SystemConfig::byName(
+        cfg.systemName, cfg.mode != ScuMode::GpuOnly);
+    if (cfg.scuOverride)
+        sc.scu = *cfg.scuOverride;
+    System sys(sc);
+
+    alg::AlgOptions opt = cfg.alg;
+    opt.mode = cfg.mode;
+    if (opt.source == 0)
+        opt.source = pickSource(g);
+
+    RunResult r;
+    switch (cfg.primitive) {
+      case Primitive::Bfs: {
+        alg::BfsRunner bfs(sys, g);
+        auto out = bfs.run(opt);
+        r.algMetrics = out.metrics;
+        r.validated = validateBfs(g, opt.source, out.dist);
+        break;
+      }
+      case Primitive::Sssp: {
+        alg::SsspRunner sssp(sys, g);
+        auto out = sssp.run(opt);
+        r.algMetrics = out.metrics;
+        r.validated = validateSssp(g, opt.source, out.dist);
+        break;
+      }
+      case Primitive::Pr: {
+        alg::PageRankRunner pr(sys, g);
+        auto out = pr.run(opt);
+        r.algMetrics = out.metrics;
+        r.validated = validatePr(g, opt, out.ranks);
+        break;
+      }
+    }
+
+    r.totalCycles = sys.simulation().now();
+    r.seconds = sys.elapsedSeconds();
+
+    const auto gpu_act = sys.gpuActivity();
+    const auto &scu_act = sys.scuActivity();
+    r.energy = sys.energyModel().breakdown(
+        gpu_act, scu_act, r.seconds, sys.hasScu());
+
+    const auto &gt = sys.gpuDevice().totals();
+    r.gpuCompactionCycles = gt.compactionCycles;
+    r.gpuProcessingCycles = gt.processingCycles;
+    r.gpuThreadInstrs = static_cast<double>(
+        gt.compaction.threadInstrs + gt.processing.threadInstrs);
+    r.coalescingEfficiency = gt.processing.coalescingEfficiency();
+    r.txnsPerMemInstr = gt.processing.txnsPerMemInstr();
+    r.bwUtilization =
+        sys.memory().bandwidthUtilization(r.totalCycles);
+    r.l2HitRate = sys.memory().l2().hitRate();
+    r.dramLines = sys.memory().dram().numReads() +
+                  sys.memory().dram().numWrites();
+    if (sys.hasScu())
+        r.scuBusyCycles = sys.scuDevice().totals().busyCycles;
+
+    if (cfg.dumpStatsTo)
+        sys.statsRoot().dumpAll(*cfg.dumpStatsTo);
+
+    return r;
+}
+
+RunResult
+runPrimitive(const RunConfig &cfg)
+{
+    return runPrimitive(
+        cfg, cachedDataset(cfg.dataset, cfg.scale, cfg.seed));
+}
+
+} // namespace scusim::harness

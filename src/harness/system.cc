@@ -1,0 +1,106 @@
+#include "harness/system.hh"
+
+#include "common/logging.hh"
+
+namespace scusim::harness
+{
+
+std::string
+to_string(ScuMode m)
+{
+    switch (m) {
+      case ScuMode::GpuOnly:
+        return "gpu-only";
+      case ScuMode::ScuBasic:
+        return "scu-basic";
+      case ScuMode::ScuEnhanced:
+        return "scu-enhanced";
+    }
+    return "?";
+}
+
+SystemConfig
+SystemConfig::gtx980(bool with_scu)
+{
+    SystemConfig c;
+    c.gpu = gpu::GpuParams::gtx980();
+    c.scu = scu::ScuParams::forGtx980();
+    c.energy = energy::EnergyParams::gtx980();
+    c.withScu = with_scu;
+    return c;
+}
+
+SystemConfig
+SystemConfig::tx1(bool with_scu)
+{
+    SystemConfig c;
+    c.gpu = gpu::GpuParams::tx1();
+    c.scu = scu::ScuParams::forTx1();
+    c.energy = energy::EnergyParams::tx1();
+    c.withScu = with_scu;
+    return c;
+}
+
+SystemConfig
+SystemConfig::byName(const std::string &name, bool with_scu)
+{
+    if (name == "GTX980")
+        return gtx980(with_scu);
+    if (name == "TX1")
+        return tx1(with_scu);
+    fatal("unknown system '%s' (use GTX980 or TX1)", name.c_str());
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), clk(cfg.gpu.freqHz), root(""),
+      emodel(cfg.energy)
+{
+    memsys = std::make_unique<mem::MemSystem>(cfg.gpu.memsys, clk,
+                                              &root);
+    gpuModel = std::make_unique<gpu::Gpu>(cfg.gpu, *memsys, sim,
+                                          &root);
+    if (cfg.withScu) {
+        scuUnit = std::make_unique<scu::Scu>(cfg.scu, *memsys, sim,
+                                             as, &root);
+    }
+}
+
+scu::Scu &
+System::scuDevice()
+{
+    panic_if(!scuUnit, "system configured without an SCU");
+    return *scuUnit;
+}
+
+energy::Activity
+System::activitySnapshot() const
+{
+    energy::Activity a;
+    a.threadInstrs =
+        static_cast<double>(gpuModel->totals().compaction.threadInstrs +
+                            gpuModel->totals().processing.threadInstrs);
+    a.smActiveCycles = gpuModel->smActiveCycles();
+    a.l1Accesses = gpuModel->l1Accesses();
+    a.l2Accesses = memsys->l2().numAccesses();
+    a.dramActivates = memsys->dram().numActivates();
+    a.dramLines =
+        memsys->dram().numReads() + memsys->dram().numWrites();
+    if (scuUnit) {
+        const auto &t = scuUnit->totals();
+        a.scuElements = static_cast<double>(t.elements);
+        a.scuTxns = static_cast<double>(
+            t.readTxns + t.writeTxns + t.hashReadTxns +
+            t.hashWriteTxns);
+    }
+    return a;
+}
+
+void
+System::scuSection(const std::function<void()> &f)
+{
+    energy::Activity before = activitySnapshot();
+    f();
+    scuAct += activitySnapshot() - before;
+}
+
+} // namespace scusim::harness

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A complete simulated system: clock, address space, memory
+ * hierarchy, GPU, optional SCU and energy model, wired together the
+ * way Figure 5 shows. The harness and the algorithms only ever talk
+ * to this class.
+ */
+
+#ifndef SCUSIM_HARNESS_SYSTEM_HH
+#define SCUSIM_HARNESS_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "energy/energy_model.hh"
+#include "gpu/gpu.hh"
+#include "gpu/gpu_config.hh"
+#include "mem/address_space.hh"
+#include "mem/mem_system.hh"
+#include "scu/scu.hh"
+#include "scu/scu_config.hh"
+#include "sim/clock.hh"
+#include "sim/simulation.hh"
+#include "stats/stats.hh"
+
+namespace scusim::harness
+{
+
+/** How much of the SCU a run uses. */
+enum class ScuMode
+{
+    GpuOnly,     ///< baseline: everything on the SMs
+    ScuBasic,    ///< Section 3: compaction offloaded
+    ScuEnhanced, ///< Section 4: + filtering and grouping
+};
+
+std::string to_string(ScuMode m);
+
+/** Configuration bundle for a full system. */
+struct SystemConfig
+{
+    gpu::GpuParams gpu;
+    scu::ScuParams scu;
+    energy::EnergyParams energy;
+    bool withScu = true;
+
+    /** High-performance system (Tables 2/3). */
+    static SystemConfig gtx980(bool with_scu = true);
+    /** Low-power system (Tables 2/4). */
+    static SystemConfig tx1(bool with_scu = true);
+
+    /** Look up by name ("GTX980" / "TX1"). */
+    static SystemConfig byName(const std::string &name,
+                               bool with_scu = true);
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    sim::Simulation &simulation() { return sim; }
+    mem::AddressSpace &addressSpace() { return as; }
+    mem::MemSystem &memory() { return *memsys; }
+    gpu::Gpu &gpuDevice() { return *gpuModel; }
+    bool hasScu() const { return scuUnit != nullptr; }
+    scu::Scu &scuDevice();
+    const energy::EnergyModel &energyModel() const { return emodel; }
+    const sim::ClockDomain &clock() const { return clk; }
+    const SystemConfig &config() const { return cfg_; }
+    stats::StatGroup &statsRoot() { return root; }
+
+    /** Snapshot of every activity counter in the system. */
+    energy::Activity activitySnapshot() const;
+
+    /**
+     * Run @p f (a cluster of SCU operations) and attribute the
+     * activity delta it causes to the SCU side of the split.
+     */
+    void scuSection(const std::function<void()> &f);
+
+    /** Activity attributed to SCU operations so far. */
+    const energy::Activity &scuActivity() const { return scuAct; }
+
+    /** Activity attributed to the GPU = total - SCU side. */
+    energy::Activity
+    gpuActivity() const
+    {
+        return activitySnapshot() - scuAct;
+    }
+
+    /** Seconds elapsed on the system timeline. */
+    double
+    elapsedSeconds() const
+    {
+        return clk.toSeconds(sim.now());
+    }
+
+  private:
+    SystemConfig cfg_;
+    sim::ClockDomain clk;
+    stats::StatGroup root;
+    sim::Simulation sim;
+    mem::AddressSpace as;
+    std::unique_ptr<mem::MemSystem> memsys;
+    std::unique_ptr<gpu::Gpu> gpuModel;
+    std::unique_ptr<scu::Scu> scuUnit;
+    energy::EnergyModel emodel;
+    energy::Activity scuAct;
+};
+
+} // namespace scusim::harness
+
+#endif // SCUSIM_HARNESS_SYSTEM_HH

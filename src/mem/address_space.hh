@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Simulated device address space. Every array the algorithms touch
+ * (CSR arrays, frontiers, bitmasks, the SCU hash table) is given a
+ * region here, so the timing model sees the true addresses and the
+ * true layout-induced locality.
+ */
+
+#ifndef SCUSIM_MEM_ADDRESS_SPACE_HH
+#define SCUSIM_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace scusim::mem
+{
+
+/** A named, contiguous allocation in the simulated address space. */
+struct Region
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    Addr end() const { return base + bytes; }
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < end();
+    }
+};
+
+/**
+ * Bump allocator over a 4 GB device memory, mirroring the boards the
+ * paper models. Allocations are line-aligned so distinct arrays never
+ * share a cache line (as cudaMalloc guarantees in practice).
+ */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(std::uint64_t capacity_bytes = 4ULL << 30,
+                          unsigned line_bytes = 128)
+        : capacity(capacity_bytes), lineBytes(line_bytes)
+    {
+        panic_if(!isPowerOf2(line_bytes), "line size must be 2^n");
+    }
+
+    /** Allocate @p bytes under @p name; returns the base address. */
+    Addr
+    alloc(const std::string &name, std::uint64_t bytes)
+    {
+        Addr base = alignUp(cursor, lineBytes);
+        fatal_if(base + bytes > capacity,
+                 "simulated device memory exhausted allocating "
+                 "'%s' (%llu bytes)", name.c_str(),
+                 static_cast<unsigned long long>(bytes));
+        cursor = base + bytes;
+        regions.push_back(Region{name, base, bytes});
+        return base;
+    }
+
+    /** Free everything allocated after (and including) @p watermark. */
+    void
+    releaseTo(Addr watermark)
+    {
+        while (!regions.empty() && regions.back().base >= watermark)
+            regions.pop_back();
+        cursor = watermark;
+    }
+
+    Addr watermark() const { return cursor; }
+    std::uint64_t bytesAllocated() const { return cursor; }
+
+    /** Region containing @p a, or nullptr. Linear scan (debug aid). */
+    const Region *
+    find(Addr a) const
+    {
+        for (const auto &r : regions) {
+            if (r.contains(a))
+                return &r;
+        }
+        return nullptr;
+    }
+
+    const std::vector<Region> &allRegions() const { return regions; }
+    unsigned lineSize() const { return lineBytes; }
+
+  private:
+    std::uint64_t capacity;
+    unsigned lineBytes;
+    Addr cursor = lineBytes; // keep address 0 unused
+    std::vector<Region> regions;
+};
+
+/**
+ * Convenience wrapper tying a host-side vector to a simulated region:
+ * the functional data lives in the host vector while timing uses the
+ * simulated addresses.
+ */
+template <typename T>
+class DeviceArray
+{
+  public:
+    DeviceArray() = default;
+
+    DeviceArray(AddressSpace &as, const std::string &name,
+                std::size_t n)
+        : data_(n), base_(as.alloc(name, n * sizeof(T)))
+    {
+    }
+
+    void
+    allocate(AddressSpace &as, const std::string &name, std::size_t n)
+    {
+        data_.assign(n, T{});
+        base_ = as.alloc(name, n * sizeof(T));
+    }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Simulated address of element @p i. */
+    Addr
+    addrOf(std::size_t i) const
+    {
+        return base_ + i * sizeof(T);
+    }
+
+    Addr base() const { return base_; }
+
+    std::vector<T> &host() { return data_; }
+    const std::vector<T> &host() const { return data_; }
+
+  private:
+    std::vector<T> data_;
+    Addr base_ = 0;
+};
+
+} // namespace scusim::mem
+
+#endif // SCUSIM_MEM_ADDRESS_SPACE_HH

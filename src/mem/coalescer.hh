@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Intra-warp memory-access coalescing: the classic GPU mechanism that
+ * merges the 32 lane addresses of one warp memory instruction into
+ * the minimal set of cache-line transactions. The effectiveness of
+ * this merge — transactions per warp instruction — is the coalescing
+ * metric the paper's grouping operation improves (Figure 12).
+ */
+
+#ifndef SCUSIM_MEM_COALESCER_HH
+#define SCUSIM_MEM_COALESCER_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace scusim::mem
+{
+
+/**
+ * Merge @p lane_addrs into unique line base addresses (first-touch
+ * order preserved), appending to @p out.
+ *
+ * @return number of distinct lines (== transactions generated).
+ */
+inline std::size_t
+coalesceLanes(std::span<const Addr> lane_addrs, unsigned line_bytes,
+              std::vector<Addr> &out)
+{
+    const std::size_t first = out.size();
+    for (Addr a : lane_addrs) {
+        Addr line = alignDown(a, line_bytes);
+        bool seen = false;
+        for (std::size_t i = first; i < out.size(); ++i) {
+            if (out[i] == line) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            out.push_back(line);
+    }
+    return out.size() - first;
+}
+
+/**
+ * Running coalescing-efficiency accumulator: tracks warp memory
+ * instructions and the transactions they generated. An ideal fully
+ * coalesced 4-byte access pattern produces 1 transaction per warp
+ * (with 128 B lines and 32 lanes); fully divergent produces 32.
+ */
+struct CoalesceStats
+{
+    std::uint64_t warpMemInstrs = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t lanes = 0;
+
+    void
+    record(std::size_t lane_count, std::size_t txns)
+    {
+        ++warpMemInstrs;
+        lanes += lane_count;
+        transactions += txns;
+    }
+
+    /** Average transactions per warp memory instruction. */
+    double
+    txnsPerInstr() const
+    {
+        return warpMemInstrs
+                   ? static_cast<double>(transactions) /
+                         static_cast<double>(warpMemInstrs)
+                   : 0;
+    }
+
+    /**
+     * Coalescing efficiency in [0,1]: useful lanes per transaction
+     * relative to the best case (all lanes in one line).
+     */
+    double
+    efficiency() const
+    {
+        return transactions
+                   ? static_cast<double>(lanes) /
+                         (32.0 * static_cast<double>(transactions))
+                   : 0;
+    }
+
+    void
+    merge(const CoalesceStats &o)
+    {
+        warpMemInstrs += o.warpMemInstrs;
+        transactions += o.transactions;
+        lanes += o.lanes;
+    }
+};
+
+} // namespace scusim::mem
+
+#endif // SCUSIM_MEM_COALESCER_HH

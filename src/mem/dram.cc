@@ -1,0 +1,134 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace scusim::mem
+{
+
+DramParams
+DramParams::gddr5()
+{
+    DramParams p;
+    p.name = "GDDR5";
+    p.channels = 8;
+    p.banksPerChannel = 16;
+    p.rowBytes = 2048;
+    p.peakBytesPerSec = 224e9;
+    p.tCasNs = 14.0;
+    p.tRcdNs = 14.0;
+    p.tRpNs = 14.0;
+    p.ioNs = 6.0;
+    return p;
+}
+
+DramParams
+DramParams::lpddr4()
+{
+    DramParams p;
+    p.name = "LPDDR4";
+    p.channels = 2;
+    p.banksPerChannel = 8;
+    p.rowBytes = 2048;
+    p.peakBytesPerSec = 25.6e9;
+    p.tCasNs = 28.0;
+    p.tRcdNs = 28.0;
+    p.tRpNs = 28.0;
+    p.ioNs = 20.0;
+    return p;
+}
+
+Dram::Dram(const DramParams &params, const sim::ClockDomain &clock,
+           stats::StatGroup *parent)
+    : p(params),
+      tCas(clock.fromNs(p.tCasNs)),
+      tRcd(clock.fromNs(p.tRcdNs)),
+      tRp(clock.fromNs(p.tRpNs)),
+      tIo(clock.fromNs(p.ioNs)),
+      busCyclesPerLine(std::max<Tick>(1,
+          clock.cyclesForBytes(p.lineBytes,
+                               p.peakBytesPerSec / p.channels))),
+      chans(p.channels),
+      grp("dram", parent),
+      reads(&grp, "reads", "line reads serviced"),
+      writes(&grp, "writes", "line writes serviced"),
+      rowHits(&grp, "row_hits", "row-buffer hits"),
+      rowMisses(&grp, "row_misses", "row-buffer misses (activates)"),
+      busBusyCycles(&grp, "bus_busy_cycles",
+                    "aggregate channel data-bus busy cycles"),
+      movedBytes(&grp, "bytes_moved", "bytes moved on the pins")
+{
+    for (auto &c : chans)
+        c.banks.resize(p.banksPerChannel);
+}
+
+void
+Dram::map(Addr addr, unsigned &channel, unsigned &bank,
+          std::uint64_t &row) const
+{
+    // Line-interleave across channels for streaming bandwidth, then
+    // row-granular interleave across banks so sequential streams get
+    // long row hits and bank-level parallelism.
+    std::uint64_t line = addr / p.lineBytes;
+    channel = static_cast<unsigned>(line % p.channels);
+    std::uint64_t addr_in_chan = (line / p.channels) * p.lineBytes;
+    std::uint64_t row_global = addr_in_chan / p.rowBytes;
+    bank = static_cast<unsigned>(row_global % p.banksPerChannel);
+    row = row_global / p.banksPerChannel;
+}
+
+MemResult
+Dram::access(Tick issue, Addr addr, AccessKind kind, unsigned bytes)
+{
+    // Sectored transfers: bus occupancy is proportional to the bytes
+    // moved (GPU L2s fetch 32 B sectors; the hash fills only its set).
+    const unsigned moved =
+        std::min(std::max(bytes, 32u), p.lineBytes);
+    const Tick bus_cycles = std::max<Tick>(
+        1, busCyclesPerLine * moved / p.lineBytes);
+
+    unsigned ci = 0, bi = 0;
+    std::uint64_t row = 0;
+    map(addr, ci, bi, row);
+    Channel &ch = chans[ci];
+    Bank &bk = ch.banks[bi];
+
+    const bool row_hit = (bk.openRow == row);
+
+    // CAS latency is a pipeline latency, not occupancy: row-buffer
+    // hits stream at burst rate. A row miss keeps the bank busy for
+    // the precharge + activate window; activates overlap across
+    // banks.
+    const Tick ready = std::max(issue, bk.readyAt);
+    const Tick access_lat = row_hit ? tCas : (tRp + tRcd + tCas);
+    const Tick bank_busy =
+        row_hit ? bus_cycles : (tRp + tRcd + bus_cycles);
+    Tick data_start = std::max(ready + access_lat, ch.busFree);
+    ch.busFree = data_start + bus_cycles;
+    bk.readyAt = ready + bank_busy;
+    bk.openRow = row;
+
+    busBusyCycles += static_cast<double>(bus_cycles);
+    movedBytes += static_cast<double>(moved);
+    if (row_hit)
+        ++rowHits;
+    else
+        ++rowMisses;
+
+    MemResult res;
+    res.hit = false;
+    if (kind == AccessKind::Write ||
+        kind == AccessKind::WriteNoAlloc) {
+        ++writes;
+        // Posted: the writer does not wait for the array access.
+        res.complete = issue + 1;
+    } else {
+        ++reads;
+        res.complete = data_start + bus_cycles + tIo;
+    }
+    return res;
+}
+
+} // namespace scusim::mem

@@ -1,0 +1,28 @@
+#include "mem/mem_system.hh"
+
+namespace scusim::mem
+{
+
+MemSystem::MemSystem(const MemSystemParams &params,
+                     const sim::ClockDomain &clock,
+                     stats::StatGroup *parent)
+    : clk(clock), icnLat(params.icnLatency),
+      grp("memsys", parent),
+      dramModel(params.dram, clock, &grp),
+      l2Cache(params.l2, &dramModel, &grp),
+      requests(&grp, "requests", "transactions entering the L2 side")
+{
+}
+
+MemResult
+MemSystem::access(Tick issue, Addr addr, AccessKind kind,
+                  unsigned bytes)
+{
+    ++requests;
+    MemResult r = l2Cache.access(issue + icnLat, addr, kind, bytes);
+    if (kind != AccessKind::Write)
+        r.complete += icnLat; // response network crossing
+    return r;
+}
+
+} // namespace scusim::mem

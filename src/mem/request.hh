@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Basic memory-access vocabulary shared by the GPU, SCU and caches.
+ */
+
+#ifndef SCUSIM_MEM_REQUEST_HH
+#define SCUSIM_MEM_REQUEST_HH
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace scusim::mem
+{
+
+/** Kind of memory access, as seen by a cache level. */
+enum class AccessKind
+{
+    Read,        ///< demand load
+    Write,       ///< posted store (write-validate allocate)
+    Atomic,      ///< read-modify-write at the L2, as on NVIDIA GPUs
+    ReadNoAlloc, ///< streaming load: hits served, misses bypass
+    WriteNoAlloc ///< streaming store: written through, no allocate
+};
+
+/** Outcome of a timed access at some level of the hierarchy. */
+struct MemResult
+{
+    Tick complete = 0;  ///< absolute tick at which data is available
+    bool hit = false;   ///< serviced without going to the next level
+};
+
+/**
+ * An abstract level of the memory hierarchy. Caches stack on top of
+ * each other and, at the bottom, on DRAM, through this interface.
+ *
+ * Timing follows a resource-reservation model: the access is fully
+ * accounted at issue time, reserving bank/bus occupancy and returning
+ * the absolute completion tick. Queueing delay appears naturally as
+ * completion ticks pushed into the future.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Perform a timed access.
+     *
+     * @param issue tick the request arrives at this level
+     * @param addr byte address (need not be line aligned)
+     * @param kind read / write / atomic
+     * @param bytes bytes touched (clamped to one line by callers)
+     * @return completion tick and hit/miss outcome
+     */
+    virtual MemResult access(Tick issue, Addr addr, AccessKind kind,
+                             unsigned bytes) = 0;
+};
+
+} // namespace scusim::mem
+
+#endif // SCUSIM_MEM_REQUEST_HH

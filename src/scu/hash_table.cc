@@ -1,0 +1,179 @@
+#include "scu/hash_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scusim::scu
+{
+
+HashTableBase::HashTableBase(const HashConfig &config,
+                             mem::AddressSpace &as,
+                             const std::string &name)
+    : cfg(config), sets(config.numSets()),
+      base(as.alloc(name, config.sizeBytes))
+{
+    panic_if(sets == 0, "hash table '%s' has zero sets",
+             name.c_str());
+}
+
+UniqueFilterTable::UniqueFilterTable(const HashConfig &cfg,
+                                     mem::AddressSpace &as,
+                                     const std::string &name)
+    : HashTableBase(cfg, as, name),
+      entries(sets * cfg.ways, emptyKey)
+{
+}
+
+bool
+UniqueFilterTable::probe(std::uint32_t key, ProbeTraffic &traffic)
+{
+    const std::uint64_t s = setOf(key);
+    traffic.setAddr = setAddr(s);
+    auto *way0 = &entries[s * cfg.ways];
+
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (way0[w] == key) {
+            // Duplicate found: discard the element, no update.
+            traffic.wrote = false;
+            return false;
+        }
+    }
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (way0[w] == emptyKey) {
+            way0[w] = key;
+            traffic.wrote = true;
+            return true;
+        }
+    }
+    // Collision: overwrite a victim. Future duplicates of the
+    // evicted element become false negatives — accepted trade-off.
+    way0[victimWay(key)] = key;
+    traffic.wrote = true;
+    return true;
+}
+
+void
+UniqueFilterTable::reset()
+{
+    std::fill(entries.begin(), entries.end(), emptyKey);
+}
+
+BestCostFilterTable::BestCostFilterTable(const HashConfig &cfg,
+                                         mem::AddressSpace &as,
+                                         const std::string &name)
+    : HashTableBase(cfg, as, name), entries(sets * cfg.ways)
+{
+}
+
+bool
+BestCostFilterTable::probe(std::uint32_t key, std::uint32_t cost,
+                           ProbeTraffic &traffic)
+{
+    const std::uint64_t s = setOf(key);
+    traffic.setAddr = setAddr(s);
+    auto *way0 = &entries[s * cfg.ways];
+
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (way0[w].key == key) {
+            if (cost < way0[w].cost) {
+                way0[w].cost = cost;
+                traffic.wrote = true;
+                return true;
+            }
+            traffic.wrote = false;
+            return false; // same element, no better cost
+        }
+    }
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (way0[w].key == static_cast<std::uint32_t>(-1)) {
+            way0[w] = {key, cost};
+            traffic.wrote = true;
+            return true;
+        }
+    }
+    way0[victimWay(key)] = {key, cost};
+    traffic.wrote = true;
+    return true;
+}
+
+void
+BestCostFilterTable::reset()
+{
+    std::fill(entries.begin(), entries.end(), Entry{});
+}
+
+GroupingTable::GroupingTable(const HashConfig &cfg,
+                             unsigned group_size,
+                             mem::AddressSpace &as,
+                             const std::string &name)
+    : HashTableBase(cfg, as, name), grpSize(group_size),
+      entries(sets * cfg.ways)
+{
+    for (auto &g : entries)
+        g.elems.reserve(grpSize);
+}
+
+void
+GroupingTable::probe(std::uint64_t line_key, std::uint32_t elem_idx,
+                     std::vector<std::uint32_t> &emit_order,
+                     ProbeTraffic &traffic)
+{
+    const std::uint64_t s = setOf(line_key);
+    traffic.setAddr = setAddr(s);
+    traffic.wrote = true; // grouping always updates its entry
+    auto *way0 = &entries[s * cfg.ways];
+
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Group &g = way0[w];
+        if (g.lineKey == line_key) {
+            if (g.elems.size() >= grpSize) {
+                // Full group: emit it and restart with this element.
+                emit_order.insert(emit_order.end(), g.elems.begin(),
+                                  g.elems.end());
+                g.elems.clear();
+            }
+            g.elems.push_back(elem_idx);
+            return;
+        }
+    }
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Group &g = way0[w];
+        if (g.elems.empty()) {
+            g.lineKey = line_key;
+            g.elems.push_back(elem_idx);
+            return;
+        }
+    }
+    // Evict a victim group: its members are written out together.
+    Group &victim = way0[victimWay(line_key)];
+    emit_order.insert(emit_order.end(), victim.elems.begin(),
+                      victim.elems.end());
+    victim.elems.clear();
+    victim.lineKey = line_key;
+    victim.elems.push_back(elem_idx);
+}
+
+void
+GroupingTable::flush(std::vector<std::uint32_t> &emit_order)
+{
+    for (auto &g : entries) {
+        if (!g.elems.empty()) {
+            emit_order.insert(emit_order.end(), g.elems.begin(),
+                              g.elems.end());
+            g.elems.clear();
+        }
+        g.lineKey = static_cast<std::uint64_t>(-1);
+    }
+}
+
+void
+GroupingTable::reset()
+{
+    for (auto &g : entries) {
+        g.lineKey = static_cast<std::uint64_t>(-1);
+        g.elems.clear();
+    }
+}
+
+} // namespace scusim::scu

@@ -1,0 +1,171 @@
+#include "scu/pipeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bits.hh"
+
+namespace scusim::scu
+{
+
+namespace
+{
+constexpr Addr noLine = static_cast<Addr>(-1);
+} // namespace
+
+ScuPipeline::ScuPipeline(const ScuParams &params, mem::MemSystem &m,
+                         Tick start)
+    : p(params), mem(m), startTick(start + params.opSetupCycles),
+      txnIssue(startTick), memReady(startTick),
+      lastGatherLine(noLine), lastWriteLine(noLine),
+      lastHashLine(noLine)
+{
+    lastLine.fill(noLine);
+}
+
+std::size_t
+ScuPipeline::inflightLimit() const
+{
+    // The Data Fetch FIFO (38 KB, Table 1) tracks outstanding read
+    // requests at 4 B per descriptor: the unit tolerates full memory
+    // latency with thousands of requests in flight. (The coalescing
+    // unit's 32-entry figure is its merge CAM, modeled by the
+    // line-merge checks.) The L2 MSHRs bound realized parallelism.
+    return static_cast<std::size_t>(p.fifoRequestBytes / 4);
+}
+
+Tick
+ScuPipeline::portTick(std::uint64_t issued) const
+{
+    // Each port sustains pipelineWidth transactions per cycle, so a
+    // width-4 SCU can keep four elements per cycle moving even when
+    // every element needs its own hash probe.
+    return startTick + issued / std::max(1u, p.pipelineWidth);
+}
+
+void
+ScuPipeline::issueRead(Addr line_addr, unsigned bytes)
+{
+    Tick t = std::max(txnIssue, portTick(readsIssued));
+    ++readsIssued;
+    while (!inflight.empty() && inflight.top() <= t)
+        inflight.pop();
+    if (inflight.size() >= inflightLimit()) {
+        t = std::max(t, inflight.top());
+        inflight.pop();
+    }
+    // Streaming data has no reuse: bypass L2 allocation so the
+    // in-memory hash tables stay cache resident.
+    auto r = mem.access(t, line_addr, mem::AccessKind::ReadNoAlloc,
+                        bytes);
+    inflight.push(r.complete);
+    memReady = std::max(memReady, r.complete);
+    txnIssue = t;
+    ++traffic.readTxns;
+}
+
+void
+ScuPipeline::seqRead(Stream s, Addr addr, unsigned bytes)
+{
+    const unsigned line_bytes = mem.l2().params().lineBytes;
+    Addr line = alignDown(addr, line_bytes);
+    Addr end_line = alignDown(addr + bytes - 1, line_bytes);
+    auto &last = lastLine[static_cast<unsigned>(s)];
+    for (Addr l = line; l <= end_line; l += line_bytes) {
+        if (l != last) {
+            issueRead(l, line_bytes);
+            last = l;
+        }
+    }
+}
+
+void
+ScuPipeline::gatherRead(Addr addr, unsigned bytes)
+{
+    // Gathers fetch 32 B sectors: sparse accesses must not pay for
+    // (or occupy the bus with) a full line of mostly-unused data.
+    constexpr unsigned sector = 32;
+    Addr first = alignDown(addr, sector);
+    Addr last_sector = alignDown(addr + bytes - 1, sector);
+    for (Addr sctr = first; sctr <= last_sector; sctr += sector) {
+        if (sctr != lastGatherLine) {
+            issueRead(sctr, sector);
+            lastGatherLine = sctr;
+        }
+    }
+}
+
+void
+ScuPipeline::seqWrite(Addr addr, unsigned bytes)
+{
+    const unsigned line_bytes = mem.l2().params().lineBytes;
+    Addr line = alignDown(addr, line_bytes);
+    Addr end_line = alignDown(addr + bytes - 1, line_bytes);
+    for (Addr l = line; l <= end_line; l += line_bytes) {
+        if (l != lastWriteLine) {
+            // Posted write through the Data Store's own port; it
+            // reserves memory occupancy but nothing waits on it.
+            // Allocating write: the compacted output is consumed by
+            // the GPU right after the operation, so it flows through
+            // the (shared) L2.
+            Tick t = portTick(storesIssued);
+            ++storesIssued;
+            mem.access(t, l, mem::AccessKind::Write, line_bytes);
+            ++traffic.writeTxns;
+            lastWriteLine = l;
+        }
+    }
+}
+
+void
+ScuPipeline::hashAccess(Addr addr, bool write, unsigned read_bytes)
+{
+    // One probe event per element: the filtering/grouping unit reads
+    // the set and, if needed, updates the entry in the same pipelined
+    // probe, so the port advances once regardless. Transfers are
+    // sector granular (the probed set, not a whole line).
+    const unsigned line_bytes = mem.l2().params().lineBytes;
+    Addr line = alignDown(addr, line_bytes);
+    Tick t = portTick(hashIssued);
+    ++hashIssued;
+    if (line != lastHashLine) {
+        auto r = mem.access(t, line, mem::AccessKind::Read,
+                            read_bytes);
+        memReady = std::max(memReady, r.complete);
+        ++traffic.hashReadTxns;
+        lastHashLine = line;
+    }
+    if (write) {
+        mem.access(t, line, mem::AccessKind::Write, 32);
+        ++traffic.hashWriteTxns;
+    }
+}
+
+Tick
+ScuPipeline::finish()
+{
+    const Tick throughput =
+        startTick + divCeil(traffic.elements,
+                            std::max(1u, p.pipelineWidth));
+    const Tick ports =
+        std::max({portTick(readsIssued), portTick(storesIssued),
+                  portTick(hashIssued)});
+    if (std::getenv("SCUSIM_TRACE_OPS") && traffic.elements > 4096) {
+        std::fprintf(stderr,
+                     "scu-op elems=%llu thr=%llu memReady=%llu "
+                     "ports=%llu (r=%llu s=%llu h=%llu) start=%llu\n",
+                     (unsigned long long)traffic.elements,
+                     (unsigned long long)(throughput - startTick),
+                     (unsigned long long)(memReady - startTick),
+                     (unsigned long long)(ports - startTick),
+                     (unsigned long long)readsIssued,
+                     (unsigned long long)storesIssued,
+                     (unsigned long long)hashIssued,
+                     (unsigned long long)startTick);
+    }
+    return std::max({throughput, memReady, txnIssue, ports}) +
+           p.opDrainCycles;
+}
+
+} // namespace scusim::scu

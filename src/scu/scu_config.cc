@@ -1,0 +1,30 @@
+#include "scu/scu_config.hh"
+
+namespace scusim::scu
+{
+
+ScuParams
+ScuParams::forGtx980()
+{
+    ScuParams p;
+    p.name = "scu";
+    p.pipelineWidth = 4;
+    p.filterBfsHash = {1 << 20, 16, 4};                 // 1 MB
+    p.filterSsspHash = {(3 << 20) / 2, 16, 8};          // 1.5 MB
+    p.groupHash = {(12 << 20) / 10, 16, 32};            // 1.2 MB
+    return p;
+}
+
+ScuParams
+ScuParams::forTx1()
+{
+    ScuParams p;
+    p.name = "scu";
+    p.pipelineWidth = 1;
+    p.filterBfsHash = {132 << 10, 16, 4};               // 132 KB
+    p.filterSsspHash = {192 << 10, 16, 8};              // 192 KB
+    p.groupHash = {144 << 10, 16, 32};                  // 144 KB
+    return p;
+}
+
+} // namespace scusim::scu

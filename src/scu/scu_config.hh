@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SCU configuration: the hardware parameters of Table 1 and the
+ * per-GPU scalability parameters of Table 2 (pipeline width and the
+ * reconfigurable in-memory hash table geometries).
+ */
+
+#ifndef SCUSIM_SCU_SCU_CONFIG_HH
+#define SCUSIM_SCU_SCU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace scusim::scu
+{
+
+/** Geometry of one configuration of the in-memory hash table. */
+struct HashConfig
+{
+    std::uint64_t sizeBytes = 1 << 20;
+    unsigned ways = 16;
+    unsigned entryBytes = 4; ///< 4 B unique / 8 B best-cost / 32 B group
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(ways) *
+                            entryBytes);
+    }
+};
+
+/** Full SCU configuration (Tables 1 and 2). */
+struct ScuParams
+{
+    std::string name = "scu";
+
+    /** Elements processed per cycle (Table 2: 4 GTX980, 1 TX1). */
+    unsigned pipelineWidth = 4;
+
+    /** Vector-parameter buffering (Table 1: 5 KB). */
+    std::uint64_t vectorBufferBytes = 5 << 10;
+    /** Data Fetch FIFO request buffer (Table 1: 38 KB). */
+    std::uint64_t fifoRequestBytes = 38 << 10;
+    /** Filtering/grouping request buffer (Table 1: 18 KB). */
+    std::uint64_t hashRequestBytes = 18 << 10;
+
+    /** Coalescing unit: in-flight requests and merge window. */
+    unsigned coalesceInflight = 32;
+    unsigned mergeWindow = 4;
+
+    /** Elements per grouping hash entry (Section 4.3: 8 of 4 B). */
+    unsigned groupSize = 8;
+
+    /** Cycles to configure the Address Generator for one operation. */
+    Tick opSetupCycles = 64;
+    /** Pipeline drain cycles at the end of one operation. */
+    Tick opDrainCycles = 32;
+
+    HashConfig filterBfsHash;  ///< unique-element filtering
+    HashConfig filterSsspHash; ///< unique-best-cost filtering
+    HashConfig groupHash;      ///< grouping
+
+    /** Table 2, GTX980 column. */
+    static ScuParams forGtx980();
+    /** Table 2, TX1 column. */
+    static ScuParams forTx1();
+};
+
+} // namespace scusim::scu
+
+#endif // SCUSIM_SCU_SCU_CONFIG_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Clock domain: converts between core cycles and wall-clock seconds.
+ * The whole simulated system (SMs, SCU, L2) runs in the GPU core
+ * domain, as in the paper ("We match the SCU frequency to the one of
+ * the target GPU"); DRAM timing is expressed in core cycles too.
+ */
+
+#ifndef SCUSIM_SIM_CLOCK_HH
+#define SCUSIM_SIM_CLOCK_HH
+
+#include "common/types.hh"
+
+namespace scusim::sim
+{
+
+/** A clock domain with a fixed frequency. */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(double freq_hz = 1e9) : freq(freq_hz) {}
+
+    double frequency() const { return freq; }
+
+    /** Convert a cycle count to seconds. */
+    double
+    toSeconds(Tick cycles) const
+    {
+        return static_cast<double>(cycles) / freq;
+    }
+
+    /** Convert nanoseconds to (rounded-up) cycles. */
+    Tick
+    fromNs(double ns) const
+    {
+        double cycles = ns * 1e-9 * freq;
+        auto t = static_cast<Tick>(cycles);
+        return (static_cast<double>(t) < cycles) ? t + 1 : t;
+    }
+
+    /** Cycles needed to move @p bytes at @p bytes_per_sec. */
+    Tick
+    cyclesForBytes(double bytes, double bytes_per_sec) const
+    {
+        double secs = bytes / bytes_per_sec;
+        double cycles = secs * freq;
+        auto t = static_cast<Tick>(cycles);
+        return (static_cast<double>(t) < cycles) ? t + 1 : t;
+    }
+
+  private:
+    double freq;
+};
+
+} // namespace scusim::sim
+
+#endif // SCUSIM_SIM_CLOCK_HH

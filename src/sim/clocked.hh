@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Interface for cycle-stepped components (SMs, the SCU pipeline).
+ */
+
+#ifndef SCUSIM_SIM_CLOCKED_HH
+#define SCUSIM_SIM_CLOCKED_HH
+
+#include "common/types.hh"
+
+namespace scusim::sim
+{
+
+/**
+ * A component advanced once per simulated cycle while it has work.
+ * When every Clocked object is idle the simulation fast-forwards to
+ * the earliest nextWakeTick() (e.g. an outstanding memory response).
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance one cycle at absolute time @p now. */
+    virtual void tick(Tick now) = 0;
+
+    /** True if the component can make progress at tick @p now. */
+    virtual bool busy(Tick now) const = 0;
+
+    /**
+     * Earliest future tick at which the component will become busy
+     * again (tickNever if it is fully drained). Only consulted when
+     * busy() is false.
+     */
+    virtual Tick nextWakeTick() const { return tickNever; }
+};
+
+} // namespace scusim::sim
+
+#endif // SCUSIM_SIM_CLOCKED_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tick-ordered event queue. Used for completion callbacks and for
+ * periodic instrumentation (e.g. bandwidth sampling).
+ */
+
+#ifndef SCUSIM_SIM_EVENT_QUEUE_HH
+#define SCUSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace scusim::sim
+{
+
+/**
+ * A priority queue of (tick, callback) pairs. Events scheduled for
+ * the same tick fire in schedule order (stable via sequence numbers).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Schedule @p cb to run at absolute tick @p when. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        events.push(Entry{when, seq++, std::move(cb)});
+    }
+
+    bool empty() const { return events.empty(); }
+
+    /** Tick of the earliest pending event, or tickNever. */
+    Tick
+    nextTick() const
+    {
+        return events.empty() ? tickNever : events.top().when;
+    }
+
+    /**
+     * Run every event scheduled at or before @p now.
+     * @return number of events serviced.
+     */
+    std::size_t
+    serviceUpTo(Tick now)
+    {
+        std::size_t n = 0;
+        while (!events.empty() && events.top().when <= now) {
+            // Copy out before pop so the callback may schedule more.
+            Entry e = events.top();
+            events.pop();
+            e.cb(e.when);
+            ++n;
+        }
+        return n;
+    }
+
+    std::size_t size() const { return events.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t order;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.when != b.when ? a.when > b.when
+                                    : a.order > b.order;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    std::uint64_t seq = 0;
+};
+
+} // namespace scusim::sim
+
+#endif // SCUSIM_SIM_EVENT_QUEUE_HH

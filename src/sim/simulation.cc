@@ -1,0 +1,55 @@
+#include "sim/simulation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scusim::sim
+{
+
+Tick
+Simulation::nextInterestingTick() const
+{
+    Tick t = eq.nextTick();
+    for (const auto *c : clockedList) {
+        if (c->busy(currentTick))
+            return currentTick;
+        t = std::min(t, c->nextWakeTick());
+    }
+    return t;
+}
+
+void
+Simulation::step(Tick n)
+{
+    for (Tick i = 0; i < n; ++i) {
+        eq.serviceUpTo(currentTick);
+        for (auto *c : clockedList) {
+            if (c->busy(currentTick))
+                c->tick(currentTick);
+        }
+        ++currentTick;
+    }
+}
+
+Tick
+Simulation::run(Tick max_ticks)
+{
+    const Tick start = currentTick;
+    while (true) {
+        Tick next = nextInterestingTick();
+        if (next == tickNever)
+            break;
+        if (next > currentTick) {
+            // Idle gap: jump straight to the next event / wake-up.
+            currentTick = next;
+        }
+        step(1);
+        panic_if(currentTick - start > max_ticks,
+                 "simulation exceeded %llu ticks without draining",
+                 static_cast<unsigned long long>(max_ticks));
+    }
+    return currentTick - start;
+}
+
+} // namespace scusim::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Top-level simulation driver: owns the notion of "now", steps all
+ * registered Clocked components and fast-forwards across idle gaps.
+ */
+
+#ifndef SCUSIM_SIM_SIMULATION_HH
+#define SCUSIM_SIM_SIMULATION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+
+namespace scusim::sim
+{
+
+/**
+ * The simulation loop. Components register once; run() advances time
+ * until every component is drained and no events remain.
+ */
+class Simulation
+{
+  public:
+    Tick now() const { return currentTick; }
+
+    /** Register a cycle-stepped component. */
+    void addClocked(Clocked *c) { clockedList.push_back(c); }
+
+    EventQueue &events() { return eq; }
+
+    /**
+     * Advance until all components are idle with no future wake-ups
+     * and the event queue is empty.
+     * @param max_ticks safety bound; exceeding it is a simulator bug
+     *                  (runaway model).
+     * @return ticks elapsed during this call.
+     */
+    Tick run(Tick max_ticks = static_cast<Tick>(1) << 40);
+
+    /** Advance exactly @p n ticks (events + clocked components). */
+    void step(Tick n = 1);
+
+    /**
+     * Jump the clock forward to @p t (no-op if in the past). Used by
+     * components that compute their completion time analytically
+     * (the SCU pipeline) while the cycle-stepped components are
+     * drained. Pending events up to @p t are serviced.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        if (t > currentTick) {
+            eq.serviceUpTo(t);
+            currentTick = t;
+        }
+    }
+
+  private:
+    /** Earliest tick at which anything can happen, or tickNever. */
+    Tick nextInterestingTick() const;
+
+    Tick currentTick = 0;
+    EventQueue eq;
+    std::vector<Clocked *> clockedList;
+};
+
+} // namespace scusim::sim
+
+#endif // SCUSIM_SIM_SIMULATION_HH

@@ -1,0 +1,183 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace scusim::stats
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    panic_if(!parent, "stat '%s' created without a parent group",
+             statName.c_str());
+    parent->registerStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << v << " # " << desc() << "\n";
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value() << " # " << desc() << "\n";
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double min, double max,
+                           std::size_t buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lo(min), hi(max),
+      bucketWidth((max - min) / static_cast<double>(buckets)),
+      counts(buckets, 0)
+{
+    panic_if(max <= min || buckets == 0,
+             "bad Distribution bounds [%f, %f) x %zu", min, max, buckets);
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (total == 0) {
+        minSeen = maxSeen = v;
+    } else {
+        minSeen = std::min(minSeen, v);
+        maxSeen = std::max(maxSeen, v);
+    }
+    total += count;
+    sampleSum += v * static_cast<double>(count);
+    if (v < lo) {
+        underflow += count;
+    } else if (v >= hi) {
+        overflow += count;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / bucketWidth);
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        counts[idx] += count;
+    }
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::samples " << total
+       << " # " << desc() << "\n";
+    os << prefix << name() << "::mean " << mean() << "\n";
+    os << prefix << name() << "::min " << minSeen << "\n";
+    os << prefix << name() << "::max " << maxSeen << "\n";
+    if (underflow)
+        os << prefix << name() << "::underflow " << underflow << "\n";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (!counts[i])
+            continue;
+        double b0 = lo + bucketWidth * static_cast<double>(i);
+        os << prefix << name() << "::[" << b0 << ","
+           << (b0 + bucketWidth) << ") " << counts[i] << "\n";
+    }
+    if (overflow)
+        os << prefix << name() << "::overflow " << overflow << "\n";
+}
+
+void
+Distribution::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    underflow = overflow = total = 0;
+    sampleSum = minSeen = maxSeen = 0;
+}
+
+StatGroup::StatGroup(std::string name_, StatGroup *parent_)
+    : name(std::move(name_)), parent(parent_)
+{
+    if (parent)
+        parent->registerChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent)
+        parent->unregisterChild(this);
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent)
+        return name;
+    std::string p = parent->path();
+    return p.empty() ? name : p + "." + name;
+}
+
+void
+StatGroup::registerStat(StatBase *s)
+{
+    statList.push_back(s);
+}
+
+void
+StatGroup::registerChild(StatGroup *g)
+{
+    children.push_back(g);
+}
+
+void
+StatGroup::unregisterChild(StatGroup *g)
+{
+    std::erase(children, g);
+}
+
+void
+StatGroup::dumpAll(std::ostream &os) const
+{
+    std::string prefix = path();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const auto *s : statList)
+        s->dump(os, prefix);
+    for (const auto *c : children)
+        c->dumpAll(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : statList)
+        s->reset();
+    for (auto *c : children)
+        c->resetAll();
+}
+
+double
+StatGroup::lookup(const std::string &dotted) const
+{
+    auto dot = dotted.find('.');
+    if (dot == std::string::npos) {
+        for (const auto *s : statList) {
+            if (s->name() == dotted) {
+                if (const auto *sc = dynamic_cast<const Scalar *>(s))
+                    return sc->value();
+                if (const auto *f = dynamic_cast<const Formula *>(s))
+                    return f->value();
+                if (const auto *d =
+                        dynamic_cast<const Distribution *>(s))
+                    return d->mean();
+                panic("stat '%s' has no scalar value", dotted.c_str());
+            }
+        }
+    } else {
+        std::string head = dotted.substr(0, dot);
+        std::string tail = dotted.substr(dot + 1);
+        for (const auto *c : children) {
+            if (c->groupName() == head)
+                return c->lookup(tail);
+        }
+    }
+    panic("stat path '%s' not found under '%s'", dotted.c_str(),
+          path().c_str());
+}
+
+} // namespace scusim::stats

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Lightweight statistics framework in the spirit of gem5's stats
+ * package: named scalar counters, averages, distributions and derived
+ * formulas, grouped hierarchically and dumpable as text.
+ *
+ * Every timing component in the simulator owns a StatGroup and
+ * registers its counters there; the harness walks the hierarchy to
+ * produce per-run reports and to extract the metrics behind each of
+ * the paper's figures.
+ */
+
+#ifndef SCUSIM_STATS_STATS_HH
+#define SCUSIM_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace scusim::stats
+{
+
+class StatGroup;
+
+/** Base class of all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Render "name value # desc" line(s) into @p os. */
+    virtual void dump(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+    /** Reset to the zero state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** Monotonically increasing (or directly set) scalar statistic. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc)) {}
+
+    Scalar &operator++() { ++v; return *this; }
+    Scalar &operator+=(double d) { v += d; return *this; }
+    Scalar &operator=(double d) { v = d; return *this; }
+
+    double value() const { return v; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override { v = 0; }
+
+  private:
+    double v = 0;
+};
+
+/**
+ * Derived statistic evaluated lazily at dump time, e.g. ratios of two
+ * scalars. The functor must stay valid for the group's lifetime.
+ */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          eval(std::move(fn)) {}
+
+    double value() const { return eval ? eval() : 0; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> eval;
+};
+
+/**
+ * Fixed-bucket histogram over [min, max) with linear buckets plus
+ * underflow/overflow; tracks sample count, sum and min/max for
+ * average reporting.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup *parent, std::string name, std::string desc,
+                 double min, double max, std::size_t buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return total; }
+    double sum() const { return sampleSum; }
+    double mean() const { return total ? sampleSum / total : 0; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    double lo, hi, bucketWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow = 0, overflow = 0, total = 0;
+    double sampleSum = 0;
+    double minSeen = 0, maxSeen = 0;
+};
+
+/**
+ * A named group of statistics, optionally nested inside a parent
+ * group. Components derive from or own a StatGroup.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &groupName() const { return name; }
+
+    /** Full dotted path from the root group. */
+    std::string path() const;
+
+    /** Dump this group's stats and all children, sorted by name. */
+    void dumpAll(std::ostream &os) const;
+
+    /** Reset this group's stats and all children. */
+    void resetAll();
+
+    /** Look up a scalar/formula value by dotted relative path. */
+    double lookup(const std::string &dotted) const;
+
+  private:
+    friend class StatBase;
+    void registerStat(StatBase *s);
+    void registerChild(StatGroup *g);
+    void unregisterChild(StatGroup *g);
+
+    std::string name;
+    StatGroup *parent;
+    std::vector<StatBase *> statList;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace scusim::stats
+
+#endif // SCUSIM_STATS_STATS_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the energy and area models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hh"
+#include "energy/energy_model.hh"
+#include "scu/scu_config.hh"
+
+using namespace scusim;
+using namespace scusim::energy;
+
+TEST(Energy, DynamicComponentsAdd)
+{
+    EnergyModel m(EnergyParams::gtx980());
+    Activity a;
+    a.threadInstrs = 1e6;
+    a.l2Accesses = 1e5;
+    a.dramLines = 1e4;
+    double total = m.dynamicJ(a);
+    EXPECT_DOUBLE_EQ(total,
+                     m.gpuDynamicJ(a) + m.memDynamicJ(a) +
+                         m.scuDynamicJ(a));
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(Energy, ActivityDifferenceAndSum)
+{
+    Activity a, b;
+    a.threadInstrs = 10;
+    a.scuTxns = 4;
+    b.threadInstrs = 3;
+    b.scuTxns = 1;
+    Activity d = a - b;
+    EXPECT_DOUBLE_EQ(d.threadInstrs, 7);
+    EXPECT_DOUBLE_EQ(d.scuTxns, 3);
+    b += d;
+    EXPECT_DOUBLE_EQ(b.threadInstrs, 10);
+}
+
+TEST(Energy, BreakdownSplitsGpuAndScu)
+{
+    EnergyModel m(EnergyParams::tx1());
+    Activity gpu, scu;
+    gpu.threadInstrs = 1e6;
+    gpu.l2Accesses = 1e4;
+    scu.scuElements = 1e6;
+    scu.l2Accesses = 1e4;
+    auto e = m.breakdown(gpu, scu, 0.01, true);
+
+    EXPECT_GT(e.gpuDynamicJ, 0.0);
+    EXPECT_GT(e.scuDynamicJ, 0.0);
+    EXPECT_GT(e.gpuStaticJ, 0.0);
+    EXPECT_GT(e.scuStaticJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.totalJ(), e.gpuSideJ() + e.scuSideJ());
+}
+
+TEST(Energy, NoScuMeansNoScuStatic)
+{
+    EnergyModel m(EnergyParams::tx1());
+    auto e = m.breakdown({}, {}, 0.01, false);
+    EXPECT_DOUBLE_EQ(e.scuStaticJ, 0.0);
+    EXPECT_GT(e.gpuStaticJ, 0.0);
+}
+
+TEST(Energy, StaticScalesWithTime)
+{
+    EnergyModel m(EnergyParams::gtx980());
+    auto e1 = m.breakdown({}, {}, 0.01, true);
+    auto e2 = m.breakdown({}, {}, 0.02, true);
+    EXPECT_NEAR(e2.gpuStaticJ, 2 * e1.gpuStaticJ, 1e-12);
+    EXPECT_NEAR(e2.memStaticJ, 2 * e1.memStaticJ, 1e-12);
+}
+
+TEST(Area, PaperTotalsAndOverheads)
+{
+    auto hp = scuAreaReport("GTX980", scu::ScuParams::forGtx980());
+    EXPECT_DOUBLE_EQ(hp.scuMm2, 13.27);
+    EXPECT_NEAR(hp.overheadPercent(), 3.3, 0.2);
+
+    auto lp = scuAreaReport("TX1", scu::ScuParams::forTx1());
+    EXPECT_DOUBLE_EQ(lp.scuMm2, 3.65);
+    EXPECT_NEAR(lp.overheadPercent(), 4.1, 0.2);
+}
+
+TEST(Area, ComponentsSumToTotal)
+{
+    auto r = scuAreaReport("GTX980", scu::ScuParams::forGtx980());
+    double sum = 0;
+    for (const auto &c : r.components)
+        sum += c.mm2;
+    EXPECT_NEAR(sum, r.scuMm2, 1e-9);
+    EXPECT_GE(r.components.size(), 3u);
+}
+
+TEST(Area, UnknownGpuIsFatal)
+{
+    EXPECT_DEATH(scuAreaReport("RTX9090",
+                               scu::ScuParams::forGtx980()),
+                 "no area data");
+}

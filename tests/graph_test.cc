@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit and property tests for the graph substrate: CSR construction
+ * (Figure 2), generators (Table 5 classes), loaders and analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "graph/analysis.hh"
+#include "graph/csr.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/loader.hh"
+
+using namespace scusim;
+using namespace scusim::graph;
+
+TEST(Csr, ReferenceGraphMatchesFigure2)
+{
+    CsrGraph g = referenceGraph();
+    g.validate();
+    ASSERT_EQ(g.numNodes(), 7u);
+    ASSERT_EQ(g.numEdges(), 8u);
+
+    // Figure 2b: AdjacencyOffsets 0 3 5 6 8 8 8 (plus final 8).
+    const std::vector<EdgeId> want_off{0, 3, 5, 6, 8, 8, 8, 8};
+    EXPECT_EQ(g.adjacencyOffsets(), want_off);
+
+    // Edges: B C D | E F | F | C G ; weights 2 3 1 1 1 2 1 2.
+    const std::vector<NodeId> want_dst{1, 2, 3, 4, 5, 5, 2, 6};
+    EXPECT_EQ(g.edgeArray(), want_dst);
+    const std::vector<Weight> want_w{2, 3, 1, 1, 1, 2, 1, 2};
+    EXPECT_EQ(g.weightArray(), want_w);
+
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(Csr, FromEdgeListSortsAdjacency)
+{
+    EdgeList el;
+    el.numNodes = 3;
+    el.edges = {{0, 2, 5}, {0, 1, 4}, {2, 0, 1}};
+    CsrGraph g = CsrGraph::fromEdgeList(std::move(el));
+    g.validate();
+    auto nbrs = g.neighbors(0);
+    ASSERT_EQ(nbrs.size(), 2u);
+    EXPECT_EQ(nbrs[0], 1u);
+    EXPECT_EQ(nbrs[1], 2u);
+    EXPECT_EQ(g.edgeWeights(0)[0], 4u);
+}
+
+TEST(Csr, DedupKeepsMinWeight)
+{
+    EdgeList el;
+    el.numNodes = 2;
+    el.edges = {{0, 1, 9}, {0, 1, 3}, {0, 1, 7}};
+    CsrGraph g = CsrGraph::fromEdgeList(std::move(el), true);
+    ASSERT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.edgeWeights(0)[0], 3u);
+}
+
+TEST(Csr, TransposeReversesEdges)
+{
+    CsrGraph g = referenceGraph();
+    CsrGraph t = g.transpose();
+    t.validate();
+    EXPECT_EQ(t.numEdges(), g.numEdges());
+    // A->B (w 2) becomes B->A.
+    auto nbrs = t.neighbors(1);
+    ASSERT_EQ(nbrs.size(), 1u);
+    EXPECT_EQ(nbrs[0], 0u);
+    EXPECT_EQ(t.edgeWeights(1)[0], 2u);
+}
+
+TEST(Csr, OutOfRangeEdgeIsFatal)
+{
+    EdgeList el;
+    el.numNodes = 2;
+    el.edges = {{0, 5, 1}};
+    EXPECT_DEATH(CsrGraph::fromEdgeList(std::move(el)),
+                 "out of range");
+}
+
+// ---------------------------------------------------------------
+// Generators: parameterized over every named dataset.
+// ---------------------------------------------------------------
+
+class DatasetGen : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DatasetGen, MatchesSpecSizeAtSmallScale)
+{
+    const std::string name = GetParam();
+    const double scale = 0.02;
+    CsrGraph g = makeDataset(name, scale, 1);
+    g.validate();
+    const DatasetSpec &spec = datasetSpec(name);
+    const double want_m =
+        static_cast<double>(spec.edges) * scale;
+    EXPECT_NEAR(static_cast<double>(g.numEdges()), want_m,
+                want_m * 0.15 + 256);
+    EXPECT_GT(g.numNodes(), 0u);
+}
+
+TEST_P(DatasetGen, Deterministic)
+{
+    const std::string name = GetParam();
+    CsrGraph a = makeDataset(name, 0.01, 7);
+    CsrGraph b = makeDataset(name, 0.01, 7);
+    EXPECT_EQ(a.edgeArray(), b.edgeArray());
+    EXPECT_EQ(a.weightArray(), b.weightArray());
+}
+
+TEST_P(DatasetGen, SeedChangesGraph)
+{
+    const std::string name = GetParam();
+    CsrGraph a = makeDataset(name, 0.01, 1);
+    CsrGraph b = makeDataset(name, 0.01, 2);
+    EXPECT_NE(a.edgeArray(), b.edgeArray());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGen,
+                         ::testing::Values("ca", "cond", "delaunay",
+                                           "human", "kron",
+                                           "msdoor"));
+
+TEST(Generators, RmatIsSkewed)
+{
+    Rng rng(5);
+    auto el = rmat(12, 40000, rng);
+    CsrGraph g = CsrGraph::fromEdgeList(std::move(el));
+    GraphStats st = analyzeGraph(g);
+    // Power-law generators produce hubs far above the mean degree.
+    EXPECT_GT(static_cast<double>(st.maxOutDegree),
+              5.0 * st.avgDegree);
+}
+
+TEST(Generators, RoadNetworkIsNearlySymmetricAndSparse)
+{
+    Rng rng(5);
+    auto el = roadNetwork(10000, 49000, rng);
+    CsrGraph g = CsrGraph::fromEdgeList(std::move(el));
+    GraphStats st = analyzeGraph(g);
+    EXPECT_LT(st.degreeStdDev, st.avgDegree * 2);
+    EXPECT_EQ(g.numEdges(), 49000u);
+}
+
+TEST(Generators, GridAndPathAndStar)
+{
+    CsrGraph grid = CsrGraph::fromEdgeList(grid2d(4, 3));
+    EXPECT_EQ(grid.numNodes(), 12u);
+    // 4x3 grid: 3*3 horizontal + 4*2 vertical, both directions.
+    EXPECT_EQ(grid.numEdges(), 2u * (9 + 8));
+
+    CsrGraph p = CsrGraph::fromEdgeList(path(5));
+    EXPECT_EQ(p.numEdges(), 4u);
+    EXPECT_EQ(p.degree(4), 0u);
+
+    CsrGraph s = CsrGraph::fromEdgeList(star(6));
+    EXPECT_EQ(s.degree(0), 5u);
+    EXPECT_EQ(s.degree(3), 0u);
+}
+
+TEST(Generators, ErdosRenyiExactEdgeCount)
+{
+    Rng rng(1);
+    auto el = erdosRenyi(500, 2500, rng);
+    EXPECT_EQ(el.edges.size(), 2500u);
+    for (const auto &e : el.edges)
+        EXPECT_NE(e.src, e.dst);
+}
+
+// ---------------------------------------------------------------
+// Loaders.
+// ---------------------------------------------------------------
+
+TEST(Loader, EdgeListRoundTrip)
+{
+    CsrGraph g = referenceGraph();
+    std::stringstream ss;
+    writeEdgeList(g, ss);
+    EdgeList el = parseEdgeList(ss);
+    CsrGraph g2 = CsrGraph::fromEdgeList(std::move(el));
+    EXPECT_EQ(g2.edgeArray(), g.edgeArray());
+    EXPECT_EQ(g2.weightArray(), g.weightArray());
+    EXPECT_EQ(g2.adjacencyOffsets(), g.adjacencyOffsets());
+}
+
+TEST(Loader, EdgeListCommentsAndDefaults)
+{
+    std::stringstream ss("# comment\n0 1\n% other comment\n1 2 9\n");
+    EdgeList el = parseEdgeList(ss);
+    ASSERT_EQ(el.edges.size(), 2u);
+    EXPECT_EQ(el.edges[0].weight, 1u);
+    EXPECT_EQ(el.edges[1].weight, 9u);
+    EXPECT_EQ(el.numNodes, 3u);
+}
+
+TEST(Loader, DimacsFormat)
+{
+    std::stringstream ss(
+        "c comment line\np sp 3 2\na 1 2 7\na 2 3 4\n");
+    EdgeList el = parseDimacs(ss);
+    ASSERT_EQ(el.edges.size(), 2u);
+    EXPECT_EQ(el.numNodes, 3u);
+    EXPECT_EQ(el.edges[0].src, 0u); // converted to 0-based
+    EXPECT_EQ(el.edges[0].dst, 1u);
+    EXPECT_EQ(el.edges[0].weight, 7u);
+}
+
+TEST(Loader, MatrixMarketSymmetricPattern)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "% a comment\n"
+        "4 4 3\n"
+        "2 1\n3 1\n4 2\n");
+    EdgeList el = parseMatrixMarket(ss);
+    EXPECT_EQ(el.numNodes, 4u);
+    EXPECT_EQ(el.edges.size(), 6u); // symmetric expansion
+}
+
+TEST(Loader, MalformedDimacsIsFatal)
+{
+    std::stringstream ss("a 1 2 3\n");
+    EXPECT_DEATH(parseDimacs(ss), "missing");
+}
+
+// ---------------------------------------------------------------
+// Analysis.
+// ---------------------------------------------------------------
+
+TEST(Analysis, ReferenceGraphStats)
+{
+    GraphStats st = analyzeGraph(referenceGraph());
+    EXPECT_EQ(st.nodes, 7u);
+    EXPECT_EQ(st.edges, 8u);
+    EXPECT_DOUBLE_EQ(st.avgDegree, 16.0 / 7.0);
+    EXPECT_EQ(st.maxOutDegree, 3u);
+    EXPECT_EQ(st.isolatedNodes, 3u); // E, F, G have no out-edges
+}
+
+TEST(Analysis, DatasetTableHasSixRows)
+{
+    EXPECT_EQ(datasetTable().size(), 6u);
+    EXPECT_EQ(datasetSpec("human").nodes, 22000u);
+    EXPECT_EQ(datasetSpec("kron").edges, 21000000u);
+    EXPECT_DEATH(datasetSpec("nope"), "unknown dataset");
+}

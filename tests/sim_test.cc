@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, clock
+ * domain conversions and the fast-forwarding run loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+using namespace scusim;
+using namespace scusim::sim;
+
+TEST(ClockDomain, SecondsConversion)
+{
+    ClockDomain c(1e9);
+    EXPECT_DOUBLE_EQ(c.toSeconds(1000000000), 1.0);
+    EXPECT_EQ(c.fromNs(10.0), 10u);
+    EXPECT_EQ(c.fromNs(10.5), 11u); // rounds up
+}
+
+TEST(ClockDomain, BandwidthCycles)
+{
+    ClockDomain c(1e9);
+    // 128 bytes at 12.8 GB/s = 10 ns = 10 cycles.
+    EXPECT_EQ(c.cyclesForBytes(128, 12.8e9), 10u);
+}
+
+TEST(EventQueue, FiresInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    EXPECT_EQ(q.nextTick(), 10u);
+    q.serviceUpTo(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableWithinSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&](Tick) { order.push_back(1); });
+    q.schedule(5, [&](Tick) { order.push_back(2); });
+    q.serviceUpTo(5);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&](Tick t) {
+        ++fired;
+        q.schedule(t + 1, [&](Tick) { ++fired; });
+    });
+    q.serviceUpTo(10);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PartialService)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&](Tick) { ++fired; });
+    q.schedule(50, [&](Tick) { ++fired; });
+    q.serviceUpTo(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.nextTick(), 50u);
+}
+
+namespace
+{
+
+/** A component busy for the first N ticks it is ticked. */
+class CountdownClocked : public Clocked
+{
+  public:
+    explicit CountdownClocked(int n) : remaining(n) {}
+
+    void tick(Tick) override { --remaining; ++ticked; }
+    bool busy(Tick) const override { return remaining > 0; }
+
+    int remaining;
+    int ticked = 0;
+};
+
+/** Idle component that wakes once at a fixed tick. */
+class SleeperClocked : public Clocked
+{
+  public:
+    explicit SleeperClocked(Tick at) : wake(at) {}
+
+    void
+    tick(Tick now) override
+    {
+        if (now >= wake)
+            done = true;
+    }
+
+    bool
+    busy(Tick now) const override
+    {
+        return !done && now >= wake;
+    }
+
+    Tick
+    nextWakeTick() const override
+    {
+        return done ? tickNever : wake;
+    }
+
+    Tick wake;
+    bool done = false;
+};
+
+} // namespace
+
+TEST(Simulation, RunsClockedUntilDrained)
+{
+    Simulation s;
+    CountdownClocked c(5);
+    s.addClocked(&c);
+    s.run();
+    EXPECT_EQ(c.ticked, 5);
+    EXPECT_EQ(c.remaining, 0);
+}
+
+TEST(Simulation, FastForwardsIdleGaps)
+{
+    Simulation s;
+    SleeperClocked sleeper(1000000);
+    s.addClocked(&sleeper);
+    Tick elapsed = s.run();
+    // The loop must jump, not crawl: elapsed covers the gap and the
+    // component fired at its wake tick.
+    EXPECT_TRUE(sleeper.done);
+    EXPECT_GE(elapsed, 1000000u);
+    EXPECT_LE(elapsed, 1000002u);
+}
+
+TEST(Simulation, AdvanceToServicesEvents)
+{
+    Simulation s;
+    int fired = 0;
+    s.events().schedule(100, [&](Tick) { ++fired; });
+    s.advanceTo(50);
+    EXPECT_EQ(fired, 0);
+    s.advanceTo(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.now(), 150u);
+    // Going backwards is a no-op.
+    s.advanceTo(10);
+    EXPECT_EQ(s.now(), 150u);
+}
+
+TEST(Simulation, StepAdvancesExactly)
+{
+    Simulation s;
+    s.step(7);
+    EXPECT_EQ(s.now(), 7u);
+}

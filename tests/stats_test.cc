@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+using namespace scusim::stats;
+
+TEST(Stats, ScalarArithmetic)
+{
+    StatGroup g("root");
+    Scalar s(&g, "count", "a counter");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s = 7;
+    EXPECT_DOUBLE_EQ(s.value(), 7);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup g("root");
+    Scalar a(&g, "a", ""), b(&g, "b", "");
+    Formula ratio(&g, "ratio", "a per b", [&] {
+        return b.value() ? a.value() / b.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0);
+    a += 6;
+    b += 2;
+    EXPECT_DOUBLE_EQ(ratio.value(), 3);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatGroup g("root");
+    Distribution d(&g, "lat", "latencies", 0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(95);
+    d.sample(150); // overflow bucket
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 265);
+    EXPECT_DOUBLE_EQ(d.mean(), 66.25);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST(Stats, DistributionWeightedSamples)
+{
+    StatGroup g("root");
+    Distribution d(&g, "x", "", 0, 10, 5);
+    d.sample(2, 3);
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2);
+}
+
+TEST(Stats, GroupHierarchyPaths)
+{
+    StatGroup root("sys");
+    StatGroup child("l2", &root);
+    EXPECT_EQ(child.path(), "sys.l2");
+    Scalar s(&child, "hits", "");
+    s += 4;
+    EXPECT_DOUBLE_EQ(root.lookup("l2.hits"), 4);
+}
+
+TEST(Stats, LookupMissingPanics)
+{
+    StatGroup root("sys");
+    EXPECT_DEATH(root.lookup("nope"), "not found");
+}
+
+TEST(Stats, DumpContainsEverything)
+{
+    StatGroup root("sys");
+    StatGroup child("dram", &root);
+    Scalar a(&root, "ticks", "total ticks");
+    Scalar b(&child, "reads", "read count");
+    a += 10;
+    b += 20;
+    std::ostringstream os;
+    root.dumpAll(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("sys.ticks 10"), std::string::npos);
+    EXPECT_NE(out.find("sys.dram.reads 20"), std::string::npos);
+    EXPECT_NE(out.find("# total ticks"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup root("sys");
+    StatGroup child("c", &root);
+    Scalar a(&root, "a", ""), b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0);
+    EXPECT_DOUBLE_EQ(b.value(), 0);
+}

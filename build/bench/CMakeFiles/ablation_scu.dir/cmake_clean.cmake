@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scu.dir/ablation_scu.cc.o"
+  "CMakeFiles/ablation_scu.dir/ablation_scu.cc.o.d"
+  "ablation_scu"
+  "ablation_scu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_table.dir/area_table.cc.o"
+  "CMakeFiles/area_table.dir/area_table.cc.o.d"
+  "area_table"
+  "area_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

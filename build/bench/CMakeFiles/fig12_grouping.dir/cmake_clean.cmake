@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_grouping.dir/fig12_grouping.cc.o"
+  "CMakeFiles/fig12_grouping.dir/fig12_grouping.cc.o.d"
+  "fig12_grouping"
+  "fig12_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

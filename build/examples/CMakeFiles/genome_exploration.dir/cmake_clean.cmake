@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_exploration.dir/genome_exploration.cpp.o"
+  "CMakeFiles/genome_exploration.dir/genome_exploration.cpp.o.d"
+  "genome_exploration"
+  "genome_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_alg.dir/bfs.cc.o"
+  "CMakeFiles/scusim_alg.dir/bfs.cc.o.d"
+  "CMakeFiles/scusim_alg.dir/gpu_primitives.cc.o"
+  "CMakeFiles/scusim_alg.dir/gpu_primitives.cc.o.d"
+  "CMakeFiles/scusim_alg.dir/pagerank.cc.o"
+  "CMakeFiles/scusim_alg.dir/pagerank.cc.o.d"
+  "CMakeFiles/scusim_alg.dir/serial.cc.o"
+  "CMakeFiles/scusim_alg.dir/serial.cc.o.d"
+  "CMakeFiles/scusim_alg.dir/sssp.cc.o"
+  "CMakeFiles/scusim_alg.dir/sssp.cc.o.d"
+  "libscusim_alg.a"
+  "libscusim_alg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_alg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_common.dir/logging.cc.o"
+  "CMakeFiles/scusim_common.dir/logging.cc.o.d"
+  "libscusim_common.a"
+  "libscusim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_energy.dir/area_model.cc.o"
+  "CMakeFiles/scusim_energy.dir/area_model.cc.o.d"
+  "CMakeFiles/scusim_energy.dir/energy_model.cc.o"
+  "CMakeFiles/scusim_energy.dir/energy_model.cc.o.d"
+  "libscusim_energy.a"
+  "libscusim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_gpu.dir/gpu.cc.o"
+  "CMakeFiles/scusim_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/scusim_gpu.dir/gpu_config.cc.o"
+  "CMakeFiles/scusim_gpu.dir/gpu_config.cc.o.d"
+  "CMakeFiles/scusim_gpu.dir/sm.cc.o"
+  "CMakeFiles/scusim_gpu.dir/sm.cc.o.d"
+  "libscusim_gpu.a"
+  "libscusim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cc" "src/graph/CMakeFiles/scusim_graph.dir/analysis.cc.o" "gcc" "src/graph/CMakeFiles/scusim_graph.dir/analysis.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/scusim_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/scusim_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/scusim_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/scusim_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/scusim_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/scusim_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/loader.cc" "src/graph/CMakeFiles/scusim_graph.dir/loader.cc.o" "gcc" "src/graph/CMakeFiles/scusim_graph.dir/loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

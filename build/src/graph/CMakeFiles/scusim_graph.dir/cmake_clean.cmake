@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_graph.dir/analysis.cc.o"
+  "CMakeFiles/scusim_graph.dir/analysis.cc.o.d"
+  "CMakeFiles/scusim_graph.dir/csr.cc.o"
+  "CMakeFiles/scusim_graph.dir/csr.cc.o.d"
+  "CMakeFiles/scusim_graph.dir/datasets.cc.o"
+  "CMakeFiles/scusim_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/scusim_graph.dir/generators.cc.o"
+  "CMakeFiles/scusim_graph.dir/generators.cc.o.d"
+  "CMakeFiles/scusim_graph.dir/loader.cc.o"
+  "CMakeFiles/scusim_graph.dir/loader.cc.o.d"
+  "libscusim_graph.a"
+  "libscusim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_harness.dir/runner.cc.o"
+  "CMakeFiles/scusim_harness.dir/runner.cc.o.d"
+  "CMakeFiles/scusim_harness.dir/system.cc.o"
+  "CMakeFiles/scusim_harness.dir/system.cc.o.d"
+  "libscusim_harness.a"
+  "libscusim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_mem.dir/cache.cc.o"
+  "CMakeFiles/scusim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/scusim_mem.dir/dram.cc.o"
+  "CMakeFiles/scusim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/scusim_mem.dir/mem_system.cc.o"
+  "CMakeFiles/scusim_mem.dir/mem_system.cc.o.d"
+  "libscusim_mem.a"
+  "libscusim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

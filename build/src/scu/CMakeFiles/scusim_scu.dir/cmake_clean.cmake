@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_scu.dir/hash_table.cc.o"
+  "CMakeFiles/scusim_scu.dir/hash_table.cc.o.d"
+  "CMakeFiles/scusim_scu.dir/pipeline.cc.o"
+  "CMakeFiles/scusim_scu.dir/pipeline.cc.o.d"
+  "CMakeFiles/scusim_scu.dir/scu.cc.o"
+  "CMakeFiles/scusim_scu.dir/scu.cc.o.d"
+  "CMakeFiles/scusim_scu.dir/scu_config.cc.o"
+  "CMakeFiles/scusim_scu.dir/scu_config.cc.o.d"
+  "libscusim_scu.a"
+  "libscusim_scu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_scu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_sim.dir/simulation.cc.o"
+  "CMakeFiles/scusim_sim.dir/simulation.cc.o.d"
+  "libscusim_sim.a"
+  "libscusim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scusim_stats.dir/stats.cc.o"
+  "CMakeFiles/scusim_stats.dir/stats.cc.o.d"
+  "libscusim_stats.a"
+  "libscusim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scusim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

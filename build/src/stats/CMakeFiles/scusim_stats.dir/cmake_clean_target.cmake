@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscusim_stats.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg_test.dir/alg_test.cc.o"
+  "CMakeFiles/alg_test.dir/alg_test.cc.o.d"
+  "alg_test"
+  "alg_test.pdb"
+  "alg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

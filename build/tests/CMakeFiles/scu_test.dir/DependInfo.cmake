@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scu_test.cc" "tests/CMakeFiles/scu_test.dir/scu_test.cc.o" "gcc" "tests/CMakeFiles/scu_test.dir/scu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/scusim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/alg/CMakeFiles/scusim_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/scusim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/scu/CMakeFiles/scusim_scu.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/scusim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scusim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scusim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scusim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scusim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

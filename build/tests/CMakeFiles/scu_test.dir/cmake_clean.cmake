@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scu_test.dir/scu_test.cc.o"
+  "CMakeFiles/scu_test.dir/scu_test.cc.o.d"
+  "scu_test"
+  "scu_test.pdb"
+  "scu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

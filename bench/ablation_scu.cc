@@ -7,10 +7,10 @@
  *    Section 4.2),
  *  - grouping group size (Section 4.3's 8-vs-32 discussion).
  *
- * All on the TX1 system with the duplicate-heavy kron dataset.
+ * All on the TX1 system with the duplicate-heavy kron dataset. Each
+ * sweep is one ExperimentPlan with an ablation axis; the three
+ * expanded sweeps run as a single parallel batch.
  */
-
-#include <benchmark/benchmark.h>
 
 #include "bench_common.hh"
 
@@ -20,109 +20,80 @@ using namespace scusim::bench;
 namespace
 {
 
-harness::RunResult
-runWithScu(const scu::ScuParams &sp, harness::Primitive prim)
+harness::ExperimentPlan
+tx1KronPlan(harness::Primitive prim)
 {
-    harness::RunConfig cfg;
-    cfg.systemName = "TX1";
-    cfg.primitive = prim;
-    cfg.dataset = "kron";
-    cfg.mode = harness::ScuMode::ScuEnhanced;
-    cfg.scale = benchScale();
-    cfg.scuOverride = sp;
-    return harness::runPrimitive(cfg);
-}
-
-void
-BM_Width(benchmark::State &state, unsigned width)
-{
-    scu::ScuParams sp = scu::ScuParams::forTx1();
-    sp.pipelineWidth = width;
-    for (auto _ : state) {
-        auto r = runWithScu(sp, harness::Primitive::Bfs);
-        state.counters["cycles"] =
-            static_cast<double>(r.totalCycles);
-        state.counters["scu_busy"] =
-            static_cast<double>(r.scuBusyCycles);
-    }
-}
-
-void
-BM_HashSize(benchmark::State &state, std::uint64_t kb)
-{
-    scu::ScuParams sp = scu::ScuParams::forTx1();
-    sp.filterBfsHash.sizeBytes = kb << 10;
-    for (auto _ : state) {
-        auto r = runWithScu(sp, harness::Primitive::Bfs);
-        state.counters["filtered"] =
-            static_cast<double>(r.algMetrics.scuFiltered);
-        state.counters["gpu_edge_work"] =
-            static_cast<double>(r.algMetrics.gpuEdgeWork);
-        state.counters["cycles"] =
-            static_cast<double>(r.totalCycles);
-    }
-}
-
-void
-BM_GroupSize(benchmark::State &state, unsigned gsize)
-{
-    scu::ScuParams sp = scu::ScuParams::forTx1();
-    sp.groupSize = gsize;
-    for (auto _ : state) {
-        auto r = runWithScu(sp, harness::Primitive::Sssp);
-        state.counters["coalescing"] = r.coalescingEfficiency;
-        state.counters["cycles"] =
-            static_cast<double>(r.totalCycles);
-    }
+    return harness::ExperimentPlan()
+        .systems({"TX1"})
+        .primitives({prim})
+        .datasets({"kron"})
+        .modes({harness::ScuMode::ScuEnhanced})
+        .scale(benchScale());
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(BM_Width, w1, 1u)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Width, w2, 2u)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Width, w4, 4u)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Width, w8, 8u)->Iterations(1);
-
-BENCHMARK_CAPTURE(BM_HashSize, kb8, std::uint64_t{8})
-    ->Iterations(1);
-BENCHMARK_CAPTURE(BM_HashSize, kb33, std::uint64_t{33})
-    ->Iterations(1);
-BENCHMARK_CAPTURE(BM_HashSize, kb132, std::uint64_t{132})
-    ->Iterations(1);
-BENCHMARK_CAPTURE(BM_HashSize, kb528, std::uint64_t{528})
-    ->Iterations(1);
-
-BENCHMARK_CAPTURE(BM_GroupSize, g4, 4u)->Iterations(1);
-BENCHMARK_CAPTURE(BM_GroupSize, g8, 8u)->Iterations(1);
-BENCHMARK_CAPTURE(BM_GroupSize, g32, 32u)->Iterations(1);
-
 int
-main(int argc, char **argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-
-    Table t1("Ablation: SCU pipeline width (BFS, kron, TX1)");
-    t1.header({"width", "total cycles", "SCU busy cycles"});
+    std::vector<std::pair<std::string, scu::ScuParams>> widths;
     for (unsigned w : {1u, 2u, 4u, 8u}) {
         scu::ScuParams sp = scu::ScuParams::forTx1();
         sp.pipelineWidth = w;
-        auto r = runWithScu(sp, harness::Primitive::Bfs);
-        t1.row({std::to_string(w),
+        widths.emplace_back(std::to_string(w), sp);
+    }
+    auto widthPlan = tx1KronPlan(harness::Primitive::Bfs)
+                         .ablate("width", widths);
+
+    std::vector<std::pair<std::string, scu::ScuParams>> hashes;
+    for (std::uint64_t kb : {8, 33, 132, 528}) {
+        scu::ScuParams sp = scu::ScuParams::forTx1();
+        sp.filterBfsHash.sizeBytes = kb << 10;
+        hashes.emplace_back(std::to_string(kb), sp);
+    }
+    auto hashPlan = tx1KronPlan(harness::Primitive::Bfs)
+                        .ablate("hashKB", hashes);
+
+    std::vector<std::pair<std::string, scu::ScuParams>> groups;
+    for (unsigned gs : {4u, 8u, 32u}) {
+        scu::ScuParams sp = scu::ScuParams::forTx1();
+        sp.groupSize = gs;
+        groups.emplace_back(std::to_string(gs), sp);
+    }
+    auto groupPlan = tx1KronPlan(harness::Primitive::Sssp)
+                         .ablate("group", groups);
+
+    // One batch: the executor interleaves all three sweeps.
+    auto runs = widthPlan.expand();
+    for (auto &plan : {hashPlan, groupPlan})
+        for (auto &r : plan.expand())
+            runs.push_back(r);
+    std::printf("executing %zu runs on %u workers "
+                "(SCUSIM_JOBS to change)...\n",
+                runs.size(), harness::executorJobs());
+    auto res = harness::runPlan(runs);
+
+    harness::Table t1(
+        "Ablation: SCU pipeline width (BFS, kron, TX1)");
+    t1.header({"width", "total cycles", "SCU busy cycles"});
+    for (const auto &w : widths) {
+        const auto &r = res.byLabel(
+            "BFS/TX1/kron/scu-enhanced/width=" + w.first);
+        t1.row({w.first,
                 fmt("%.0f", static_cast<double>(r.totalCycles)),
                 fmt("%.0f",
                     static_cast<double>(r.scuBusyCycles))});
     }
     t1.print();
 
-    Table t2("Ablation: BFS filtering hash capacity (kron, TX1)");
+    harness::Table t2(
+        "Ablation: BFS filtering hash capacity (kron, TX1)");
     t2.header({"hash KB", "duplicates filtered", "GPU edge work",
                "total cycles"});
-    for (std::uint64_t kb : {8, 33, 132, 528}) {
-        scu::ScuParams sp = scu::ScuParams::forTx1();
-        sp.filterBfsHash.sizeBytes = kb << 10;
-        auto r = runWithScu(sp, harness::Primitive::Bfs);
-        t2.row({std::to_string(kb),
+    for (const auto &h : hashes) {
+        const auto &r = res.byLabel(
+            "BFS/TX1/kron/scu-enhanced/hashKB=" + h.first);
+        t2.row({h.first,
                 fmt("%.0f", static_cast<double>(
                                 r.algMetrics.scuFiltered)),
                 fmt("%.0f", static_cast<double>(
@@ -132,19 +103,20 @@ main(int argc, char **argv)
     }
     t2.print();
 
-    Table t3("Ablation: grouping group size (SSSP, kron, TX1; "
-             "paper picks 8)");
+    harness::Table t3(
+        "Ablation: grouping group size (SSSP, kron, TX1; "
+        "paper picks 8)");
     t3.header({"group size", "GPU coalescing efficiency",
                "total cycles"});
-    for (unsigned gs : {4u, 8u, 32u}) {
-        scu::ScuParams sp = scu::ScuParams::forTx1();
-        sp.groupSize = gs;
-        auto r = runWithScu(sp, harness::Primitive::Sssp);
-        t3.row({std::to_string(gs),
-                fmt("%.3f", r.coalescingEfficiency),
+    for (const auto &g : groups) {
+        const auto &r = res.byLabel(
+            "SSSP/TX1/kron/scu-enhanced/group=" + g.first);
+        t3.row({g.first, fmt("%.3f", r.coalescingEfficiency),
                 fmt("%.0f",
                     static_cast<double>(r.totalCycles))});
     }
     t3.print();
-    return 0;
+
+    harness::writeArtifact("ablation_scu", res, {&t1, &t2, &t3});
+    return res.failures() ? 1 : 0;
 }

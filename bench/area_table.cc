@@ -4,8 +4,6 @@
  * and the per-component split.
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hh"
 #include "energy/area_model.hh"
 #include "harness/system.hh"
@@ -13,36 +11,15 @@
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-void
-BM_Area(benchmark::State &state, std::string system)
-{
-    for (auto _ : state) {
-        auto cfg = harness::SystemConfig::byName(system);
-        auto r = energy::scuAreaReport(system, cfg.scu);
-        state.counters["scu_mm2"] = r.scuMm2;
-        state.counters["overhead_pct"] = r.overheadPercent();
-    }
-}
-
-} // namespace
-
-BENCHMARK_CAPTURE(BM_Area, GTX980, "GTX980")->Iterations(1);
-BENCHMARK_CAPTURE(BM_Area, TX1, "TX1")->Iterations(1);
-
 int
-main(int argc, char **argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-
-    Table t("Section 6.4: SCU area (paper: 13.27 mm2 / 3.3% GTX980,"
-            " 3.65 mm2 / 4.1% TX1)");
+    harness::Table t(
+        "Section 6.4: SCU area (paper: 13.27 mm2 / 3.3% GTX980,"
+        " 3.65 mm2 / 4.1% TX1)");
     t.header({"system", "GPU mm2", "SCU mm2", "overhead %",
               "component", "component mm2"});
-    for (const char *sys : {"GTX980", "TX1"}) {
+    for (const auto &sys : benchSystems()) {
         auto cfg = harness::SystemConfig::byName(sys);
         auto r = energy::scuAreaReport(sys, cfg.scu);
         bool first = true;
@@ -56,5 +33,7 @@ main(int argc, char **argv)
         }
     }
     t.print();
+    harness::writeArtifact("area_table", harness::PlanResults(),
+                           {&t});
     return 0;
 }

@@ -1,12 +1,15 @@
 /**
  * @file
- * Shared machinery of the per-figure benchmark binaries: scale
- * selection, run memoization (one simulation per configuration per
- * process) and paper-style table printing.
+ * Shared vocabulary of the per-figure benchmark binaries. Each
+ * binary declares its run matrix as an harness::ExperimentPlan,
+ * executes it on the parallel executor (SCUSIM_JOBS workers), prints
+ * the paper-style tables and emits JSON/CSV artifacts via
+ * harness::writeArtifact.
  *
- * Every binary accepts google-benchmark's usual flags plus the
- * environment variable SCUSIM_SCALE (default 0.05) controlling the
- * dataset scale; EXPERIMENTS.md records results at the default.
+ * Environment:
+ *   SCUSIM_SCALE        dataset scale factor (default 0.05)
+ *   SCUSIM_JOBS         executor worker count (default: all cores)
+ *   SCUSIM_ARTIFACT_DIR where artifacts land (default ".")
  */
 
 #ifndef SCUSIM_BENCH_BENCH_COMMON_HH
@@ -14,11 +17,12 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "harness/runner.hh"
+#include "harness/executor.hh"
+#include "harness/plan.hh"
+#include "harness/results.hh"
 
 namespace scusim::bench
 {
@@ -41,84 +45,44 @@ benchDatasets()
     return d;
 }
 
-/** Run (or fetch the memoized result of) one configuration. */
-inline const harness::RunResult &
-runCached(const std::string &system, harness::Primitive prim,
-          const std::string &dataset, harness::ScuMode mode)
+/** The two evaluated systems, Tables 3/4 order. */
+inline const std::vector<std::string> &
+benchSystems()
 {
-    static std::map<std::string, harness::RunResult> cache;
-    std::string key = system + "|" + harness::to_string(prim) + "|" +
-                      dataset + "|" + harness::to_string(mode);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        harness::RunConfig cfg;
-        cfg.systemName = system;
-        cfg.primitive = prim;
-        cfg.dataset = dataset;
-        cfg.mode = mode;
-        cfg.scale = benchScale();
-        auto r = harness::runPrimitive(cfg);
-        if (!r.validated) {
-            std::fprintf(stderr,
-                         "WARNING: %s failed validation\n",
-                         key.c_str());
-        }
-        it = cache.emplace(key, r).first;
-    }
-    return it->second;
+    static const std::vector<std::string> s{"GTX980", "TX1"};
+    return s;
 }
 
-/** Simple fixed-width table printer. */
-class Table
+/** The three primitives of the evaluation. */
+inline const std::vector<harness::Primitive> &
+benchPrimitives()
 {
-  public:
-    explicit Table(std::string title) : heading(std::move(title)) {}
+    static const std::vector<harness::Primitive> p{
+        harness::Primitive::Bfs, harness::Primitive::Sssp,
+        harness::Primitive::Pr};
+    return p;
+}
 
-    void
-    header(const std::vector<std::string> &cols)
-    {
-        headerRow = cols;
-    }
+/** The paper's SCU mode for @p prim: PR does not use the enhanced
+ *  capabilities (Section 4.6). */
+inline harness::ScuMode
+scuModeFor(harness::Primitive prim)
+{
+    return prim == harness::Primitive::Pr
+               ? harness::ScuMode::ScuBasic
+               : harness::ScuMode::ScuEnhanced;
+}
 
-    void
-    row(const std::vector<std::string> &cells)
-    {
-        rows.push_back(cells);
-    }
-
-    void
-    print() const
-    {
-        std::vector<std::size_t> widths(headerRow.size(), 0);
-        auto widen = [&](const std::vector<std::string> &r) {
-            for (std::size_t i = 0; i < r.size(); ++i) {
-                if (i >= widths.size())
-                    widths.resize(i + 1, 0);
-                widths[i] = std::max(widths[i], r[i].size());
-            }
-        };
-        widen(headerRow);
-        for (const auto &r : rows)
-            widen(r);
-
-        std::printf("\n=== %s ===\n", heading.c_str());
-        auto print_row = [&](const std::vector<std::string> &r) {
-            for (std::size_t i = 0; i < r.size(); ++i)
-                std::printf("%-*s  ",
-                            static_cast<int>(widths[i]),
-                            r[i].c_str());
-            std::printf("\n");
-        };
-        print_row(headerRow);
-        for (const auto &r : rows)
-            print_row(r);
-    }
-
-  private:
-    std::string heading;
-    std::vector<std::string> headerRow;
-    std::vector<std::vector<std::string>> rows;
-};
+/** Execute @p plan, reporting matrix size and worker count. */
+inline harness::PlanResults
+runBenchPlan(const harness::ExperimentPlan &plan)
+{
+    auto runs = plan.expand();
+    std::printf("executing %zu runs on %u workers "
+                "(SCUSIM_JOBS to change)...\n",
+                runs.size(), harness::executorJobs());
+    return harness::runPlan(runs);
+}
 
 inline std::string
 fmt(const char *f, double v)

@@ -6,73 +6,40 @@
  * as in the paper).
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hh"
 
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-double
-avgCompactionShare(const std::string &system,
-                   harness::Primitive prim)
-{
-    double sum = 0;
-    for (const auto &ds : benchDatasets())
-        sum += runCached(system, prim, ds,
-                         harness::ScuMode::GpuOnly)
-                   .compactionShare();
-    return sum / static_cast<double>(benchDatasets().size());
-}
-
-void
-BM_Breakdown(benchmark::State &state, std::string system,
-             harness::Primitive prim)
-{
-    for (auto _ : state) {
-        double share = avgCompactionShare(system, prim);
-        state.counters["compaction_pct"] = 100.0 * share;
-        state.counters["rest_pct"] = 100.0 * (1.0 - share);
-    }
-}
-
-} // namespace
-
-BENCHMARK_CAPTURE(BM_Breakdown, BFS_GTX980, "GTX980",
-                  harness::Primitive::Bfs)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Breakdown, BFS_TX1, "TX1",
-                  harness::Primitive::Bfs)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Breakdown, SSSP_GTX980, "GTX980",
-                  harness::Primitive::Sssp)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Breakdown, SSSP_TX1, "TX1",
-                  harness::Primitive::Sssp)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Breakdown, PR_GTX980, "GTX980",
-                  harness::Primitive::Pr)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Breakdown, PR_TX1, "TX1",
-                  harness::Primitive::Pr)->Iterations(1);
-
 int
-main(int argc, char **argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    auto res = runBenchPlan(
+        harness::ExperimentPlan()
+            .systems(benchSystems())
+            .primitives(benchPrimitives())
+            .datasets(benchDatasets())
+            .modes({harness::ScuMode::GpuOnly})
+            .scale(benchScale()));
 
-    Table t("Figure 1: % of GPU-only time in stream compaction "
-            "(paper: 25-55%)");
+    harness::Table t(
+        "Figure 1: % of GPU-only time in stream compaction "
+        "(paper: 25-55%)");
     t.header({"primitive", "system", "compaction %", "rest %"});
-    for (auto prim : {harness::Primitive::Bfs,
-                      harness::Primitive::Sssp,
-                      harness::Primitive::Pr}) {
-        for (const char *sys : {"GTX980", "TX1"}) {
-            double s = avgCompactionShare(sys, prim);
+    for (auto prim : benchPrimitives()) {
+        for (const auto &sys : benchSystems()) {
+            double share = 0;
+            for (const auto &ds : benchDatasets())
+                share += res.get(sys, prim, ds,
+                                 harness::ScuMode::GpuOnly)
+                             .compactionShare();
+            share /= static_cast<double>(benchDatasets().size());
             t.row({harness::to_string(prim), sys,
-                   fmt("%.1f", 100.0 * s),
-                   fmt("%.1f", 100.0 * (1 - s))});
+                   fmt("%.1f", 100.0 * share),
+                   fmt("%.1f", 100.0 * (1 - share))});
         }
     }
     t.print();
-    return 0;
+    harness::writeArtifact("fig01_breakdown", res, {&t});
+    return res.failures() ? 1 : 0;
 }

@@ -5,85 +5,39 @@
  * every dataset and both systems.
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hh"
 
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-void
-BM_Energy(benchmark::State &state, std::string system,
-          harness::Primitive prim, std::string dataset)
-{
-    for (auto _ : state) {
-        const auto &base = runCached(system, prim, dataset,
-                                     harness::ScuMode::GpuOnly);
-        const auto mode = prim == harness::Primitive::Pr
-                              ? harness::ScuMode::ScuBasic
-                              : harness::ScuMode::ScuEnhanced;
-        const auto &scu = runCached(system, prim, dataset, mode);
-        double norm = scu.energy.totalJ() / base.energy.totalJ();
-        state.counters["norm_energy"] = norm;
-        state.counters["gpu_share"] =
-            scu.energy.gpuSideJ() / scu.energy.totalJ();
-        state.counters["scu_share"] =
-            scu.energy.scuSideJ() / scu.energy.totalJ();
-    }
-}
-
-void
-registerAll()
-{
-    for (auto prim : {harness::Primitive::Bfs,
-                      harness::Primitive::Sssp,
-                      harness::Primitive::Pr}) {
-        for (const char *sys : {"GTX980", "TX1"}) {
-            for (const auto &ds : benchDatasets()) {
-                std::string name = "fig09/" +
-                                   harness::to_string(prim) + "/" +
-                                   sys + "/" + ds;
-                ::benchmark::RegisterBenchmark(
-                    name.c_str(),
-                    [sys, prim, ds](benchmark::State &st) {
-                        BM_Energy(st, sys, prim, ds);
-                    })
-                    ->Iterations(1);
-            }
-        }
-    }
-}
-
-} // namespace
-
 int
-main(int argc, char **argv)
+main()
 {
-    registerAll();
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    auto res = runBenchPlan(
+        harness::ExperimentPlan()
+            .systems(benchSystems())
+            .primitives(benchPrimitives())
+            .datasets(benchDatasets())
+            .modesFor([](harness::Primitive p) {
+                return std::vector<harness::ScuMode>{
+                    harness::ScuMode::GpuOnly, scuModeFor(p)};
+            })
+            .scale(benchScale()));
 
-    Table t("Figure 9: normalized energy, SCU system vs GPU-only "
-            "baseline (lower is better; paper avg: 0.153 GTX980, "
-            "0.31 TX1)");
+    harness::Table t(
+        "Figure 9: normalized energy, SCU system vs GPU-only "
+        "baseline (lower is better; paper avg: 0.153 GTX980, "
+        "0.31 TX1)");
     t.header({"primitive", "system", "dataset", "norm energy",
               "gpu share", "scu share"});
-    for (auto prim : {harness::Primitive::Bfs,
-                      harness::Primitive::Sssp,
-                      harness::Primitive::Pr}) {
-        for (const char *sys : {"GTX980", "TX1"}) {
+    for (auto prim : benchPrimitives()) {
+        for (const auto &sys : benchSystems()) {
             double avg = 0;
             for (const auto &ds : benchDatasets()) {
-                const auto &base = runCached(
+                const auto &base = res.get(
                     sys, prim, ds, harness::ScuMode::GpuOnly);
-                const auto mode =
-                    prim == harness::Primitive::Pr
-                        ? harness::ScuMode::ScuBasic
-                        : harness::ScuMode::ScuEnhanced;
-                const auto &scu = runCached(sys, prim, ds, mode);
+                const auto &scu =
+                    res.get(sys, prim, ds, scuModeFor(prim));
                 double norm =
                     scu.energy.totalJ() / base.energy.totalJ();
                 avg += norm;
@@ -102,5 +56,6 @@ main(int argc, char **argv)
         }
     }
     t.print();
-    return 0;
+    harness::writeArtifact("fig09_energy", res, {&t});
+    return res.failures() ? 1 : 0;
 }

@@ -5,95 +5,46 @@
  * every dataset and both systems.
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hh"
 
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-harness::ScuMode
-scuModeFor(harness::Primitive prim)
-{
-    // PR does not use the enhanced capabilities (Section 4.6).
-    return prim == harness::Primitive::Pr
-               ? harness::ScuMode::ScuBasic
-               : harness::ScuMode::ScuEnhanced;
-}
-
-void
-BM_Time(benchmark::State &state, std::string system,
-        harness::Primitive prim, std::string dataset)
-{
-    for (auto _ : state) {
-        const auto &base = runCached(system, prim, dataset,
-                                     harness::ScuMode::GpuOnly);
-        const auto &scu =
-            runCached(system, prim, dataset, scuModeFor(prim));
-        state.counters["norm_time"] =
-            static_cast<double>(scu.totalCycles) /
-            static_cast<double>(base.totalCycles);
-        state.counters["speedup"] =
-            static_cast<double>(base.totalCycles) /
-            static_cast<double>(scu.totalCycles);
-    }
-}
-
-void
-registerAll()
-{
-    for (auto prim : {harness::Primitive::Bfs,
-                      harness::Primitive::Sssp,
-                      harness::Primitive::Pr}) {
-        for (const char *sys : {"GTX980", "TX1"}) {
-            for (const auto &ds : benchDatasets()) {
-                std::string name = "fig10/" +
-                                   harness::to_string(prim) + "/" +
-                                   sys + "/" + ds;
-                ::benchmark::RegisterBenchmark(
-                    name.c_str(),
-                    [sys, prim, ds](benchmark::State &st) {
-                        BM_Time(st, sys, prim, ds);
-                    })
-                    ->Iterations(1);
-            }
-        }
-    }
-}
-
-} // namespace
-
 int
-main(int argc, char **argv)
+main()
 {
-    registerAll();
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    auto res = runBenchPlan(
+        harness::ExperimentPlan()
+            .systems(benchSystems())
+            .primitives(benchPrimitives())
+            .datasets(benchDatasets())
+            .modesFor([](harness::Primitive p) {
+                return std::vector<harness::ScuMode>{
+                    harness::ScuMode::GpuOnly, scuModeFor(p)};
+            })
+            .scale(benchScale()));
 
-    Table t("Figure 10: normalized time, SCU system vs GPU-only "
-            "(lower is better; paper avg speedups: 1.37x GTX980, "
-            "2.32x TX1)");
+    harness::Table t(
+        "Figure 10: normalized time, SCU system vs GPU-only "
+        "(lower is better; paper avg speedups: 1.37x GTX980, "
+        "2.32x TX1)");
     t.header({"primitive", "system", "dataset", "norm time",
               "speedup"});
-    for (auto prim : {harness::Primitive::Bfs,
-                      harness::Primitive::Sssp,
-                      harness::Primitive::Pr}) {
-        for (const char *sys : {"GTX980", "TX1"}) {
+    for (auto prim : benchPrimitives()) {
+        for (const auto &sys : benchSystems()) {
             double avg_speedup = 0;
             for (const auto &ds : benchDatasets()) {
-                const auto &base = runCached(
+                const auto &base = res.get(
                     sys, prim, ds, harness::ScuMode::GpuOnly);
                 const auto &scu =
-                    runCached(sys, prim, ds, scuModeFor(prim));
+                    res.get(sys, prim, ds, scuModeFor(prim));
                 double norm =
                     static_cast<double>(scu.totalCycles) /
                     static_cast<double>(base.totalCycles);
                 avg_speedup += 1.0 / norm;
                 t.row({harness::to_string(prim), sys, ds,
-                       fmt("%.3f", norm), fmt("%.2fx", 1.0 / norm)});
+                       fmt("%.3f", norm),
+                       fmt("%.2fx", 1.0 / norm)});
             }
             t.row({harness::to_string(prim), sys, "AVG", "",
                    fmt("%.2fx",
@@ -102,5 +53,6 @@ main(int argc, char **argv)
         }
     }
     t.print();
-    return 0;
+    harness::writeArtifact("fig10_time", res, {&t});
+    return res.failures() ? 1 : 0;
 }

@@ -7,107 +7,69 @@
  * the filtering removes.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
 
 #include "bench_common.hh"
 
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-struct Cell
-{
-    double basicSpeedup = 0, enhSpeedup = 0;
-    double basicEnergyRed = 0, enhEnergyRed = 0;
-    double instrReductionPct = 0;
-};
-
-Cell
-computeCell(const std::string &system, harness::Primitive prim)
-{
-    Cell c;
-    double n = 0;
-    for (const auto &ds : benchDatasets()) {
-        const auto &base = runCached(system, prim, ds,
-                                     harness::ScuMode::GpuOnly);
-        const auto &basic = runCached(system, prim, ds,
-                                      harness::ScuMode::ScuBasic);
-        const auto &enh = runCached(system, prim, ds,
-                                    harness::ScuMode::ScuEnhanced);
-        c.basicSpeedup += static_cast<double>(base.totalCycles) /
-                          static_cast<double>(basic.totalCycles);
-        c.enhSpeedup += static_cast<double>(base.totalCycles) /
-                        static_cast<double>(enh.totalCycles);
-        c.basicEnergyRed +=
-            base.energy.totalJ() / basic.energy.totalJ();
-        c.enhEnergyRed +=
-            base.energy.totalJ() / enh.energy.totalJ();
-        c.instrReductionPct +=
-            100.0 *
-            (1.0 - enh.gpuThreadInstrs /
-                       std::max(1.0, basic.gpuThreadInstrs));
-        n += 1;
-    }
-    c.basicSpeedup /= n;
-    c.enhSpeedup /= n;
-    c.basicEnergyRed /= n;
-    c.enhEnergyRed /= n;
-    c.instrReductionPct /= n;
-    return c;
-}
-
-void
-BM_Fig11(benchmark::State &state, std::string system,
-         harness::Primitive prim)
-{
-    for (auto _ : state) {
-        Cell c = computeCell(system, prim);
-        state.counters["basic_speedup"] = c.basicSpeedup;
-        state.counters["enhanced_speedup"] = c.enhSpeedup;
-        state.counters["basic_energy_red"] = c.basicEnergyRed;
-        state.counters["enhanced_energy_red"] = c.enhEnergyRed;
-        state.counters["gpu_instr_reduction_pct"] =
-            c.instrReductionPct;
-    }
-}
-
-} // namespace
-
-BENCHMARK_CAPTURE(BM_Fig11, BFS_GTX980, "GTX980",
-                  harness::Primitive::Bfs)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Fig11, BFS_TX1, "TX1",
-                  harness::Primitive::Bfs)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Fig11, SSSP_GTX980, "GTX980",
-                  harness::Primitive::Sssp)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Fig11, SSSP_TX1, "TX1",
-                  harness::Primitive::Sssp)->Iterations(1);
-
 int
-main(int argc, char **argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    auto res = runBenchPlan(
+        harness::ExperimentPlan()
+            .systems(benchSystems())
+            .primitives({harness::Primitive::Bfs,
+                         harness::Primitive::Sssp})
+            .datasets(benchDatasets())
+            .modes({harness::ScuMode::GpuOnly,
+                    harness::ScuMode::ScuBasic,
+                    harness::ScuMode::ScuEnhanced})
+            .scale(benchScale()));
 
-    Table t("Figure 11: basic vs enhanced SCU (dataset-average; "
-            "paper: BFS TX1 3.83x / SSSP TX1 3.24x enhanced "
-            "speedup; basic ~1.5x)");
+    harness::Table t(
+        "Figure 11: basic vs enhanced SCU (dataset-average; "
+        "paper: BFS TX1 3.83x / SSSP TX1 3.24x enhanced "
+        "speedup; basic ~1.5x)");
     t.header({"primitive", "system", "basic speedup",
               "enhanced speedup", "basic energy red",
               "enhanced energy red", "GPU instr reduction %"});
     for (auto prim :
          {harness::Primitive::Bfs, harness::Primitive::Sssp}) {
-        for (const char *sys : {"GTX980", "TX1"}) {
-            Cell c = computeCell(sys, prim);
+        for (const auto &sys : benchSystems()) {
+            double basicSp = 0, enhSp = 0, basicEn = 0, enhEn = 0,
+                   instrRed = 0;
+            const double n =
+                static_cast<double>(benchDatasets().size());
+            for (const auto &ds : benchDatasets()) {
+                const auto &base = res.get(
+                    sys, prim, ds, harness::ScuMode::GpuOnly);
+                const auto &basic = res.get(
+                    sys, prim, ds, harness::ScuMode::ScuBasic);
+                const auto &enh = res.get(
+                    sys, prim, ds, harness::ScuMode::ScuEnhanced);
+                basicSp += static_cast<double>(base.totalCycles) /
+                           static_cast<double>(basic.totalCycles);
+                enhSp += static_cast<double>(base.totalCycles) /
+                         static_cast<double>(enh.totalCycles);
+                basicEn +=
+                    base.energy.totalJ() / basic.energy.totalJ();
+                enhEn += base.energy.totalJ() / enh.energy.totalJ();
+                instrRed +=
+                    100.0 *
+                    (1.0 - enh.gpuThreadInstrs /
+                               std::max(1.0, basic.gpuThreadInstrs));
+            }
             t.row({harness::to_string(prim), sys,
-                   fmt("%.2fx", c.basicSpeedup),
-                   fmt("%.2fx", c.enhSpeedup),
-                   fmt("%.2fx", c.basicEnergyRed),
-                   fmt("%.2fx", c.enhEnergyRed),
-                   fmt("%.1f", c.instrReductionPct)});
+                   fmt("%.2fx", basicSp / n),
+                   fmt("%.2fx", enhSp / n),
+                   fmt("%.2fx", basicEn / n),
+                   fmt("%.2fx", enhEn / n),
+                   fmt("%.1f", instrRed / n)});
         }
     }
     t.print();
-    return 0;
+    harness::writeArtifact("fig11_scu_breakdown", res, {&t});
+    return res.failures() ? 1 : 0;
 }

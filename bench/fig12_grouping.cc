@@ -14,66 +14,42 @@
  * elements.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
 
 #include "bench_common.hh"
 
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-double
-improvementPct(const std::string &ds)
-{
-    const auto &basic = runCached("TX1", harness::Primitive::Sssp,
-                                  ds, harness::ScuMode::ScuBasic);
-    const auto &grouped =
-        runCached("TX1", harness::Primitive::Sssp, ds,
-                  harness::ScuMode::ScuEnhanced);
-    return 100.0 * (grouped.coalescingEfficiency /
-                        std::max(1e-9,
-                                 basic.coalescingEfficiency) -
-                    1.0);
-}
-
-void
-BM_Grouping(benchmark::State &state, std::string ds)
-{
-    for (auto _ : state)
-        state.counters["coalescing_improvement_pct"] =
-            improvementPct(ds);
-}
-
-void
-registerAll()
-{
-    for (const auto &ds : benchDatasets()) {
-        std::string name = "fig12/SSSP/TX1/" + ds;
-        ::benchmark::RegisterBenchmark(
-            name.c_str(), [ds](benchmark::State &st) {
-                BM_Grouping(st, ds);
-            })
-            ->Iterations(1);
-    }
-}
-
-} // namespace
-
 int
-main(int argc, char **argv)
+main()
 {
-    registerAll();
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    auto res = runBenchPlan(
+        harness::ExperimentPlan()
+            .systems({"TX1"})
+            .primitives({harness::Primitive::Sssp})
+            .datasets(benchDatasets())
+            .modes({harness::ScuMode::ScuBasic,
+                    harness::ScuMode::ScuEnhanced})
+            .scale(benchScale()));
 
-    Table t("Figure 12: coalescing improvement from grouping, SSSP "
-            "on TX1 (paper average: 27%)");
+    harness::Table t(
+        "Figure 12: coalescing improvement from grouping, SSSP "
+        "on TX1 (paper average: 27%)");
     t.header({"dataset", "coalescing improvement %"});
     double avg = 0;
     for (const auto &ds : benchDatasets()) {
-        double imp = improvementPct(ds);
+        const auto &basic =
+            res.get("TX1", harness::Primitive::Sssp, ds,
+                    harness::ScuMode::ScuBasic);
+        const auto &grouped =
+            res.get("TX1", harness::Primitive::Sssp, ds,
+                    harness::ScuMode::ScuEnhanced);
+        double imp =
+            100.0 * (grouped.coalescingEfficiency /
+                         std::max(1e-9,
+                                  basic.coalescingEfficiency) -
+                     1.0);
         avg += imp;
         t.row({ds, fmt("%.1f", imp)});
     }
@@ -81,5 +57,6 @@ main(int argc, char **argv)
            fmt("%.1f",
                avg / static_cast<double>(benchDatasets().size()))});
     t.print();
-    return 0;
+    harness::writeArtifact("fig12_grouping", res, {&t});
+    return res.failures() ? 1 : 0;
 }

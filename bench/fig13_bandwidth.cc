@@ -7,84 +7,47 @@
  * raise it on the TX1 (more time saved than traffic).
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hh"
 
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-harness::ScuMode
-scuModeFor(harness::Primitive prim)
-{
-    return prim == harness::Primitive::Pr
-               ? harness::ScuMode::ScuBasic
-               : harness::ScuMode::ScuEnhanced;
-}
-
-std::pair<double, double>
-utilization(const std::string &system, harness::Primitive prim)
-{
-    double base = 0, scu = 0;
-    for (const auto &ds : benchDatasets()) {
-        base += runCached(system, prim, ds,
-                          harness::ScuMode::GpuOnly)
-                    .bwUtilization;
-        scu += runCached(system, prim, ds, scuModeFor(prim))
-                   .bwUtilization;
-    }
-    double n = static_cast<double>(benchDatasets().size());
-    return {base / n, scu / n};
-}
-
-void
-BM_Bandwidth(benchmark::State &state, std::string system,
-             harness::Primitive prim)
-{
-    for (auto _ : state) {
-        auto [base, scu] = utilization(system, prim);
-        state.counters["gpu_only_bw_pct"] = 100.0 * base;
-        state.counters["scu_system_bw_pct"] = 100.0 * scu;
-    }
-}
-
-} // namespace
-
-BENCHMARK_CAPTURE(BM_Bandwidth, BFS_GTX980, "GTX980",
-                  harness::Primitive::Bfs)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Bandwidth, BFS_TX1, "TX1",
-                  harness::Primitive::Bfs)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Bandwidth, SSSP_GTX980, "GTX980",
-                  harness::Primitive::Sssp)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Bandwidth, SSSP_TX1, "TX1",
-                  harness::Primitive::Sssp)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Bandwidth, PR_GTX980, "GTX980",
-                  harness::Primitive::Pr)->Iterations(1);
-BENCHMARK_CAPTURE(BM_Bandwidth, PR_TX1, "TX1",
-                  harness::Primitive::Pr)->Iterations(1);
-
 int
-main(int argc, char **argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    auto res = runBenchPlan(
+        harness::ExperimentPlan()
+            .systems(benchSystems())
+            .primitives(benchPrimitives())
+            .datasets(benchDatasets())
+            .modesFor([](harness::Primitive p) {
+                return std::vector<harness::ScuMode>{
+                    harness::ScuMode::GpuOnly, scuModeFor(p)};
+            })
+            .scale(benchScale()));
 
-    Table t("Figure 13: memory bandwidth utilization (% of peak), "
-            "GPU-only vs GPU+SCU");
+    harness::Table t(
+        "Figure 13: memory bandwidth utilization (% of peak), "
+        "GPU-only vs GPU+SCU");
     t.header({"primitive", "system", "GPU-only %", "GPU+SCU %"});
-    for (auto prim : {harness::Primitive::Bfs,
-                      harness::Primitive::Sssp,
-                      harness::Primitive::Pr}) {
-        for (const char *sys : {"GTX980", "TX1"}) {
-            auto [base, scu] = utilization(sys, prim);
+    for (auto prim : benchPrimitives()) {
+        for (const auto &sys : benchSystems()) {
+            double base = 0, scu = 0;
+            for (const auto &ds : benchDatasets()) {
+                base += res.get(sys, prim, ds,
+                                harness::ScuMode::GpuOnly)
+                            .bwUtilization;
+                scu += res.get(sys, prim, ds, scuModeFor(prim))
+                           .bwUtilization;
+            }
+            const double n =
+                static_cast<double>(benchDatasets().size());
             t.row({harness::to_string(prim), sys,
-                   fmt("%.1f", 100.0 * base),
-                   fmt("%.1f", 100.0 * scu)});
+                   fmt("%.1f", 100.0 * base / n),
+                   fmt("%.1f", 100.0 * scu / n)});
         }
     }
     t.print();
-    return 0;
+    harness::writeArtifact("fig13_bandwidth", res, {&t});
+    return res.failures() ? 1 : 0;
 }

@@ -3,10 +3,10 @@
  * Table 5: the benchmark graph datasets. Regenerates each synthetic
  * stand-in and reports its statistics next to the paper's targets,
  * plus the structural measures that drive SCU behaviour (duplicate
- * potential and destination locality).
+ * potential and destination locality). The dataset axis is declared
+ * as a plan; the "runs" here are graph syntheses, not simulations,
+ * so the plan is expanded for its dataset cells only.
  */
-
-#include <benchmark/benchmark.h>
 
 #include "bench_common.hh"
 #include "graph/analysis.hh"
@@ -15,53 +15,25 @@
 using namespace scusim;
 using namespace scusim::bench;
 
-namespace
-{
-
-void
-BM_Dataset(benchmark::State &state, std::string name)
-{
-    for (auto _ : state) {
-        const auto &g =
-            harness::cachedDataset(name, benchScale(), 1);
-        auto st = graph::analyzeGraph(g);
-        state.counters["nodes"] = static_cast<double>(st.nodes);
-        state.counters["edges"] = static_cast<double>(st.edges);
-        state.counters["avg_degree"] = st.avgDegree;
-    }
-}
-
-void
-registerAll()
-{
-    for (const auto &ds : benchDatasets()) {
-        std::string name = "table5/" + ds;
-        ::benchmark::RegisterBenchmark(
-            name.c_str(), [ds](benchmark::State &st) {
-                BM_Dataset(st, ds);
-            })
-            ->Iterations(1);
-    }
-}
-
-} // namespace
-
 int
-main(int argc, char **argv)
+main()
 {
-    registerAll();
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    auto cells = harness::ExperimentPlan()
+                     .datasets(benchDatasets())
+                     .scale(benchScale())
+                     .expand();
 
-    Table t(std::string("Table 5: datasets at scale ") +
-            fmt("%.3g", benchScale()) +
-            " (paper columns at scale 1.0 in parentheses)");
+    harness::Table t(
+        std::string("Table 5: datasets at scale ") +
+        fmt("%.3g", benchScale()) +
+        " (paper columns at scale 1.0 in parentheses)");
     t.header({"graph", "description", "nodes 10^3", "edges 10^6",
               "avg degree", "avg in-degree", "dest locality"});
-    for (const auto &ds : benchDatasets()) {
+    for (const auto &cell : cells) {
+        const auto &ds = cell.cfg.dataset;
         const auto &spec = graph::datasetSpec(ds);
-        const auto &g =
-            harness::cachedDataset(ds, benchScale(), 1);
+        const auto &g = harness::cachedDataset(
+            ds, cell.cfg.scale, cell.cfg.seed);
         auto st = graph::analyzeGraph(g);
         t.row({ds, spec.description,
                fmt("%.1f", st.nodes / 1e3) + " (" +
@@ -76,5 +48,7 @@ main(int argc, char **argv)
                fmt("%.2f", st.destLineLocality)});
     }
     t.print();
+    harness::writeArtifact("table5_datasets",
+                           harness::PlanResults(), {&t});
     return 0;
 }

@@ -6,8 +6,6 @@
  * drift from the simulated reality.
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hh"
 #include "harness/system.hh"
 
@@ -16,21 +14,6 @@ using namespace scusim::bench;
 
 namespace
 {
-
-void
-BM_Configs(benchmark::State &state)
-{
-    for (auto _ : state) {
-        auto hp = harness::SystemConfig::gtx980();
-        auto lp = harness::SystemConfig::tx1();
-        state.counters["gtx980_sms"] = hp.gpu.numSms;
-        state.counters["tx1_sms"] = lp.gpu.numSms;
-        state.counters["gtx980_scu_width"] = hp.scu.pipelineWidth;
-        state.counters["tx1_scu_width"] = lp.scu.pipelineWidth;
-    }
-}
-
-BENCHMARK(BM_Configs)->Iterations(1);
 
 std::string
 kb(std::uint64_t bytes)
@@ -41,15 +24,12 @@ kb(std::uint64_t bytes)
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-
     auto hp = harness::SystemConfig::gtx980();
     auto lp = harness::SystemConfig::tx1();
 
-    Table t1("Table 1: SCU hardware parameters");
+    harness::Table t1("Table 1: SCU hardware parameters");
     t1.header({"parameter", "value"});
     t1.row({"Frequency",
             fmt("%.2f", hp.gpu.freqHz / 1e9) + " GHz / " +
@@ -63,7 +43,7 @@ main(int argc, char **argv)
                 std::to_string(hp.scu.mergeWindow) + "-merge"});
     t1.print();
 
-    Table t2("Table 2: SCU scalability parameters");
+    harness::Table t2("Table 2: SCU scalability parameters");
     t2.header({"parameter", "GTX980", "TX1"});
     t2.row({"Pipeline Width",
             std::to_string(hp.scu.pipelineWidth) + " elems/cycle",
@@ -87,9 +67,10 @@ main(int argc, char **argv)
              lp.scu.groupHash);
     t2.print();
 
+    std::vector<harness::Table> gpuTables;
     auto gpu_table = [&](const char *title,
                          const harness::SystemConfig &c) {
-        Table t(title);
+        harness::Table t(title);
         t.header({"parameter", "value"});
         t.row({"GPU, Frequency",
                c.gpu.name + ", " +
@@ -108,8 +89,13 @@ main(int argc, char **argv)
                        c.gpu.memsys.dram.peakBytesPerSec / 1e9) +
                    " GB/s"});
         t.print();
+        gpuTables.push_back(std::move(t));
     };
     gpu_table("Table 3: high-performance GTX980 parameters", hp);
     gpu_table("Table 4: low-power Tegra X1 parameters", lp);
+
+    harness::writeArtifact(
+        "table_configs", harness::PlanResults(),
+        {&t1, &t2, &gpuTables[0], &gpuTables[1]});
     return 0;
 }

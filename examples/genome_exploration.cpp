@@ -4,17 +4,32 @@
  * network (the paper's "human" dataset class) — the workload where
  * SCU filtering shines, because every frontier is saturated with
  * duplicate destinations. Runs BFS from several regulator hubs and
- * reports how much GPU work the enhanced SCU removes.
+ * reports how much GPU work the enhanced SCU removes. The six runs
+ * (3 sources x 2 configs) are declared up front with
+ * ExperimentPlan::add() — source is not a matrix axis — and executed
+ * on the worker pool in one batch.
  */
 
 #include <cstdio>
+#include <string>
 
-#include "alg/bfs.hh"
 #include "graph/datasets.hh"
-#include "harness/runner.hh"
-#include "harness/system.hh"
+#include "harness/executor.hh"
+#include "harness/plan.hh"
 
 using namespace scusim;
+
+namespace
+{
+
+std::string
+cellLabel(NodeId source, harness::ScuMode mode)
+{
+    return "src" + std::to_string(source) + "/" +
+           harness::to_string(mode);
+}
+
+} // namespace
 
 int
 main()
@@ -26,23 +41,36 @@ main()
                 static_cast<unsigned long long>(g.numEdges()),
                 g.averageDegree());
 
-    harness::RunConfig cfg;
-    cfg.systemName = "GTX980";
-    cfg.primitive = harness::Primitive::Bfs;
+    const NodeId sources[] = {NodeId{1}, NodeId{17}, NodeId{123}};
+    const harness::ScuMode modes[] = {harness::ScuMode::GpuOnly,
+                                      harness::ScuMode::ScuEnhanced};
+
+    harness::ExperimentPlan plan;
+    plan.graph(&g, "human");
+    for (NodeId source : sources) {
+        for (auto mode : modes) {
+            harness::RunConfig cfg;
+            cfg.systemName = "GTX980";
+            cfg.primitive = harness::Primitive::Bfs;
+            cfg.mode = mode;
+            cfg.alg.source = source;
+            plan.add(cfg, cellLabel(source, mode));
+        }
+    }
+    auto res = harness::runPlan(plan);
 
     std::printf("%-8s %-14s %12s %14s %14s %6s\n", "source",
                 "config", "time (ms)", "edges on GPU",
                 "filtered", "ok");
-    for (NodeId source : {NodeId{1}, NodeId{17}, NodeId{123}}) {
-        cfg.alg.source = source;
+    bool allOk = true;
+    for (NodeId source : sources) {
         double base_work = 0;
-        for (auto mode : {harness::ScuMode::GpuOnly,
-                          harness::ScuMode::ScuEnhanced}) {
-            cfg.mode = mode;
-            auto r = harness::runPrimitive(cfg, g);
+        for (auto mode : modes) {
+            const auto &r = res.byLabel(cellLabel(source, mode));
             if (mode == harness::ScuMode::GpuOnly)
                 base_work = static_cast<double>(
                     r.algMetrics.gpuEdgeWork);
+            allOk = allOk && r.validated;
             std::printf("%-8u %-14s %12.3f %14llu %14llu %6s\n",
                         source, harness::to_string(mode).c_str(),
                         r.seconds * 1e3,
@@ -62,5 +90,5 @@ main()
             }
         }
     }
-    return 0;
+    return allOk ? 0 : 1;
 }

@@ -1,15 +1,18 @@
 /**
  * @file
- * Quickstart: build a small graph, run BFS on the simulated GTX 980
+ * Quickstart: build a small graph, run BFS on the simulated TX1
  * with and without the SCU, and print the headline numbers. This is
- * the 60-second tour of the library's public API.
+ * the 60-second tour of the library's public API — including the
+ * declarative ExperimentPlan / parallel executor that all benches
+ * are built on.
  */
 
 #include <cstdio>
 
 #include "graph/csr.hh"
 #include "graph/generators.hh"
-#include "harness/runner.hh"
+#include "harness/executor.hh"
+#include "harness/plan.hh"
 
 using namespace scusim;
 
@@ -25,22 +28,29 @@ main()
     std::printf("graph: %u nodes, %llu edges\n", g.numNodes(),
                 static_cast<unsigned long long>(g.numEdges()));
 
-    // 2. Describe the run: system, primitive, execution mode.
+    // 2. Declare the experiment matrix: system x primitive x mode.
     //    The low-power TX1 is where the SCU shines brightest
     //    (Figure 10); try "GTX980" for the high-performance system.
-    harness::RunConfig cfg;
-    cfg.systemName = "TX1";
-    cfg.primitive = harness::Primitive::Bfs;
+    //    runPlan() executes every cell on a worker pool (all cores;
+    //    SCUSIM_JOBS=1 forces serial) and returns results in plan
+    //    order.
+    auto res = harness::runPlan(
+        harness::ExperimentPlan()
+            .graph(&g, "rmat14")
+            .systems({"TX1"})
+            .primitives({harness::Primitive::Bfs})
+            .modes({harness::ScuMode::GpuOnly,
+                    harness::ScuMode::ScuEnhanced}));
 
-    // 3. Baseline: everything on the GPU's streaming
-    //    multiprocessors, stream compaction included.
-    cfg.mode = harness::ScuMode::GpuOnly;
-    auto base = harness::runPrimitive(cfg, g);
-
-    // 4. The paper's proposal: compaction offloaded to the SCU with
-    //    duplicate filtering and coalescing-friendly grouping.
-    cfg.mode = harness::ScuMode::ScuEnhanced;
-    auto scu = harness::runPrimitive(cfg, g);
+    // 3. Baseline vs the paper's proposal: compaction offloaded to
+    //    the SCU with duplicate filtering and coalescing-friendly
+    //    grouping.
+    const auto &base =
+        res.get("TX1", harness::Primitive::Bfs, "rmat14",
+                harness::ScuMode::GpuOnly);
+    const auto &scu =
+        res.get("TX1", harness::Primitive::Bfs, "rmat14",
+                harness::ScuMode::ScuEnhanced);
 
     std::printf("\n%-22s %14s %14s\n", "", "GPU only", "GPU + SCU");
     std::printf("%-22s %14llu %14llu\n", "cycles",

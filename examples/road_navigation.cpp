@@ -4,20 +4,20 @@
  * California-class road graph (or loads a DIMACS ".gr" file you
  * supply), runs SSSP on the low-power TX1 system — the embedded
  * navigation use case the paper's low-power configuration targets —
- * and compares the GPU-only baseline against the SCU designs.
+ * and compares the GPU-only baseline against the SCU designs. The
+ * three configurations are declared as one plan and simulated in
+ * parallel.
  *
  * Usage: road_navigation [path/to/graph.gr]
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "alg/serial.hh"
-#include "alg/sssp.hh"
 #include "graph/datasets.hh"
 #include "graph/loader.hh"
-#include "harness/runner.hh"
+#include "harness/executor.hh"
+#include "harness/plan.hh"
 
 using namespace scusim;
 
@@ -36,32 +36,30 @@ main(int argc, char **argv)
                 g.numNodes(),
                 static_cast<unsigned long long>(g.numEdges()));
 
-    harness::RunConfig cfg;
-    cfg.systemName = "TX1"; // in-vehicle, low-power part
-    cfg.primitive = harness::Primitive::Sssp;
-
-    struct Row
-    {
-        const char *name;
-        harness::ScuMode mode;
+    const std::vector<harness::ScuMode> modes = {
+        harness::ScuMode::GpuOnly,
+        harness::ScuMode::ScuBasic,
+        harness::ScuMode::ScuEnhanced,
     };
-    const Row rows[] = {
-        {"GPU only", harness::ScuMode::GpuOnly},
-        {"basic SCU", harness::ScuMode::ScuBasic},
-        {"enhanced SCU", harness::ScuMode::ScuEnhanced},
-    };
+    auto res = harness::runPlan(
+        harness::ExperimentPlan()
+            .graph(&g, "road")
+            .systems({"TX1"}) // in-vehicle, low-power part
+            .primitives({harness::Primitive::Sssp})
+            .modes(modes));
 
     double base_ms = 0;
     std::printf("%-14s %12s %10s %12s %6s\n", "config",
                 "time (ms)", "energy (J)", "relaxations", "ok");
-    for (const auto &row : rows) {
-        cfg.mode = row.mode;
-        auto r = harness::runPrimitive(cfg, g);
+    for (auto mode : modes) {
+        const auto &r = res.get("TX1", harness::Primitive::Sssp,
+                                "road", mode);
         double ms = r.seconds * 1e3;
-        if (row.mode == harness::ScuMode::GpuOnly)
+        if (mode == harness::ScuMode::GpuOnly)
             base_ms = ms;
-        std::printf("%-14s %12.2f %10.4f %12llu %6s\n", row.name,
-                    ms, r.energy.totalJ(),
+        std::printf("%-14s %12.2f %10.4f %12llu %6s\n",
+                    harness::to_string(mode).c_str(), ms,
+                    r.energy.totalJ(),
                     static_cast<unsigned long long>(
                         r.algMetrics.gpuEdgeWork),
                     r.validated ? "yes" : "NO");

@@ -4,7 +4,9 @@
  * power-law graph (Graph500 Kronecker). Runs PageRank on the
  * high-performance GTX980 system — the data-center analytics use
  * case of the paper's introduction — and prints the top influencers
- * plus the system-level costs with and without the SCU.
+ * plus the system-level costs with and without the SCU. The cost
+ * comparison is declared as an ExperimentPlan and both cells run in
+ * parallel.
  */
 
 #include <algorithm>
@@ -14,7 +16,8 @@
 
 #include "alg/pagerank.hh"
 #include "graph/datasets.hh"
-#include "harness/runner.hh"
+#include "harness/executor.hh"
+#include "harness/plan.hh"
 #include "harness/system.hh"
 
 using namespace scusim;
@@ -47,16 +50,23 @@ main()
         std::printf("  #%d  node %-8u %8.2f\n", i + 1, order[i],
                     out.ranks[order[i]]);
 
-    // Cost comparison via the harness.
-    harness::RunConfig cfg;
-    cfg.systemName = "GTX980";
-    cfg.primitive = harness::Primitive::Pr;
-    cfg.alg.prMaxIterations = 10;
-
-    cfg.mode = harness::ScuMode::GpuOnly;
-    auto base = harness::runPrimitive(cfg, g);
-    cfg.mode = harness::ScuMode::ScuBasic;
-    auto scu = harness::runPrimitive(cfg, g);
+    // Cost comparison via the declarative harness.
+    alg::AlgOptions costOpt;
+    costOpt.prMaxIterations = 10;
+    auto res = harness::runPlan(
+        harness::ExperimentPlan()
+            .graph(&g, "kron-social")
+            .systems({"GTX980"})
+            .primitives({harness::Primitive::Pr})
+            .modes({harness::ScuMode::GpuOnly,
+                    harness::ScuMode::ScuBasic})
+            .algOptions(costOpt));
+    const auto &base = res.get("GTX980", harness::Primitive::Pr,
+                               "kron-social",
+                               harness::ScuMode::GpuOnly);
+    const auto &scu = res.get("GTX980", harness::Primitive::Pr,
+                              "kron-social",
+                              harness::ScuMode::ScuBasic);
 
     std::printf("\n%-12s %12s %12s %8s\n", "config", "time (ms)",
                 "energy (J)", "bw util");

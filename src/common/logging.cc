@@ -1,10 +1,28 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace scusim
 {
+
+namespace
+{
+
+/**
+ * One process-wide lock keeps log lines whole when executor worker
+ * threads report concurrently. Each sink writes a single line, so
+ * the critical section is one fprintf.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 strprintf(const char *fmt, ...)
@@ -28,26 +46,34 @@ strprintf(const char *fmt, ...)
 void
 logFatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    }
     std::exit(1);
 }
 
 void
 logPanic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     std::abort();
 }
 
 void
 logWarn(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 logInform(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

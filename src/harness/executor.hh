@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parallel experiment executor. Runs an ExperimentPlan on a worker
+ * pool of std::threads — every run builds its own System, so runs
+ * are fully isolated — with process-wide result memoization,
+ * per-run failure capture (a throwing run marks its record failed
+ * instead of killing the matrix) and deterministic result ordering
+ * regardless of completion order.
+ */
+
+#ifndef SCUSIM_HARNESS_EXECUTOR_HH
+#define SCUSIM_HARNESS_EXECUTOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/plan.hh"
+
+namespace scusim::harness
+{
+
+/** Outcome of one planned run. */
+struct RunRecord
+{
+    PlannedRun run;
+    RunResult result; ///< meaningful only when ok
+    bool ok = false;
+    std::string error; ///< what() of the exception, when !ok
+};
+
+/**
+ * Results of one executed plan, in plan order. Records are also
+ * indexed by matrix coordinates and by label for table printing.
+ */
+class PlanResults
+{
+  public:
+    PlanResults() = default;
+    explicit PlanResults(std::vector<RunRecord> recs);
+
+    const std::vector<RunRecord> &records() const { return recs; }
+    std::size_t size() const { return recs.size(); }
+    bool empty() const { return recs.empty(); }
+
+    /** Number of failed runs. */
+    std::size_t failures() const;
+
+    /**
+     * The result at the given matrix coordinates; fatal if the cell
+     * is absent, ambiguous (ablation sweeps: use byLabel) or failed.
+     */
+    const RunResult &get(const std::string &system, Primitive prim,
+                         const std::string &dataset,
+                         ScuMode mode) const;
+
+    /** The result labelled @p label; fatal if absent or failed. */
+    const RunResult &byLabel(const std::string &label) const;
+
+  private:
+    const RunRecord *find(const std::string &label) const;
+
+    std::vector<RunRecord> recs;
+};
+
+/** Worker-pool configuration. */
+struct ExecutorOptions
+{
+    /**
+     * Worker count; 0 resolves SCUSIM_JOBS from the environment and
+     * falls back to std::thread::hardware_concurrency().
+     */
+    unsigned jobs = 0;
+    /**
+     * Share results across runPlan() calls in this process (the
+     * run-level replacement of the old bench runCached()). Tests
+     * that compare fresh executions turn this off.
+     */
+    bool memoize = true;
+};
+
+/** The resolved worker count runPlan() would use for @p opts. */
+unsigned executorJobs(const ExecutorOptions &opts = {});
+
+/** Expand and run @p plan. */
+PlanResults runPlan(const ExperimentPlan &plan,
+                    const ExecutorOptions &opts = {});
+
+/** Run an explicit (already expanded) run list. */
+PlanResults runPlan(const std::vector<PlannedRun> &runs,
+                    const ExecutorOptions &opts = {});
+
+/** Number of memoized run results held by this process. */
+std::size_t memoizedRunCount();
+
+/** Drop all memoized run results (tests). */
+void clearRunMemo();
+
+} // namespace scusim::harness
+
+#endif // SCUSIM_HARNESS_EXECUTOR_HH

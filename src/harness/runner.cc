@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "alg/bfs.hh"
 #include "alg/pagerank.hh"
@@ -31,16 +32,28 @@ const graph::CsrGraph &
 cachedDataset(const std::string &name, double scale,
               std::uint64_t seed)
 {
-    static std::map<std::string, graph::CsrGraph> cache;
+    // Executor workers hit this concurrently. Map nodes are stable,
+    // so the map mutex only guards lookup/insert; the per-entry
+    // once_flag lets different datasets synthesize in parallel while
+    // same-key callers block until the graph is ready.
+    struct Entry
+    {
+        std::once_flag once;
+        graph::CsrGraph g;
+    };
+    static std::mutex m;
+    static std::map<std::string, Entry> cache;
     std::string key = name + "@" + std::to_string(scale) + "#" +
                       std::to_string(seed);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache.emplace(key,
-                           graph::makeDataset(name, scale, seed))
-                 .first;
+    Entry *e;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        e = &cache[key];
     }
-    return it->second;
+    std::call_once(e->once, [&] {
+        e->g = graph::makeDataset(name, scale, seed);
+    });
+    return e->g;
 }
 
 namespace

@@ -51,6 +51,12 @@ SystemConfig::byName(const std::string &name, bool with_scu)
     fatal("unknown system '%s' (use GTX980 or TX1)", name.c_str());
 }
 
+bool
+SystemConfig::isKnown(const std::string &name)
+{
+    return name == "GTX980" || name == "TX1";
+}
+
 System::System(const SystemConfig &cfg)
     : cfg_(cfg), clk(cfg.gpu.freqHz), root(""),
       emodel(cfg.energy)

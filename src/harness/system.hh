@@ -53,6 +53,9 @@ struct SystemConfig
     /** Look up by name ("GTX980" / "TX1"). */
     static SystemConfig byName(const std::string &name,
                                bool with_scu = true);
+
+    /** Whether byName() would accept @p name. */
+    static bool isKnown(const std::string &name);
 };
 
 class System

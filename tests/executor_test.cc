@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the parallel executor: serial and parallel executions of
+ * the same plan must produce bit-identical results (and byte-equal
+ * JSON artifacts), result order must follow plan order regardless of
+ * completion order, and memoization must share run results across
+ * runPlan() calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "harness/executor.hh"
+#include "harness/plan.hh"
+#include "harness/results.hh"
+
+using namespace scusim;
+using namespace scusim::harness;
+
+namespace
+{
+
+/** The determinism workload: 2 datasets x 2 modes x BFS/SSSP. */
+ExperimentPlan
+smallMatrix()
+{
+    return ExperimentPlan()
+        .systems({"TX1"})
+        .primitives({Primitive::Bfs, Primitive::Sssp})
+        .datasets({"cond", "ca"})
+        .modes({ScuMode::GpuOnly, ScuMode::ScuEnhanced})
+        .scale(0.01);
+}
+
+std::string
+jsonOf(const PlanResults &res)
+{
+    std::ostringstream os;
+    writeRunsJson(os, res);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Executor, JobsResolutionOrder)
+{
+    EXPECT_EQ(executorJobs({.jobs = 3}), 3u);
+    ::setenv("SCUSIM_JOBS", "5", 1);
+    EXPECT_EQ(executorJobs(), 5u);
+    EXPECT_EQ(executorJobs({.jobs = 2}), 2u); // explicit wins
+    ::unsetenv("SCUSIM_JOBS");
+    EXPECT_GE(executorJobs(), 1u);
+}
+
+TEST(Executor, ParallelRunMatchesSerialBitForBit)
+{
+    auto plan = smallMatrix();
+    auto serial = runPlan(plan, {.jobs = 1, .memoize = false});
+    auto parallel = runPlan(plan, {.jobs = 4, .memoize = false});
+
+    ASSERT_EQ(serial.size(), 8u);
+    ASSERT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(serial.failures(), 0u);
+    EXPECT_EQ(parallel.failures(), 0u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const auto &a = serial.records()[i];
+        const auto &b = parallel.records()[i];
+        EXPECT_EQ(a.run.label, b.run.label);
+        EXPECT_EQ(a.run.key, b.run.key);
+        EXPECT_EQ(a.ok, b.ok);
+        EXPECT_EQ(a.result.totalCycles, b.result.totalCycles);
+        EXPECT_EQ(a.result.seconds, b.result.seconds);
+        EXPECT_EQ(a.result.energy.totalJ(),
+                  b.result.energy.totalJ());
+        EXPECT_EQ(a.result.gpuCompactionCycles,
+                  b.result.gpuCompactionCycles);
+        EXPECT_EQ(a.result.gpuThreadInstrs,
+                  b.result.gpuThreadInstrs);
+        EXPECT_EQ(a.result.bwUtilization, b.result.bwUtilization);
+        EXPECT_EQ(a.result.algMetrics.gpuEdgeWork,
+                  b.result.algMetrics.gpuEdgeWork);
+        EXPECT_EQ(a.result.algMetrics.scuFiltered,
+                  b.result.algMetrics.scuFiltered);
+        EXPECT_EQ(a.result.validated, b.result.validated);
+    }
+    // The strongest form: the machine-readable artifacts are
+    // byte-identical.
+    EXPECT_EQ(jsonOf(serial), jsonOf(parallel));
+
+    std::ostringstream ca, cb;
+    writeRunsCsv(ca, serial);
+    writeRunsCsv(cb, parallel);
+    EXPECT_EQ(ca.str(), cb.str());
+}
+
+TEST(Executor, ResultsFollowPlanOrder)
+{
+    auto plan = smallMatrix();
+    auto runs = plan.expand();
+    auto res = runPlan(plan, {.jobs = 4, .memoize = false});
+    ASSERT_EQ(res.size(), runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        EXPECT_EQ(res.records()[i].run.key, runs[i].key);
+}
+
+TEST(Executor, MemoizationSharesRunsAcrossPlans)
+{
+    clearRunMemo();
+    EXPECT_EQ(memoizedRunCount(), 0u);
+
+    auto plan = ExperimentPlan()
+                    .systems({"TX1"})
+                    .primitives({Primitive::Bfs})
+                    .datasets({"cond"})
+                    .modes({ScuMode::GpuOnly, ScuMode::ScuEnhanced})
+                    .scale(0.01);
+    auto first = runPlan(plan, {.jobs = 2});
+    EXPECT_EQ(memoizedRunCount(), 2u);
+
+    auto second = runPlan(plan, {.jobs = 2});
+    EXPECT_EQ(memoizedRunCount(), 2u); // nothing new simulated
+    EXPECT_EQ(jsonOf(first), jsonOf(second));
+
+    // A different config is a different key: the memo grows.
+    auto third =
+        runPlan(plan.modes({ScuMode::ScuBasic}), {.jobs = 2});
+    EXPECT_EQ(memoizedRunCount(), 3u);
+    EXPECT_EQ(third.failures(), 0u);
+
+    clearRunMemo();
+    EXPECT_EQ(memoizedRunCount(), 0u);
+}
+
+TEST(Executor, MemoizedFailuresAreReplayedNotRerun)
+{
+    clearRunMemo();
+    RunConfig bad;
+    bad.systemName = "Vega";
+    auto plan = ExperimentPlan().add(bad, "poison");
+    auto first = runPlan(plan, {.jobs = 1});
+    ASSERT_EQ(first.failures(), 1u);
+    EXPECT_EQ(memoizedRunCount(), 1u);
+    auto second = runPlan(plan, {.jobs = 1});
+    ASSERT_EQ(second.failures(), 1u);
+    EXPECT_EQ(second.records()[0].error, first.records()[0].error);
+    clearRunMemo();
+}
+
+TEST(Executor, DuplicateKeysShareOneExecution)
+{
+    // Two labels, one key: the ablation-baseline sharing pattern.
+    RunConfig cfg;
+    cfg.systemName = "TX1";
+    cfg.dataset = "cond";
+    cfg.scale = 0.01;
+    cfg.mode = ScuMode::GpuOnly;
+    auto res = runPlan(ExperimentPlan()
+                           .add(cfg, "first-label")
+                           .add(cfg, "second-label"),
+                       {.jobs = 2, .memoize = false});
+    // expand() dedups identical keys: only one record remains, and
+    // both of its would-be aliases resolve through byLabel on the
+    // surviving record.
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res.records()[0].run.label, "first-label");
+    EXPECT_TRUE(res.byLabel("first-label").validated);
+}

@@ -48,6 +48,7 @@ logFatal(const std::string &msg)
 {
     {
         std::lock_guard<std::mutex> lock(logMutex());
+        // This IS the logging backend. simlint: allow(direct-output)
         std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     }
     std::exit(1);
@@ -58,6 +59,7 @@ logPanic(const std::string &msg)
 {
     {
         std::lock_guard<std::mutex> lock(logMutex());
+        // simlint: allow(direct-output)
         std::fprintf(stderr, "panic: %s\n", msg.c_str());
     }
     std::abort();
@@ -67,6 +69,7 @@ void
 logWarn(const std::string &msg)
 {
     std::lock_guard<std::mutex> lock(logMutex());
+    // simlint: allow(direct-output)
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -74,6 +77,7 @@ void
 logInform(const std::string &msg)
 {
     std::lock_guard<std::mutex> lock(logMutex());
+    // simlint: allow(direct-output)
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

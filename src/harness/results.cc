@@ -37,12 +37,15 @@ Table::print() const
     for (const auto &r : rows)
         widen(r);
 
+    // Result tables are the benches' stdout product, not diagnostics
+    // — stderr logging is the wrong channel for them.
+    // simlint: allow(direct-output)
     std::printf("\n=== %s ===\n", heading.c_str());
     auto print_row = [&](const std::vector<std::string> &r) {
         for (std::size_t i = 0; i < r.size(); ++i)
-            std::printf("%-*s  ", static_cast<int>(widths[i]),
-                        r[i].c_str());
-        std::printf("\n");
+            std::printf("%-*s  ", // simlint: allow(direct-output)
+                        static_cast<int>(widths[i]), r[i].c_str());
+        std::printf("\n"); // simlint: allow(direct-output)
     };
     print_row(headerRow);
     for (const auto &r : rows)
@@ -136,7 +139,14 @@ struct Field
 std::string
 quoted(const std::string &s)
 {
-    return "\"" + jsonEscape(s) + "\"";
+    // Built by append rather than operator+ chaining: GCC 12's
+    // -Wrestrict misfires on literal+string+literal in Release.
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    out += jsonEscape(s);
+    out += '"';
+    return out;
 }
 
 const Field runFields[] = {
@@ -296,6 +306,7 @@ writeArtifact(const std::string &name, const PlanResults &res,
     fatal_if(!csv, "cannot write artifact '%s'", csvPath.c_str());
     writeRunsCsv(csv, res);
 
+    // simlint: allow(direct-output)
     std::printf("\nartifacts: %s, %s\n", jsonPath.c_str(),
                 csvPath.c_str());
 }

@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "sim/check.hh"
 
 namespace scusim::mem
 {
@@ -87,6 +88,8 @@ Cache::fill(Tick start, Addr line_addr, std::vector<Line> &set,
         // allocating.
         MemResult down = next->access(start, line_addr,
                                       AccessKind::Read, p.lineBytes);
+        sim::checkMemCompletion("cache downstream", start,
+                                down.complete);
         outstanding.push(down.complete);
         return down.complete;
     }
@@ -101,6 +104,7 @@ Cache::fill(Tick start, Addr line_addr, std::vector<Line> &set,
 
     MemResult down = next->access(start, line_addr, AccessKind::Read,
                                   bytes);
+    sim::checkMemCompletion("cache downstream", start, down.complete);
     victim->tag = tag;
     victim->valid = true;
     victim->dirty = false;
@@ -236,6 +240,7 @@ Cache::access(Tick issue, Addr addr, AccessKind kind, unsigned bytes)
     MemResult r;
     r.hit = false;
     r.complete = is_write ? start + 1 : fill_done + p.hitLatency;
+    sim::checkMemCompletion(p.name.c_str(), issue, r.complete);
     return r;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "sim/check.hh"
 
 namespace scusim::mem
 {
@@ -128,6 +129,7 @@ Dram::access(Tick issue, Addr addr, AccessKind kind, unsigned bytes)
         ++reads;
         res.complete = data_start + bus_cycles + tIo;
     }
+    sim::checkMemCompletion(p.name.c_str(), issue, res.complete);
     return res;
 }
 

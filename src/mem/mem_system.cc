@@ -1,5 +1,7 @@
 #include "mem/mem_system.hh"
 
+#include "sim/check.hh"
+
 namespace scusim::mem
 {
 
@@ -22,6 +24,7 @@ MemSystem::access(Tick issue, Addr addr, AccessKind kind,
     MemResult r = l2Cache.access(issue + icnLat, addr, kind, bytes);
     if (kind != AccessKind::Write)
         r.complete += icnLat; // response network crossing
+    sim::checkMemCompletion("memsys", issue, r.complete);
     return r;
 }
 

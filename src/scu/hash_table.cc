@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/check.hh"
 
 namespace scusim::scu
 {
@@ -134,6 +135,8 @@ GroupingTable::probe(std::uint64_t line_key, std::uint32_t elem_idx,
                 g.elems.clear();
             }
             g.elems.push_back(elem_idx);
+            sim::checkOccupancy("grouping-table group",
+                                g.elems.size(), grpSize);
             return;
         }
     }
@@ -152,6 +155,8 @@ GroupingTable::probe(std::uint64_t line_key, std::uint32_t elem_idx,
     victim.elems.clear();
     victim.lineKey = line_key;
     victim.elems.push_back(elem_idx);
+    sim::checkOccupancy("grouping-table group", victim.elems.size(),
+                        grpSize);
 }
 
 void

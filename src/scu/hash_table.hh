@@ -26,6 +26,7 @@
 #include "common/types.hh"
 #include "mem/address_space.hh"
 #include "scu/scu_config.hh"
+#include "sim/check.hh"
 
 namespace scusim::scu
 {
@@ -54,6 +55,9 @@ class HashTableBase
     Addr
     setAddr(std::uint64_t s) const
     {
+        sim_check(s < sets, "hash set index %llu out of %llu sets",
+                  static_cast<unsigned long long>(s),
+                  static_cast<unsigned long long>(sets));
         return base + s * static_cast<std::uint64_t>(cfg.ways) *
                           cfg.entryBytes;
     }

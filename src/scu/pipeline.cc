@@ -1,10 +1,10 @@
 #include "scu/pipeline.hh"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 
 #include "common/bits.hh"
+#include "common/logging.hh"
 
 namespace scusim::scu
 {
@@ -152,17 +152,16 @@ ScuPipeline::finish()
         std::max({portTick(readsIssued), portTick(storesIssued),
                   portTick(hashIssued)});
     if (std::getenv("SCUSIM_TRACE_OPS") && traffic.elements > 4096) {
-        std::fprintf(stderr,
-                     "scu-op elems=%llu thr=%llu memReady=%llu "
-                     "ports=%llu (r=%llu s=%llu h=%llu) start=%llu\n",
-                     (unsigned long long)traffic.elements,
-                     (unsigned long long)(throughput - startTick),
-                     (unsigned long long)(memReady - startTick),
-                     (unsigned long long)(ports - startTick),
-                     (unsigned long long)readsIssued,
-                     (unsigned long long)storesIssued,
-                     (unsigned long long)hashIssued,
-                     (unsigned long long)startTick);
+        inform("scu-op elems=%llu thr=%llu memReady=%llu "
+               "ports=%llu (r=%llu s=%llu h=%llu) start=%llu",
+               (unsigned long long)traffic.elements,
+               (unsigned long long)(throughput - startTick),
+               (unsigned long long)(memReady - startTick),
+               (unsigned long long)(ports - startTick),
+               (unsigned long long)readsIssued,
+               (unsigned long long)storesIssued,
+               (unsigned long long)hashIssued,
+               (unsigned long long)startTick);
     }
     return std::max({throughput, memReady, txnIssue, ports}) +
            p.opDrainCycles;

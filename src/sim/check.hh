@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Compile-time-gated runtime invariant layer for the simulator's
+ * hardware-modeling contracts. Enabled with -DSCUSIM_CHECK=ON (and
+ * automatically in every sanitizer build); compiled out entirely
+ * otherwise, so Release timing runs pay nothing.
+ *
+ * The checks encode contracts that, when silently violated, corrupt
+ * results rather than crash: events scheduled into the past fire at
+ * the wrong tick, a memory completion before its issue travels
+ * backwards in time through every downstream latency computation,
+ * a ClockedObject ticked non-monotonically is usually a component
+ * shared between two Simulations (a determinism bug under the
+ * parallel executor), and an overfull SCU hash group corrupts the
+ * grouping traffic model. A violated check panics (aborts), which is
+ * what the tier-1 death tests in tests/check_test.cc assert.
+ */
+
+#ifndef SCUSIM_SIM_CHECK_HH
+#define SCUSIM_SIM_CHECK_HH
+
+#include <cstddef>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+#ifdef SCUSIM_CHECK
+#define SCUSIM_CHECK_ENABLED 1
+#else
+#define SCUSIM_CHECK_ENABLED 0
+#endif
+
+/**
+ * Assert a simulator invariant. Active only in checked builds, but
+ * the condition must always compile so checks cannot bitrot.
+ */
+#if SCUSIM_CHECK_ENABLED
+#define sim_check(cond, ...) panic_if(!(cond), __VA_ARGS__)
+#else
+#define sim_check(cond, ...)                                            \
+    do {                                                                \
+        if (false) {                                                    \
+            (void)(cond);                                               \
+        }                                                               \
+    } while (0)
+#endif
+
+namespace scusim::sim
+{
+
+/** Whether the invariant layer is compiled in (for tests to skip). */
+constexpr bool checksEnabled = SCUSIM_CHECK_ENABLED != 0;
+
+/**
+ * Event-queue contract: an event must never be scheduled before the
+ * queue's service horizon (the latest tick already serviced) — it
+ * would fire late, at a tick the rest of the system has moved past.
+ */
+inline void
+checkScheduleTick(Tick when, Tick horizon)
+{
+    sim_check(when >= horizon,
+              "event scheduled into the past: when=%llu < "
+              "service horizon %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(horizon));
+}
+
+/**
+ * Memory-timing contract: an access completes at or after the tick
+ * it was issued. @p who names the level for the diagnostic.
+ */
+inline void
+checkMemCompletion([[maybe_unused]] const char *who, Tick issue,
+                   Tick complete)
+{
+    sim_check(complete >= issue,
+              "%s: completion tick %llu precedes issue tick %llu",
+              who, static_cast<unsigned long long>(complete),
+              static_cast<unsigned long long>(issue));
+}
+
+/**
+ * Clocked contract: tick() is driven with non-decreasing time. A
+ * violation almost always means one component is registered with two
+ * Simulations at once.
+ */
+inline void
+checkTickMonotonic([[maybe_unused]] const char *what, Tick now,
+                   Tick last)
+{
+    sim_check(now >= last,
+              "%s ticked backwards: now=%llu < last tick %llu",
+              what, static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(last));
+}
+
+/**
+ * Bounded-structure contract: occupancy never exceeds capacity
+ * (SCU hash groups, FIFOs sized from Table 2).
+ */
+inline void
+checkOccupancy([[maybe_unused]] const char *what,
+               std::size_t occupancy, std::size_t capacity)
+{
+    sim_check(occupancy <= capacity,
+              "%s overfull: %zu entries in capacity %zu", what,
+              occupancy, capacity);
+}
+
+} // namespace scusim::sim
+
+#endif // SCUSIM_SIM_CHECK_HH

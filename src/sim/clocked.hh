@@ -7,6 +7,7 @@
 #define SCUSIM_SIM_CLOCKED_HH
 
 #include "common/types.hh"
+#include "sim/check.hh"
 
 namespace scusim::sim
 {
@@ -33,6 +34,28 @@ class Clocked
      * busy() is false.
      */
     virtual Tick nextWakeTick() const { return tickNever; }
+
+    /**
+     * Invariant bookkeeping called by the Simulation before every
+     * tick(): time must be non-decreasing per component. A violation
+     * usually means the object is registered with two Simulations —
+     * the classic source of nondeterminism under the parallel
+     * executor. No-op in unchecked builds.
+     */
+    void
+    noteTick(Tick now)
+    {
+#if SCUSIM_CHECK_ENABLED
+        checkTickMonotonic("Clocked object", now, lastTickSeen);
+        lastTickSeen = now;
+#else
+        (void)now;
+#endif
+    }
+
+  private:
+    /** Latest tick this component was advanced at (checked builds). */
+    Tick lastTickSeen = 0;
 };
 
 } // namespace scusim::sim

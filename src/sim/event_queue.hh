@@ -14,6 +14,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/check.hh"
 
 namespace scusim::sim
 {
@@ -27,10 +28,15 @@ class EventQueue
   public:
     using Callback = std::function<void(Tick)>;
 
-    /** Schedule @p cb to run at absolute tick @p when. */
+    /**
+     * Schedule @p cb to run at absolute tick @p when. Scheduling
+     * before the service horizon is a simulator bug (checked builds
+     * panic): the event would fire late, at the wrong tick.
+     */
     void
     schedule(Tick when, Callback cb)
     {
+        checkScheduleTick(when, horizon);
         events.push(Entry{when, seq++, std::move(cb)});
     }
 
@@ -55,9 +61,16 @@ class EventQueue
             // Copy out before pop so the callback may schedule more.
             Entry e = events.top();
             events.pop();
+            // The horizon tracks the event being serviced, not @p
+            // now: a callback at tick t may legally schedule into
+            // (t, now] and have the new event fire in this pass.
+            if (e.when > horizon)
+                horizon = e.when;
             e.cb(e.when);
             ++n;
         }
+        if (now > horizon)
+            horizon = now;
         return n;
     }
 
@@ -83,6 +96,8 @@ class EventQueue
 
     std::priority_queue<Entry, std::vector<Entry>, Later> events;
     std::uint64_t seq = 0;
+    /** Latest tick passed to serviceUpTo(); schedule floor. */
+    Tick horizon = 0;
 };
 
 } // namespace scusim::sim

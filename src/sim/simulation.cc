@@ -25,8 +25,10 @@ Simulation::step(Tick n)
     for (Tick i = 0; i < n; ++i) {
         eq.serviceUpTo(currentTick);
         for (auto *c : clockedList) {
-            if (c->busy(currentTick))
+            if (c->busy(currentTick)) {
+                c->noteTick(currentTick);
                 c->tick(currentTick);
+            }
         }
         ++currentTick;
     }

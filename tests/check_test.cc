@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Death tests for the SCUSIM_CHECK invariant layer (sim/check.hh).
+ * Each test drives a real component into a contract violation and
+ * asserts the checked build panics. In unchecked builds the layer is
+ * compiled out, so every test skips (the checks' *absence* there is
+ * itself part of the contract: Release timing runs pay nothing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/request.hh"
+#include "scu/hash_table.hh"
+#include "sim/check.hh"
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+using namespace scusim;
+
+namespace
+{
+
+#define SKIP_UNLESS_CHECKED()                                           \
+    do {                                                                \
+        if (!sim::checksEnabled)                                        \
+            GTEST_SKIP() << "SCUSIM_CHECK not compiled in";             \
+    } while (0)
+
+TEST(CheckDeath, EventQueueRejectsSchedulingIntoThePast)
+{
+    SKIP_UNLESS_CHECKED();
+    sim::EventQueue q;
+    q.serviceUpTo(100);
+    // At the horizon is legal (an event for the current tick)...
+    q.schedule(100, [](Tick) {});
+    // ...but strictly before it would fire at the wrong time.
+    EXPECT_DEATH(q.schedule(99, [](Tick) {}),
+                 "scheduled into the past");
+}
+
+struct NullClocked : sim::Clocked
+{
+    void tick(Tick) override {}
+    bool busy(Tick) const override { return false; }
+};
+
+TEST(CheckDeath, ClockedTickMustBeMonotonic)
+{
+    SKIP_UNLESS_CHECKED();
+    NullClocked c;
+    c.noteTick(10);
+    c.noteTick(10); // same tick twice is fine
+    EXPECT_DEATH(c.noteTick(9), "ticked backwards");
+}
+
+/** A memory level whose completions travel backwards in time. */
+struct BrokenLevel : mem::MemLevel
+{
+    mem::MemResult
+    access(Tick issue, Addr, mem::AccessKind, unsigned) override
+    {
+        return {issue - 10, true};
+    }
+};
+
+TEST(CheckDeath, MemCompletionNeverPrecedesIssue)
+{
+    SKIP_UNLESS_CHECKED();
+    BrokenLevel broken;
+    stats::StatGroup root("t");
+    mem::Cache c(mem::CacheParams{}, &broken, &root);
+    // A cold read misses and fills from the broken downstream.
+    EXPECT_DEATH(c.access(100, 0, mem::AccessKind::Read, 4),
+                 "precedes issue tick");
+}
+
+TEST(CheckDeath, HashSetIndexStaysInBounds)
+{
+    SKIP_UNLESS_CHECKED();
+    mem::AddressSpace as(1ULL << 28);
+    scu::UniqueFilterTable t({4096, 4, 4}, as, "h");
+    EXPECT_EQ(t.setAddr(0), t.baseAddr());
+    EXPECT_DEATH(t.setAddr(t.numSets()), "out of");
+}
+
+TEST(CheckDeath, OccupancyAboveCapacityPanics)
+{
+    SKIP_UNLESS_CHECKED();
+    // The grouping table's public API can never overfill a group —
+    // which is exactly why the invariant exists: it guards against
+    // future refactors of the eviction path. Exercise the check
+    // directly at its boundary.
+    sim::checkOccupancy("scu hash group", 8, 8);
+    EXPECT_DEATH(sim::checkOccupancy("scu hash group", 9, 8),
+                 "overfull");
+}
+
+TEST(Check, PassingChecksAreSilent)
+{
+    // Valid in both checked and unchecked builds.
+    sim::checkScheduleTick(5, 5);
+    sim::checkMemCompletion("l2", 10, 10);
+    sim::checkTickMonotonic("sm", 7, 7);
+    sim::checkOccupancy("fifo", 0, 8);
+    sim_check(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+} // namespace

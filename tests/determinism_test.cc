@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Determinism gate: the same RunConfig must produce byte-identical
+ * full statistics dumps when run twice. The stats tree flattens every
+ * counter in every component (caches, DRAM, SMs, SCU pipeline, hash
+ * tables), so byte equality here means the whole simulation — not
+ * just the headline metrics — retraced the same trajectory. This is
+ * the property the parallel experiment executor and the simlint
+ * nondeterminism rules exist to protect.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hh"
+
+using namespace scusim;
+using namespace scusim::harness;
+
+namespace
+{
+
+std::string
+statsDumpFor(const RunConfig &base)
+{
+    RunConfig cfg = base;
+    std::ostringstream os;
+    cfg.dumpStatsTo = &os;
+    RunResult r = runPrimitive(cfg);
+    EXPECT_TRUE(r.validated)
+        << to_string(cfg.primitive) << " on " << cfg.systemName
+        << " failed functional validation";
+    EXPECT_FALSE(os.str().empty());
+    return os.str();
+}
+
+class DeterminismGate
+    : public ::testing::TestWithParam<
+          std::tuple<Primitive, const char *>>
+{
+};
+
+TEST_P(DeterminismGate, RepeatedRunsDumpIdenticalStats)
+{
+    const auto [prim, system] = GetParam();
+
+    RunConfig cfg;
+    cfg.systemName = system;
+    cfg.primitive = prim;
+    cfg.mode = ScuMode::ScuEnhanced;
+    cfg.dataset = "cond";
+    cfg.scale = 0.01;
+
+    const std::string first = statsDumpFor(cfg);
+    const std::string second = statsDumpFor(cfg);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(first, second)
+        << "stats dumps diverged between identical runs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrimitivesBothSystems, DeterminismGate,
+    ::testing::Combine(::testing::Values(Primitive::Bfs,
+                                         Primitive::Sssp,
+                                         Primitive::Pr),
+                       ::testing::Values("GTX980", "TX1")),
+    [](const auto &info) {
+        return to_string(std::get<0>(info.param)) + "_" +
+               std::get<1>(info.param);
+    });
+
+} // namespace

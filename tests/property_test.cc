@@ -328,8 +328,9 @@ TEST_P(DramProperty, CompletionMonotonicPerStream)
         ASSERT_GT(r.complete, issue);
         issue += 1 + rng.below(3);
     }
-    if (sequential)
+    if (sequential) {
         EXPECT_GT(d.rowHitRate(), 0.8);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Streams, DramProperty,

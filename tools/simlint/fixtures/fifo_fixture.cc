@@ -1,0 +1,46 @@
+// simlint fixture: fifo-unguarded-push.
+// Not compiled — lexed by the self-test; every expect() below must
+// fire exactly once, nothing else may.
+
+#include "common/fifo.hh"
+
+#include <queue>
+
+struct Packet
+{
+    int x;
+};
+
+void
+unguardedProducer(scusim::BoundedFifo<Packet> &q, Packet p)
+{
+    q.push(p); // simlint: expect(fifo-unguarded-push)
+}
+
+void
+guardedProducer(scusim::BoundedFifo<Packet> &q, Packet p)
+{
+    if (!q.full())
+        q.push(p);
+}
+
+void
+spaceGuardedProducer(scusim::BoundedFifo<Packet> &q, Packet p)
+{
+    if (q.space() >= 1)
+        q.push(p);
+}
+
+void
+stdQueueIsFine(std::queue<Packet> &unbounded, Packet p)
+{
+    unbounded.push(p);
+}
+
+void
+suppressedProducer(scusim::BoundedFifo<Packet> &q, Packet p)
+{
+    // drain loop upstream guarantees space here
+    // simlint: allow(fifo-unguarded-push)
+    q.push(p);
+}

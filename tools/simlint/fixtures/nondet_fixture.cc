@@ -1,0 +1,51 @@
+// simlint fixture: nondeterminism.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long
+wallSeed()
+{
+    std::random_device rd; // simlint: expect(nondeterminism)
+    return rd();
+}
+
+int
+libcRand()
+{
+    return rand(); // simlint: expect(nondeterminism)
+}
+
+long
+epochNow()
+{
+    return time(nullptr); // simlint: expect(nondeterminism)
+}
+
+double
+hostClock()
+{
+    auto t = std::chrono::steady_clock::now(); // simlint: expect(nondeterminism)
+    return t.time_since_epoch().count();
+}
+
+struct Fake
+{
+    int rand() const { return 4; }
+    long time(long t) const { return t; }
+};
+
+int
+memberCallsAreFine(const Fake &f)
+{
+    return f.rand() + static_cast<int>(f.time(7));
+}
+
+int
+suppressedEntropy()
+{
+    // simlint: allow(nondeterminism)
+    return rand();
+}

@@ -1,0 +1,43 @@
+// simlint fixture: direct-output (src/-scoped; the self-test forces
+// src scoping on).
+
+#include <cstdio>
+#include <iostream>
+
+void
+reportProgress(int pct)
+{
+    std::printf("progress: %d%%\n", pct); // simlint: expect(direct-output)
+}
+
+void
+reportState(int state)
+{
+    std::cout << "state " << state << "\n"; // simlint: expect(direct-output)
+}
+
+void
+reportError(const char *msg)
+{
+    std::fprintf(stderr, "error: %s\n", msg); // simlint: expect(direct-output)
+}
+
+void
+bufferFormattingIsFine(char *buf, unsigned long cap, int v)
+{
+    std::snprintf(buf, cap, "%d", v);
+}
+
+void
+ostreamParameterIsFine(std::ostream &os, int v)
+{
+    os << "value " << v << "\n";
+}
+
+void
+suppressedSink(const char *msg)
+{
+    // this *is* the logging backend in the real tree
+    // simlint: allow(direct-output)
+    std::fprintf(stderr, "%s\n", msg);
+}

@@ -1,0 +1,43 @@
+// simlint fixture: missing-override.
+
+using Tick = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Tick now) = 0;
+    virtual bool busy(Tick now) const = 0;
+    virtual Tick nextWakeTick(Tick now) const { return now; }
+};
+
+class GoodEngine : public Clocked
+{
+  public:
+    void tick(Tick now) override;
+    bool busy(Tick now) const override;
+    Tick nextWakeTick(Tick now) const final;
+};
+
+class BadEngine : public Clocked
+{
+  public:
+    void tick(Tick now); // simlint: expect(missing-override)
+    bool busy(Tick now) const; // simlint: expect(missing-override)
+};
+
+class NotDerivedIsFine
+{
+  public:
+    void tick(Tick now);
+    void reset();
+};
+
+class SuppressedEngine : public Clocked
+{
+  public:
+    // shadows Clocked::tick on purpose (non-virtual fast path)
+    // simlint: allow(missing-override)
+    void tick(Tick now);
+    bool busy(Tick now) const override;
+};

@@ -1,0 +1,33 @@
+// simlint fixture: raw-stat-counter (src/-scoped; the self-test
+// forces src scoping on).
+
+#include <cstdint>
+
+namespace scusim::fixture
+{
+
+uint64_t totalPackets = 0; // simlint: expect(raw-stat-counter)
+double lastBandwidth = 0.0; // simlint: expect(raw-stat-counter)
+
+constexpr int kWarpSize = 32;
+const double kClockGhz = 1.2;
+static const char *kName = "fixture";
+
+struct PacketStats
+{
+    uint64_t packets = 0;
+};
+
+inline int
+localCounterIsFine()
+{
+    int count = 0;
+    ++count;
+    return count;
+}
+
+// scratch toggle for interactive debugging only
+// simlint: allow(raw-stat-counter)
+unsigned debugTickTrace = 0;
+
+} // namespace scusim::fixture

@@ -1,0 +1,47 @@
+// simlint fixture: unordered-iteration.
+
+#include <map>
+#include <unordered_map>
+
+double
+sumValues(const std::unordered_map<int, double> &vals)
+{
+    double sum = 0.0;
+    for (const auto &kv : vals) // simlint: expect(unordered-iteration)
+        sum += kv.second;
+    return sum;
+}
+
+int
+firstKey(const std::unordered_map<int, double> &vals)
+{
+    auto it = vals.begin(); // simlint: expect(unordered-iteration)
+    return it == vals.end() ? -1 : it->first;
+}
+
+double
+orderedIterationIsFine(const std::map<int, double> &ordered)
+{
+    double sum = 0.0;
+    for (const auto &kv : ordered)
+        sum += kv.second;
+    return sum;
+}
+
+double
+lookupIsFine(const std::unordered_map<int, double> &vals)
+{
+    auto it = vals.find(3);
+    return it == vals.end() ? 0.0 : it->second;
+}
+
+double
+suppressedIteration(const std::unordered_map<int, double> &vals)
+{
+    double sum = 0.0;
+    // order-independent reduction: sum is commutative
+    // simlint: allow(unordered-iteration)
+    for (const auto &kv : vals)
+        sum += kv.second;
+    return sum;
+}

@@ -1,0 +1,255 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace simlint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Parse `allow(...)` / `expect(...)` clauses out of a comment that
+ * contains the "simlint:" marker. Several rules may be listed,
+ * comma-separated, and several clauses may follow one marker.
+ */
+void
+parseDirectives(const std::string &comment, int line,
+                std::vector<Directive> &out)
+{
+    std::size_t pos = comment.find("simlint:");
+    if (pos == std::string::npos)
+        return;
+    pos += 8;
+    while (pos < comment.size()) {
+        while (pos < comment.size() &&
+               (comment[pos] == ' ' || comment[pos] == ','))
+            ++pos;
+        Directive::Kind kind;
+        if (comment.compare(pos, 6, "allow(") == 0) {
+            kind = Directive::Kind::Allow;
+            pos += 6;
+        } else if (comment.compare(pos, 7, "expect(") == 0) {
+            kind = Directive::Kind::Expect;
+            pos += 7;
+        } else {
+            break;
+        }
+        std::size_t close = comment.find(')', pos);
+        if (close == std::string::npos)
+            break;
+        std::string rules = comment.substr(pos, close - pos);
+        pos = close + 1;
+        std::size_t start = 0;
+        while (start <= rules.size()) {
+            std::size_t comma = rules.find(',', start);
+            std::string rule = rules.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            while (!rule.empty() && rule.front() == ' ')
+                rule.erase(rule.begin());
+            while (!rule.empty() && rule.back() == ' ')
+                rule.pop_back();
+            if (!rule.empty())
+                out.push_back(Directive{kind, rule, line});
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+    }
+}
+
+} // namespace
+
+bool
+LexedFile::allowed(const std::string &rule, int line) const
+{
+    for (const auto &d : directives) {
+        if (d.kind == Directive::Kind::Allow && d.rule == rule &&
+            (d.line == line || d.line == line - 1))
+            return true;
+    }
+    return false;
+}
+
+LexedFile
+lex(const std::string &path, const std::string &source)
+{
+    LexedFile out;
+    out.path = path;
+
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool atLineStart = true;
+
+    auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = source[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of (continued) line.
+        if (c == '#' && atLineStart) {
+            while (i < n) {
+                if (source[i] == '\\' && peek(1) == '\n') {
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (source[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        atLineStart = false;
+
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t end = source.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            parseDirectives(source.substr(i, end - i), line,
+                            out.directives);
+            i = end;
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            std::size_t end = source.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            parseDirectives(source.substr(i, end - i), line,
+                            out.directives);
+            for (std::size_t k = i; k < end; ++k) {
+                if (source[k] == '\n')
+                    ++line;
+            }
+            i = end;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"' &&
+            (out.tokens.empty() || !out.tokens.back().is("::"))) {
+            std::size_t open = source.find('(', i + 2);
+            if (open != std::string::npos) {
+                std::string delim =
+                    source.substr(i + 2, open - (i + 2));
+                std::string closer = ")" + delim + "\"";
+                std::size_t end = source.find(closer, open + 1);
+                if (end == std::string::npos)
+                    end = n;
+                else
+                    end += closer.size();
+                for (std::size_t k = i; k < end; ++k) {
+                    if (source[k] == '\n')
+                        ++line;
+                }
+                out.tokens.push_back(
+                    Token{Token::Kind::String, "\"\"", line});
+                i = end;
+                continue;
+            }
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && source[j] != quote) {
+                if (source[j] == '\\')
+                    ++j;
+                if (source[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            out.tokens.push_back(
+                Token{Token::Kind::String, std::string(1, quote),
+                      line});
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < n && identChar(source[j]))
+                ++j;
+            out.tokens.push_back(
+                Token{Token::Kind::Identifier,
+                      source.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+
+        // Number (rough: covers ints, floats, hex, separators).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t j = i;
+            while (j < n &&
+                   (identChar(source[j]) || source[j] == '.' ||
+                    source[j] == '\'' ||
+                    ((source[j] == '+' || source[j] == '-') && j > i &&
+                     (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                      source[j - 1] == 'p' || source[j - 1] == 'P'))))
+                ++j;
+            out.tokens.push_back(
+                Token{Token::Kind::Number, source.substr(i, j - i),
+                      line});
+            i = j;
+            continue;
+        }
+
+        // Punctuation. '::' and '->' are kept as single tokens
+        // (rules match on them); everything else is one char.
+        if (c == ':' && peek(1) == ':') {
+            out.tokens.push_back(Token{Token::Kind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && peek(1) == '>') {
+            out.tokens.push_back(Token{Token::Kind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back(
+            Token{Token::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+
+    return out;
+}
+
+} // namespace simlint

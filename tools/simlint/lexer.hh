@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal C++ lexer for simlint. Produces a token stream with line
+ * numbers, strips comments and preprocessor directives, and collects
+ * `simlint:` control comments (allow/expect directives) on the way.
+ *
+ * This is a *lexer*, not a parser: simlint's rules are heuristic
+ * token-pattern matchers in the tradition of gem5's style checker,
+ * precise enough to catch the simulator hazards they encode while
+ * staying dependency-free and fast.
+ */
+
+#ifndef SIMLINT_LEXER_HH
+#define SIMLINT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace simlint
+{
+
+struct Token
+{
+    enum class Kind
+    {
+        Identifier,
+        Number,
+        String, ///< string or char literal (contents ignored)
+        Punct,
+    };
+
+    Kind kind;
+    std::string text;
+    int line = 0;
+
+    bool is(const char *t) const { return text == t; }
+    bool isIdent() const { return kind == Kind::Identifier; }
+};
+
+/** A `// simlint: allow(rule)` / `expect(rule)` control comment. */
+struct Directive
+{
+    enum class Kind
+    {
+        Allow, ///< suppress a finding on this or the next line
+        Expect ///< self-test: a finding must fire on this line
+    };
+
+    Kind kind;
+    std::string rule;
+    int line = 0;
+};
+
+/** Result of lexing one file. */
+struct LexedFile
+{
+    std::string path; ///< root-relative path, used in diagnostics
+    std::vector<Token> tokens;
+    std::vector<Directive> directives;
+
+    /** True if @p rule is allow()ed on @p line (or the line above). */
+    bool allowed(const std::string &rule, int line) const;
+};
+
+/** Lex @p source (the contents of @p path). */
+LexedFile lex(const std::string &path, const std::string &source);
+
+} // namespace simlint
+
+#endif // SIMLINT_LEXER_HH

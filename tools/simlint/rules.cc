@@ -1,0 +1,664 @@
+#include "rules.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+
+namespace simlint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// Structural analysis: brace spans (namespace / class / function /
+// other) and per-token nesting, shared by the rules.
+// ---------------------------------------------------------------
+
+struct Span
+{
+    enum class Kind { Namespace, Class, Function, Other };
+    Kind kind = Kind::Other;
+    std::size_t open = 0;  ///< token index of '{'
+    std::size_t close = 0; ///< token index of matching '}'
+    int parent = -1;
+    bool hasBaseList = false; ///< Class: derives from something
+};
+
+struct Analysis
+{
+    std::vector<Span> spans;
+    /** Innermost enclosing span per token (-1 = file scope). */
+    std::vector<int> innermost;
+    /** Parenthesis nesting depth per token. */
+    std::vector<int> parenDepth;
+};
+
+bool
+isAnyOf(const Token &t, std::initializer_list<const char *> list)
+{
+    for (const char *s : list) {
+        if (t.text == s)
+            return true;
+    }
+    return false;
+}
+
+/** Index of the '(' matching the ')' at @p i, or npos. */
+std::size_t
+matchParenBack(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i + 1; j-- > 0;) {
+        if (toks[j].is(")"))
+            ++depth;
+        else if (toks[j].is("(") && --depth == 0)
+            return j;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+/** Index of the ')' matching the '(' at @p i, or npos. */
+std::size_t
+matchParenFwd(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+        if (toks[j].is("("))
+            ++depth;
+        else if (toks[j].is(")") && --depth == 0)
+            return j;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+/** Classify the '{' at token @p i (see Span::Kind). */
+Span
+classifyBrace(const std::vector<Token> &toks, std::size_t i)
+{
+    Span s;
+    s.open = i;
+
+    // namespace Foo::Bar {  /  namespace {
+    {
+        std::size_t k = i;
+        while (k > 0 && !toks[k - 1].is("namespace") &&
+               (toks[k - 1].isIdent() || toks[k - 1].is("::")))
+            --k;
+        if (k > 0 && toks[k - 1].is("namespace")) {
+            s.kind = Span::Kind::Namespace;
+            return s;
+        }
+    }
+
+    // Function body: '...)' [qualifiers / trailing return] '{'
+    {
+        std::size_t j = i;
+        while (j > 0 &&
+               (toks[j - 1].isIdent() ||
+                toks[j - 1].kind == Token::Kind::Number ||
+                isAnyOf(toks[j - 1],
+                        {"::", "<", ">", "*", "&", "->", ","})) &&
+               !isAnyOf(toks[j - 1],
+                        {"class", "struct", "union", "enum",
+                         "namespace", "else", "do", "try",
+                         "return"}))
+            --j;
+        if (j > 0 && toks[j - 1].is(")")) {
+            std::size_t open = matchParenBack(toks, j - 1);
+            if (open != static_cast<std::size_t>(-1) && open > 0 &&
+                isAnyOf(toks[open - 1],
+                        {"if", "for", "while", "switch", "catch"})) {
+                s.kind = Span::Kind::Other;
+            } else {
+                s.kind = Span::Kind::Function;
+            }
+            return s;
+        }
+    }
+
+    // Class-like: window back to the previous ';' / '{' / '}'.
+    {
+        std::size_t w = i;
+        while (w > 0 && !isAnyOf(toks[w - 1], {";", "{", "}"}))
+            --w;
+        for (std::size_t t = w; t < i; ++t) {
+            if (isAnyOf(toks[t], {"class", "struct", "union",
+                                  "enum"})) {
+                s.kind = Span::Kind::Class;
+                for (std::size_t b = t + 1; b < i; ++b) {
+                    if (toks[b].is(":")) {
+                        s.hasBaseList = true;
+                        break;
+                    }
+                }
+                return s;
+            }
+        }
+    }
+
+    s.kind = Span::Kind::Other;
+    return s;
+}
+
+Analysis
+analyze(const std::vector<Token> &toks)
+{
+    Analysis a;
+    a.innermost.assign(toks.size(), -1);
+    a.parenDepth.assign(toks.size(), 0);
+
+    std::vector<int> stack;
+    int paren = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.is("("))
+            ++paren;
+        a.parenDepth[i] = paren;
+        if (t.is(")") && paren > 0)
+            --paren;
+
+        if (t.is("{")) {
+            Span s = classifyBrace(toks, i);
+            s.parent = stack.empty() ? -1 : stack.back();
+            a.innermost[i] = s.parent;
+            stack.push_back(static_cast<int>(a.spans.size()));
+            a.spans.push_back(s);
+            continue;
+        }
+        if (t.is("}")) {
+            if (!stack.empty()) {
+                a.spans[stack.back()].close = i;
+                a.innermost[i] = stack.back();
+                stack.pop_back();
+            }
+            continue;
+        }
+        a.innermost[i] = stack.empty() ? -1 : stack.back();
+    }
+    // Unclosed spans (truncated file): close at EOF.
+    for (int idx : stack)
+        a.spans[idx].close = toks.empty() ? 0 : toks.size() - 1;
+    return a;
+}
+
+/** Innermost *function* span containing token @p i, or -1. */
+int
+enclosingFunction(const Analysis &a, std::size_t i)
+{
+    int s = a.innermost[i];
+    while (s >= 0 && a.spans[s].kind != Span::Kind::Function)
+        s = a.spans[s].parent;
+    return s;
+}
+
+/**
+ * True when the identifier at @p i is a free-function call target:
+ * unqualified or std::-qualified (member calls and foreign-namespace
+ * qualifications don't count).
+ */
+bool
+isFreeCall(const std::vector<Token> &toks, std::size_t i)
+{
+    if (i == 0)
+        return true;
+    const Token &prev = toks[i - 1];
+    if (prev.is(".") || prev.is("->"))
+        return false;
+    if (prev.is("::"))
+        return i >= 2 && toks[i - 2].text == "std";
+    return true;
+}
+
+/**
+ * True when token @p i sits directly inside a class body — i.e. a
+ * member *declaration* position, where `name(...)` is a signature,
+ * not a call.
+ */
+bool
+inClassDeclContext(const Analysis &a, std::size_t i)
+{
+    int s = a.innermost[i];
+    return s >= 0 && a.spans[s].kind == Span::Kind::Class;
+}
+
+/**
+ * Collect names of variables/members declared with the class
+ * template @p tmpl: `tmpl<...> [&*const] name`.
+ */
+std::set<std::string>
+templateVarNames(const std::vector<Token> &toks,
+                 std::initializer_list<const char *> tmpls)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].isIdent() || !isAnyOf(toks[i], tmpls) ||
+            !toks[i + 1].is("<"))
+            continue;
+        int depth = 0;
+        std::size_t j = i + 1;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].is("<"))
+                ++depth;
+            else if (toks[j].is(">") && --depth == 0)
+                break;
+        }
+        if (j >= toks.size())
+            continue;
+        ++j;
+        while (j < toks.size() &&
+               isAnyOf(toks[j], {"&", "*", "const"}))
+            ++j;
+        if (j < toks.size() && toks[j].isIdent())
+            names.insert(toks[j].text);
+    }
+    return names;
+}
+
+// ---------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------
+
+using FindingSink = std::vector<Finding>;
+
+void
+addFinding(FindingSink &out, const LexedFile &f, int line,
+           const char *rule, std::string msg)
+{
+    out.push_back(Finding{f.path, line, rule, std::move(msg)});
+}
+
+/**
+ * fifo-unguarded-push: BoundedFifo models hardware back-pressure;
+ * push() on a full queue panics at runtime. Any function that pushes
+ * must consult full() or space() first.
+ */
+void
+ruleFifoUnguardedPush(const LexedFile &f, const Analysis &a,
+                      FindingSink &out)
+{
+    const auto &toks = f.tokens;
+    auto fifos = templateVarNames(toks, {"BoundedFifo"});
+    if (fifos.empty())
+        return;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!toks[i].isIdent() || !fifos.count(toks[i].text))
+            continue;
+        if (!(toks[i + 1].is(".") || toks[i + 1].is("->")))
+            continue;
+        if (!toks[i + 2].is("push") || !toks[i + 3].is("("))
+            continue;
+        int fn = enclosingFunction(a, i);
+        if (fn < 0)
+            continue;
+        const Span &span = a.spans[fn];
+        bool guarded = false;
+        for (std::size_t k = span.open; k <= span.close; ++k) {
+            if (toks[k].isIdent() &&
+                (toks[k].is("full") || toks[k].is("space"))) {
+                guarded = true;
+                break;
+            }
+        }
+        if (!guarded) {
+            addFinding(out, f, toks[i].line, "fifo-unguarded-push",
+                       "BoundedFifo '" + toks[i].text +
+                           "'.push() with no full()/space() "
+                           "back-pressure check in the enclosing "
+                           "function");
+        }
+    }
+}
+
+/**
+ * nondeterminism: wall-clock and OS entropy sources make runs
+ * irreproducible; all simulator randomness must flow through
+ * common/rng.hh and all time through the simulated clock.
+ */
+void
+ruleNondeterminism(const LexedFile &f, const Analysis &a,
+                   FindingSink &out)
+{
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (!t.isIdent())
+            continue;
+        if (t.is("random_device")) {
+            addFinding(out, f, t.line, "nondeterminism",
+                       "std::random_device draws OS entropy; seed a "
+                       "deterministic scusim::Rng instead");
+            continue;
+        }
+        bool call = i + 1 < toks.size() && toks[i + 1].is("(") &&
+                    isFreeCall(toks, i) &&
+                    !inClassDeclContext(a, i);
+        if (call && isAnyOf(t, {"rand", "srand", "rand_r",
+                                "drand48"})) {
+            addFinding(out, f, t.line, "nondeterminism",
+                       "'" + t.text +
+                           "()' is not reproducible across "
+                           "platforms; use scusim::Rng");
+            continue;
+        }
+        if (call && t.is("time")) {
+            addFinding(out, f, t.line, "nondeterminism",
+                       "'time()' reads the wall clock; simulated "
+                       "time must come from Simulation::now()");
+            continue;
+        }
+        if (isAnyOf(t, {"steady_clock", "system_clock",
+                        "high_resolution_clock"}) &&
+            i + 2 < toks.size() && toks[i + 1].is("::") &&
+            toks[i + 2].is("now")) {
+            addFinding(out, f, t.line, "nondeterminism",
+                       "'" + t.text +
+                           "::now()' reads the wall clock; results "
+                           "derived from it are not reproducible");
+        }
+    }
+}
+
+/**
+ * unordered-iteration: iterating an unordered container feeds its
+ * unspecified bucket order into whatever the loop computes — stats,
+ * event order, emitted elements. Sim code must iterate ordered
+ * containers (or sort first).
+ */
+void
+ruleUnorderedIteration(const LexedFile &f, const Analysis &a,
+                       FindingSink &out)
+{
+    (void)a;
+    const auto &toks = f.tokens;
+    auto names = templateVarNames(
+        toks, {"unordered_map", "unordered_set", "unordered_multimap",
+               "unordered_multiset"});
+    if (names.empty())
+        return;
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        // name.begin() / name->begin()
+        if (toks[i].isIdent() && names.count(toks[i].text) &&
+            i + 3 < toks.size() &&
+            (toks[i + 1].is(".") || toks[i + 1].is("->")) &&
+            toks[i + 2].is("begin") && toks[i + 3].is("(")) {
+            addFinding(out, f, toks[i].line, "unordered-iteration",
+                       "iteration over unordered container '" +
+                           toks[i].text +
+                           "': bucket order is unspecified and "
+                           "nondeterministic across libraries");
+        }
+        // for ( ... : name )
+        if (!toks[i].is("for") || !toks[i + 1].is("("))
+            continue;
+        std::size_t close = matchParenFwd(toks, i + 1);
+        if (close == static_cast<std::size_t>(-1))
+            continue;
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (toks[j].is("("))
+                ++depth;
+            else if (toks[j].is(")"))
+                --depth;
+            else if (toks[j].is(":") && depth == 1) {
+                colon = j;
+                break;
+            }
+        }
+        if (!colon)
+            continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+            if (toks[j].isIdent() && names.count(toks[j].text)) {
+                addFinding(
+                    out, f, toks[i].line, "unordered-iteration",
+                    "range-for over unordered container '" +
+                        toks[j].text +
+                        "': bucket order is unspecified and feeds "
+                        "the loop's results");
+                break;
+            }
+        }
+    }
+}
+
+/**
+ * direct-output: simulator library code must report through
+ * common/logging (levelled, mutex-serialized for the parallel
+ * executor); raw stdio interleaves across worker threads and cannot
+ * be filtered.
+ */
+void
+ruleDirectOutput(const LexedFile &f, const Analysis &a,
+                 FindingSink &out)
+{
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (!t.isIdent())
+            continue;
+        if (isAnyOf(t, {"cout", "cerr", "clog"})) {
+            bool qualifiedStd =
+                i >= 2 && toks[i - 1].is("::") &&
+                toks[i - 2].text == "std";
+            bool bare = i == 0 || (!toks[i - 1].is("::") &&
+                                   !toks[i - 1].is(".") &&
+                                   !toks[i - 1].is("->"));
+            if (qualifiedStd || bare) {
+                addFinding(out, f, t.line, "direct-output",
+                           "std::" + t.text +
+                               " bypasses common/logging; use "
+                               "inform()/warn() or take an "
+                               "std::ostream parameter");
+            }
+            continue;
+        }
+        if (i + 1 < toks.size() && toks[i + 1].is("(") &&
+            isFreeCall(toks, i) && !inClassDeclContext(a, i) &&
+            isAnyOf(t, {"printf", "fprintf", "vprintf", "vfprintf",
+                        "puts", "putchar", "fputs"})) {
+            addFinding(out, f, t.line, "direct-output",
+                       "'" + t.text +
+                           "()' bypasses common/logging (not "
+                           "levelled, not serialized across "
+                           "executor threads)");
+        }
+    }
+}
+
+/**
+ * missing-override: the simulator's polymorphic contracts (Clocked,
+ * MemLevel, StatBase, HashTableBase) are how components plug into
+ * the timing loop; a signature drift silently unhooks a component.
+ * Known interface methods in derived classes must say 'override'.
+ */
+void
+ruleMissingOverride(const LexedFile &f, const Analysis &a,
+                    FindingSink &out)
+{
+    const auto &toks = f.tokens;
+    for (std::size_t si = 0; si < a.spans.size(); ++si) {
+        const Span &cls = a.spans[si];
+        if (cls.kind != Span::Kind::Class || !cls.hasBaseList)
+            continue;
+        for (std::size_t i = cls.open + 1;
+             i < cls.close && i + 1 < toks.size(); ++i) {
+            if (a.innermost[i] != static_cast<int>(si))
+                continue;
+            const Token &t = toks[i];
+            if (!t.isIdent() ||
+                !isAnyOf(t, {"tick", "busy", "nextWakeTick",
+                             "access", "dump", "reset"}))
+                continue;
+            if (!toks[i + 1].is("("))
+                continue;
+            if (i > 0 && (toks[i - 1].is(".") ||
+                          toks[i - 1].is("->") ||
+                          toks[i - 1].is("::") ||
+                          toks[i - 1].is("=") ||
+                          toks[i - 1].is("(") ||
+                          toks[i - 1].is(",") ||
+                          toks[i - 1].is("return")))
+                continue;
+            std::size_t close = matchParenFwd(toks, i + 1);
+            if (close == static_cast<std::size_t>(-1))
+                continue;
+            bool hasOverride = false;
+            std::size_t j = close + 1;
+            for (; j < toks.size(); ++j) {
+                if (toks[j].is(";") || toks[j].is("{"))
+                    break;
+                if (toks[j].is("override") || toks[j].is("final"))
+                    hasOverride = true;
+            }
+            if (!hasOverride) {
+                addFinding(out, f, t.line, "missing-override",
+                           "'" + t.text +
+                               "()' matches a simulator interface "
+                               "method in a derived class but is "
+                               "not marked 'override'");
+            }
+        }
+    }
+}
+
+/**
+ * raw-stat-counter: a mutable arithmetic variable at namespace/file
+ * scope is exactly how ad-hoc statistics escape the StatGroup
+ * registry — it survives across runs, breaks the executor's per-run
+ * isolation and memoization, and never shows up in stats dumps.
+ */
+void
+ruleRawStatCounter(const LexedFile &f, const Analysis &a,
+                   FindingSink &out)
+{
+    static const std::set<std::string> typeSet = {
+        "int",      "unsigned", "long",     "short",    "float",
+        "double",   "bool",     "char",     "size_t",   "int8_t",
+        "int16_t",  "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+        "uint32_t", "uint64_t", "intptr_t", "uintptr_t", "Tick",
+        "Addr",     "NodeId",   "EdgeId",   "Weight"};
+
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].isIdent() || !typeSet.count(toks[i].text))
+            continue;
+        if (a.parenDepth[i] != 0)
+            continue;
+        int span = a.innermost[i];
+        if (span >= 0 &&
+            a.spans[span].kind != Span::Kind::Namespace)
+            continue;
+        // Reject if the declaration head (back to the previous
+        // ';' / '{' / '}') contains a disqualifier.
+        bool disqualified = false;
+        for (std::size_t j = i; j-- > 0;) {
+            if (isAnyOf(toks[j], {";", "{", "}"}))
+                break;
+            if (isAnyOf(toks[j],
+                        {"const", "constexpr", "constinit", "extern",
+                         "using", "typedef", "template", "friend",
+                         "operator", "thread_local", "enum",
+                         "class", "struct"})) {
+                disqualified = true;
+                break;
+            }
+        }
+        if (disqualified)
+            continue;
+        // Skip over the rest of the type tokens to the declarator.
+        std::size_t j = i;
+        while (j < toks.size() && toks[j].isIdent() &&
+               typeSet.count(toks[j].text))
+            ++j;
+        while (j < toks.size() && isAnyOf(toks[j], {"*", "&"}))
+            ++j;
+        if (j >= toks.size() || !toks[j].isIdent())
+            continue;
+        if (isAnyOf(toks[j], {"const", "constexpr"}))
+            continue;
+        std::size_t after = j + 1;
+        if (after >= toks.size())
+            continue;
+        if (toks[after].is("=") || toks[after].is(";") ||
+            toks[after].is("{") || toks[after].is("[")) {
+            addFinding(out, f, toks[j].line, "raw-stat-counter",
+                       "mutable namespace-scope counter '" +
+                           toks[j].text +
+                           "' bypasses the Stat registry and "
+                           "survives across runs (breaks per-run "
+                           "isolation); use a stats::Scalar owned "
+                           "by a component");
+            i = after;
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleRegistry()
+{
+    static const std::vector<RuleInfo> registry = {
+        {"fifo-unguarded-push",
+         "BoundedFifo::push() without a full()/space() back-pressure "
+         "check in the enclosing function",
+         false},
+        {"nondeterminism",
+         "wall-clock / OS-entropy source in simulation code "
+         "(random_device, rand, time, *_clock::now)",
+         false},
+        {"unordered-iteration",
+         "iteration over an unordered container (bucket order is "
+         "unspecified and feeds results)",
+         false},
+        {"direct-output",
+         "raw stdout/stderr (printf, std::cout, ...) bypassing "
+         "common/logging in simulator library code",
+         true},
+        {"missing-override",
+         "simulator interface method (tick/busy/access/dump/...) "
+         "redeclared in a derived class without 'override'",
+         false},
+        {"raw-stat-counter",
+         "mutable namespace-scope arithmetic variable in library "
+         "code (ad-hoc stat escaping the Stat registry)",
+         true},
+    };
+    return registry;
+}
+
+std::vector<Finding>
+runRules(const LexedFile &file, bool treatAsSrc)
+{
+    Analysis a = analyze(file.tokens);
+    bool inSrc =
+        treatAsSrc || file.path.rfind("src/", 0) == 0;
+
+    std::vector<Finding> found;
+    ruleFifoUnguardedPush(file, a, found);
+    ruleNondeterminism(file, a, found);
+    ruleUnorderedIteration(file, a, found);
+    ruleMissingOverride(file, a, found);
+    if (inSrc) {
+        ruleDirectOutput(file, a, found);
+        ruleRawStatCounter(file, a, found);
+    }
+
+    std::vector<Finding> kept;
+    for (auto &fi : found) {
+        if (!file.allowed(fi.rule, fi.line))
+            kept.push_back(std::move(fi));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &x, const Finding &y) {
+                  if (x.line != y.line)
+                      return x.line < y.line;
+                  return x.rule < y.rule;
+              });
+    return kept;
+}
+
+} // namespace simlint

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * simlint rule registry. Each rule encodes one simulator-modeling
+ * hazard; all of them are heuristic token-pattern matchers over the
+ * lexed file (see lexer.hh). Any finding can be suppressed with a
+ * `// simlint: allow(<rule>)` comment on the offending line or the
+ * line directly above it.
+ */
+
+#ifndef SIMLINT_RULES_HH
+#define SIMLINT_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace simlint
+{
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string path;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Static description of a rule, for --list-rules. */
+struct RuleInfo
+{
+    std::string name;
+    std::string description;
+    bool srcOnly; ///< applies only under src/ (simulator library)
+};
+
+/** All registered rules. */
+const std::vector<RuleInfo> &ruleRegistry();
+
+/**
+ * Run every applicable rule over @p file. @p treatAsSrc forces the
+ * src/-scoped rules on regardless of path (fixture self-tests).
+ * Findings suppressed by allow() directives are dropped here.
+ */
+std::vector<Finding> runRules(const LexedFile &file,
+                              bool treatAsSrc = false);
+
+} // namespace simlint
+
+#endif // SIMLINT_RULES_HH

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * simlint — simulator-aware static analysis for scusim.
+ *
+ * Scans C++ sources for modeling hazards a generic linter cannot
+ * know about: unguarded BoundedFifo pushes, wall-clock/entropy
+ * nondeterminism, unordered-container iteration, raw stdio in
+ * library code, missing 'override' on simulator interface methods,
+ * and ad-hoc namespace-scope counters escaping the Stat registry.
+ *
+ * Usage:
+ *   simlint [--root DIR] [PATH...]     lint PATHs (default: src
+ *                                      bench examples) under DIR
+ *   simlint --self-test DIR            run the fixture corpus: every
+ *                                      expect() must fire, nothing
+ *                                      else may
+ *   simlint --list-rules               describe all rules
+ *
+ * Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage
+ * or I/O error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace fs = std::filesystem;
+using namespace simlint;
+
+namespace
+{
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+/** Read a whole file; returns false on I/O error. */
+bool
+slurp(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Collect source files under @p path (file or directory). */
+bool
+collect(const fs::path &path, std::vector<fs::path> &out)
+{
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+        out.push_back(path);
+        return true;
+    }
+    if (!fs::is_directory(path, ec)) {
+        std::fprintf(stderr, "simlint: no such file or directory: "
+                             "%s\n",
+                     path.string().c_str());
+        return false;
+    }
+    for (fs::recursive_directory_iterator it(path, ec), end;
+         it != end; it.increment(ec)) {
+        if (ec) {
+            std::fprintf(stderr, "simlint: error walking %s: %s\n",
+                         path.string().c_str(),
+                         ec.message().c_str());
+            return false;
+        }
+        if (it->is_regular_file() && isSourceFile(it->path()))
+            out.push_back(it->path());
+    }
+    return true;
+}
+
+std::string
+relativeTo(const fs::path &p, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::proximate(p, root, ec);
+    std::string s = (ec ? p : rel).generic_string();
+    return s;
+}
+
+void
+printFindings(const std::vector<Finding> &findings)
+{
+    for (const auto &f : findings) {
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.path.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+    }
+}
+
+int
+lintTree(const fs::path &root, const std::vector<std::string> &paths)
+{
+    std::vector<fs::path> files;
+    for (const auto &p : paths) {
+        if (!collect(root / p, files))
+            return 2;
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> all;
+    for (const auto &file : files) {
+        std::string src;
+        if (!slurp(file, src)) {
+            std::fprintf(stderr, "simlint: cannot read %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        LexedFile lf = lex(relativeTo(file, root), src);
+        auto found = runRules(lf);
+        all.insert(all.end(), found.begin(), found.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Finding &x, const Finding &y) {
+                  if (x.path != y.path)
+                      return x.path < y.path;
+                  if (x.line != y.line)
+                      return x.line < y.line;
+                  return x.rule < y.rule;
+              });
+    printFindings(all);
+    if (!all.empty()) {
+        std::fprintf(stderr, "simlint: %zu finding%s in %zu files "
+                             "scanned\n",
+                     all.size(), all.size() == 1 ? "" : "s",
+                     files.size());
+        return 1;
+    }
+    std::printf("simlint: %zu files clean\n", files.size());
+    return 0;
+}
+
+/**
+ * Self-test over the fixture corpus: the (line, rule) multiset of
+ * findings in every fixture file must match its expect() directives
+ * exactly — missing *and* unexpected findings fail.
+ */
+int
+selfTest(const fs::path &dir)
+{
+    std::vector<fs::path> files;
+    if (!collect(dir, files))
+        return 2;
+    if (files.empty()) {
+        std::fprintf(stderr, "simlint: no fixtures under %s\n",
+                     dir.string().c_str());
+        return 2;
+    }
+    std::sort(files.begin(), files.end());
+
+    int failures = 0;
+    std::size_t expectations = 0;
+    for (const auto &file : files) {
+        std::string src;
+        if (!slurp(file, src)) {
+            std::fprintf(stderr, "simlint: cannot read %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        LexedFile lf = lex(relativeTo(file, dir), src);
+        auto found = runRules(lf, /*treatAsSrc=*/true);
+
+        std::map<std::pair<int, std::string>, int> want, got;
+        for (const auto &d : lf.directives) {
+            if (d.kind == Directive::Kind::Expect)
+                ++want[{d.line, d.rule}];
+        }
+        for (const auto &f : found)
+            ++got[{f.line, f.rule}];
+        expectations += found.size();
+
+        for (const auto &[key, n] : want) {
+            int have = got.count(key) ? got[key] : 0;
+            if (have < n) {
+                std::fprintf(stderr,
+                             "simlint self-test: %s:%d: expected "
+                             "[%s] to fire (%dx), fired %dx\n",
+                             lf.path.c_str(), key.first,
+                             key.second.c_str(), n, have);
+                ++failures;
+            }
+        }
+        for (const auto &[key, n] : got) {
+            int wanted = want.count(key) ? want[key] : 0;
+            if (n > wanted) {
+                std::fprintf(stderr,
+                             "simlint self-test: %s:%d: unexpected "
+                             "[%s] finding (%dx, expected %dx)\n",
+                             lf.path.c_str(), key.first,
+                             key.second.c_str(), n, wanted);
+                ++failures;
+            }
+        }
+    }
+    if (failures) {
+        std::fprintf(stderr, "simlint self-test: %d mismatch%s\n",
+                     failures, failures == 1 ? "" : "es");
+        return 1;
+    }
+    std::printf("simlint self-test: %zu fixtures, %zu findings, all "
+                "as expected\n",
+                files.size(), expectations);
+    return 0;
+}
+
+void
+listRules()
+{
+    for (const auto &r : ruleRegistry()) {
+        std::printf("%-22s %s%s\n", r.name.c_str(),
+                    r.description.c_str(),
+                    r.srcOnly ? " [src/ only]" : "");
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: simlint [--root DIR] [PATH...]\n"
+                 "       simlint --self-test DIR\n"
+                 "       simlint --list-rules\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    std::vector<std::string> paths;
+    std::string selfTestDir;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            listRules();
+            return 0;
+        } else if (arg == "--root") {
+            if (++i >= argc)
+                return usage();
+            root = argv[i];
+        } else if (arg == "--self-test") {
+            if (++i >= argc)
+                return usage();
+            selfTestDir = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (!selfTestDir.empty())
+        return selfTest(selfTestDir);
+
+    if (paths.empty())
+        paths = {"src", "bench", "examples"};
+    return lintTree(root, paths);
+}

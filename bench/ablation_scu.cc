@@ -77,12 +77,18 @@ main()
         "Ablation: SCU pipeline width (BFS, kron, TX1)");
     t1.header({"width", "total cycles", "SCU busy cycles"});
     for (const auto &w : widths) {
-        const auto &r = res.byLabel(
-            "BFS/TX1/kron/scu-enhanced/width=" + w.first);
+        const std::string label =
+            "BFS/TX1/kron/scu-enhanced/width=" + w.first;
+        const auto *r = res.tryByLabel(label);
+        if (!r) {
+            const std::string cell = failCell(res.record(label));
+            t1.row({w.first, cell, cell});
+            continue;
+        }
         t1.row({w.first,
-                fmt("%.0f", static_cast<double>(r.totalCycles)),
+                fmt("%.0f", static_cast<double>(r->totalCycles)),
                 fmt("%.0f",
-                    static_cast<double>(r.scuBusyCycles))});
+                    static_cast<double>(r->scuBusyCycles))});
     }
     t1.print();
 
@@ -91,15 +97,21 @@ main()
     t2.header({"hash KB", "duplicates filtered", "GPU edge work",
                "total cycles"});
     for (const auto &h : hashes) {
-        const auto &r = res.byLabel(
-            "BFS/TX1/kron/scu-enhanced/hashKB=" + h.first);
+        const std::string label =
+            "BFS/TX1/kron/scu-enhanced/hashKB=" + h.first;
+        const auto *r = res.tryByLabel(label);
+        if (!r) {
+            const std::string cell = failCell(res.record(label));
+            t2.row({h.first, cell, cell, cell});
+            continue;
+        }
         t2.row({h.first,
                 fmt("%.0f", static_cast<double>(
-                                r.algMetrics.scuFiltered)),
+                                r->algMetrics.scuFiltered)),
                 fmt("%.0f", static_cast<double>(
-                                r.algMetrics.gpuEdgeWork)),
+                                r->algMetrics.gpuEdgeWork)),
                 fmt("%.0f",
-                    static_cast<double>(r.totalCycles))});
+                    static_cast<double>(r->totalCycles))});
     }
     t2.print();
 
@@ -109,11 +121,17 @@ main()
     t3.header({"group size", "GPU coalescing efficiency",
                "total cycles"});
     for (const auto &g : groups) {
-        const auto &r = res.byLabel(
-            "SSSP/TX1/kron/scu-enhanced/group=" + g.first);
-        t3.row({g.first, fmt("%.3f", r.coalescingEfficiency),
+        const std::string label =
+            "SSSP/TX1/kron/scu-enhanced/group=" + g.first;
+        const auto *r = res.tryByLabel(label);
+        if (!r) {
+            const std::string cell = failCell(res.record(label));
+            t3.row({g.first, cell, cell});
+            continue;
+        }
+        t3.row({g.first, fmt("%.3f", r->coalescingEfficiency),
                 fmt("%.0f",
-                    static_cast<double>(r.totalCycles))});
+                    static_cast<double>(r->totalCycles))});
     }
     t3.print();
 

@@ -92,6 +92,23 @@ fmt(const char *f, double v)
     return buf;
 }
 
+/**
+ * Cell text for a missing or failed run: "FAIL(<kind>)" with the
+ * classified failure kind ("FAIL(missing)" when the plan never
+ * produced the cell, "FAIL(error)" for unclassified exceptions).
+ * Benches render this instead of dying so one poisoned run degrades
+ * a single cell, not the whole table.
+ */
+inline std::string
+failCell(const harness::RunRecord *rec)
+{
+    if (!rec)
+        return "FAIL(missing)";
+    if (rec->failure)
+        return std::string("FAIL(") + to_string(*rec->failure) + ")";
+    return "FAIL(error)";
+}
+
 } // namespace scusim::bench
 
 #endif // SCUSIM_BENCH_BENCH_COMMON_HH

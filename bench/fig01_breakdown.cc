@@ -29,11 +29,23 @@ main()
     for (auto prim : benchPrimitives()) {
         for (const auto &sys : benchSystems()) {
             double share = 0;
-            for (const auto &ds : benchDatasets())
-                share += res.get(sys, prim, ds,
-                                 harness::ScuMode::GpuOnly)
-                             .compactionShare();
-            share /= static_cast<double>(benchDatasets().size());
+            std::size_t ok = 0;
+            std::string fail;
+            for (const auto &ds : benchDatasets()) {
+                if (const auto *r = res.tryGet(
+                        sys, prim, ds, harness::ScuMode::GpuOnly)) {
+                    share += r->compactionShare();
+                    ++ok;
+                } else if (fail.empty()) {
+                    fail = failCell(res.cell(
+                        sys, prim, ds, harness::ScuMode::GpuOnly));
+                }
+            }
+            if (!ok) {
+                t.row({harness::to_string(prim), sys, fail, fail});
+                continue;
+            }
+            share /= static_cast<double>(ok);
             t.row({harness::to_string(prim), sys,
                    fmt("%.1f", 100.0 * share),
                    fmt("%.1f", 100.0 * (1 - share))});

@@ -33,25 +33,37 @@ main()
     for (auto prim : benchPrimitives()) {
         for (const auto &sys : benchSystems()) {
             double avg = 0;
+            std::size_t ok = 0;
             for (const auto &ds : benchDatasets()) {
-                const auto &base = res.get(
+                const auto *base = res.tryGet(
                     sys, prim, ds, harness::ScuMode::GpuOnly);
-                const auto &scu =
-                    res.get(sys, prim, ds, scuModeFor(prim));
+                const auto *scu =
+                    res.tryGet(sys, prim, ds, scuModeFor(prim));
+                if (!base || !scu) {
+                    const auto *bad =
+                        !base ? res.cell(sys, prim, ds,
+                                         harness::ScuMode::GpuOnly)
+                              : res.cell(sys, prim, ds,
+                                         scuModeFor(prim));
+                    t.row({harness::to_string(prim), sys, ds,
+                           failCell(bad), failCell(bad),
+                           failCell(bad)});
+                    continue;
+                }
                 double norm =
-                    scu.energy.totalJ() / base.energy.totalJ();
+                    scu->energy.totalJ() / base->energy.totalJ();
                 avg += norm;
+                ++ok;
                 t.row({harness::to_string(prim), sys, ds,
                        fmt("%.3f", norm),
-                       fmt("%.2f", scu.energy.gpuSideJ() /
-                                       scu.energy.totalJ()),
-                       fmt("%.2f", scu.energy.scuSideJ() /
-                                       scu.energy.totalJ())});
+                       fmt("%.2f", scu->energy.gpuSideJ() /
+                                       scu->energy.totalJ()),
+                       fmt("%.2f", scu->energy.scuSideJ() /
+                                       scu->energy.totalJ())});
             }
             t.row({harness::to_string(prim), sys, "AVG",
-                   fmt("%.3f",
-                       avg / static_cast<double>(
-                                 benchDatasets().size())),
+                   ok ? fmt("%.3f", avg / static_cast<double>(ok))
+                      : "FAIL(missing)",
                    "", ""});
         }
     }

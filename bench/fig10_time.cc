@@ -33,23 +33,35 @@ main()
     for (auto prim : benchPrimitives()) {
         for (const auto &sys : benchSystems()) {
             double avg_speedup = 0;
+            std::size_t ok = 0;
             for (const auto &ds : benchDatasets()) {
-                const auto &base = res.get(
+                const auto *base = res.tryGet(
                     sys, prim, ds, harness::ScuMode::GpuOnly);
-                const auto &scu =
-                    res.get(sys, prim, ds, scuModeFor(prim));
+                const auto *scu =
+                    res.tryGet(sys, prim, ds, scuModeFor(prim));
+                if (!base || !scu) {
+                    const auto *bad =
+                        !base ? res.cell(sys, prim, ds,
+                                         harness::ScuMode::GpuOnly)
+                              : res.cell(sys, prim, ds,
+                                         scuModeFor(prim));
+                    t.row({harness::to_string(prim), sys, ds,
+                           failCell(bad), failCell(bad)});
+                    continue;
+                }
                 double norm =
-                    static_cast<double>(scu.totalCycles) /
-                    static_cast<double>(base.totalCycles);
+                    static_cast<double>(scu->totalCycles) /
+                    static_cast<double>(base->totalCycles);
                 avg_speedup += 1.0 / norm;
+                ++ok;
                 t.row({harness::to_string(prim), sys, ds,
                        fmt("%.3f", norm),
                        fmt("%.2fx", 1.0 / norm)});
             }
             t.row({harness::to_string(prim), sys, "AVG", "",
-                   fmt("%.2fx",
-                       avg_speedup / static_cast<double>(
-                                         benchDatasets().size()))});
+                   ok ? fmt("%.2fx",
+                            avg_speedup / static_cast<double>(ok))
+                      : "FAIL(missing)"});
         }
     }
     t.print();

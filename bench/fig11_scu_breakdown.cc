@@ -40,27 +40,47 @@ main()
         for (const auto &sys : benchSystems()) {
             double basicSp = 0, enhSp = 0, basicEn = 0, enhEn = 0,
                    instrRed = 0;
-            const double n =
-                static_cast<double>(benchDatasets().size());
+            std::size_t ok = 0;
+            std::string fail;
             for (const auto &ds : benchDatasets()) {
-                const auto &base = res.get(
+                const auto *base = res.tryGet(
                     sys, prim, ds, harness::ScuMode::GpuOnly);
-                const auto &basic = res.get(
+                const auto *basic = res.tryGet(
                     sys, prim, ds, harness::ScuMode::ScuBasic);
-                const auto &enh = res.get(
+                const auto *enh = res.tryGet(
                     sys, prim, ds, harness::ScuMode::ScuEnhanced);
-                basicSp += static_cast<double>(base.totalCycles) /
-                           static_cast<double>(basic.totalCycles);
-                enhSp += static_cast<double>(base.totalCycles) /
-                         static_cast<double>(enh.totalCycles);
+                if (!base || !basic || !enh) {
+                    if (fail.empty()) {
+                        const auto mode =
+                            !base ? harness::ScuMode::GpuOnly
+                            : !basic ? harness::ScuMode::ScuBasic
+                                     : harness::ScuMode::ScuEnhanced;
+                        fail = failCell(
+                            res.cell(sys, prim, ds, mode));
+                    }
+                    continue;
+                }
+                ++ok;
+                basicSp += static_cast<double>(base->totalCycles) /
+                           static_cast<double>(basic->totalCycles);
+                enhSp += static_cast<double>(base->totalCycles) /
+                         static_cast<double>(enh->totalCycles);
                 basicEn +=
-                    base.energy.totalJ() / basic.energy.totalJ();
-                enhEn += base.energy.totalJ() / enh.energy.totalJ();
+                    base->energy.totalJ() / basic->energy.totalJ();
+                enhEn +=
+                    base->energy.totalJ() / enh->energy.totalJ();
                 instrRed +=
                     100.0 *
-                    (1.0 - enh.gpuThreadInstrs /
-                               std::max(1.0, basic.gpuThreadInstrs));
+                    (1.0 -
+                     enh->gpuThreadInstrs /
+                         std::max(1.0, basic->gpuThreadInstrs));
             }
+            if (!ok) {
+                t.row({harness::to_string(prim), sys, fail, fail,
+                       fail, fail, fail});
+                continue;
+            }
+            const double n = static_cast<double>(ok);
             t.row({harness::to_string(prim), sys,
                    fmt("%.2fx", basicSp / n),
                    fmt("%.2fx", enhSp / n),

@@ -33,15 +33,31 @@ main()
     for (auto prim : benchPrimitives()) {
         for (const auto &sys : benchSystems()) {
             double base = 0, scu = 0;
+            std::size_t ok = 0;
+            std::string fail;
             for (const auto &ds : benchDatasets()) {
-                base += res.get(sys, prim, ds,
-                                harness::ScuMode::GpuOnly)
-                            .bwUtilization;
-                scu += res.get(sys, prim, ds, scuModeFor(prim))
-                           .bwUtilization;
+                const auto *b = res.tryGet(
+                    sys, prim, ds, harness::ScuMode::GpuOnly);
+                const auto *s =
+                    res.tryGet(sys, prim, ds, scuModeFor(prim));
+                if (!b || !s) {
+                    if (fail.empty()) {
+                        fail = failCell(res.cell(
+                            sys, prim, ds,
+                            !b ? harness::ScuMode::GpuOnly
+                               : scuModeFor(prim)));
+                    }
+                    continue;
+                }
+                base += b->bwUtilization;
+                scu += s->bwUtilization;
+                ++ok;
             }
-            const double n =
-                static_cast<double>(benchDatasets().size());
+            if (!ok) {
+                t.row({harness::to_string(prim), sys, fail, fail});
+                continue;
+            }
+            const double n = static_cast<double>(ok);
             t.row({harness::to_string(prim), sys,
                    fmt("%.1f", 100.0 * base / n),
                    fmt("%.1f", 100.0 * scu / n)});

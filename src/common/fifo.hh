@@ -8,9 +8,11 @@
 #define SCUSIM_COMMON_FIFO_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 
 #include "common/logging.hh"
+#include "sim/check.hh"
 
 namespace scusim
 {
@@ -51,6 +53,9 @@ class BoundedFifo
     {
         panic_if(full(), "push to full BoundedFifo (cap=%zu)", cap);
         q.push_back(v);
+        ++pushCount;
+        sim::checkFifoCredits("BoundedFifo", pushCount, popCount,
+                              q.size());
     }
 
     void
@@ -58,6 +63,9 @@ class BoundedFifo
     {
         panic_if(full(), "push to full BoundedFifo (cap=%zu)", cap);
         q.push_back(std::move(v));
+        ++pushCount;
+        sim::checkFifoCredits("BoundedFifo", pushCount, popCount,
+                              q.size());
     }
 
     T &
@@ -79,7 +87,15 @@ class BoundedFifo
     {
         panic_if(q.empty(), "pop of empty BoundedFifo");
         q.pop_front();
+        ++popCount;
+        sim::checkFifoCredits("BoundedFifo", pushCount, popCount,
+                              q.size());
     }
+
+    /** Elements ever pushed (flow-control credit bookkeeping). */
+    std::uint64_t pushes() const { return pushCount; }
+    /** Elements ever popped. */
+    std::uint64_t pops() const { return popCount; }
 
     /** Iteration support (e.g. for coalescing-window scans). */
     auto begin() { return q.begin(); }
@@ -87,11 +103,19 @@ class BoundedFifo
     auto begin() const { return q.begin(); }
     auto end() const { return q.end(); }
 
-    void clear() { q.clear(); }
+    void
+    clear()
+    {
+        // Drained wholesale, not element by element: credits settle.
+        popCount += q.size();
+        q.clear();
+    }
 
   private:
     std::size_t cap;
     std::deque<T> q;
+    std::uint64_t pushCount = 0;
+    std::uint64_t popCount = 0;
 };
 
 } // namespace scusim

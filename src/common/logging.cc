@@ -4,6 +4,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/sim_error.hh"
+
 namespace scusim
 {
 
@@ -57,12 +59,13 @@ logFatal(const std::string &msg)
 void
 logPanic(const std::string &msg)
 {
-    {
-        std::lock_guard<std::mutex> lock(logMutex());
-        // simlint: allow(direct-output)
-        std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    }
-    std::abort();
+    reportFailure(FailureKind::Panic, msg);
+}
+
+void
+logInvariant(const std::string &msg)
+{
+    reportFailure(FailureKind::Invariant, msg);
 }
 
 void

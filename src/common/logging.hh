@@ -24,6 +24,12 @@ enum class LogLevel { Inform, Warn, Fatal, Panic };
  */
 [[noreturn]] void logFatal(const std::string &msg);
 [[noreturn]] void logPanic(const std::string &msg);
+/**
+ * Invariant (sim_check) violation: a checked-build contract broke.
+ * Same abort-or-throw behaviour as logPanic but classified as
+ * FailureKind::Invariant for supervised runs.
+ */
+[[noreturn]] void logInvariant(const std::string &msg);
 void logWarn(const std::string &msg);
 void logInform(const std::string &msg);
 
@@ -41,9 +47,16 @@ std::string strprintf(const char *fmt, ...)
 
 /**
  * Called when something happened that should never happen regardless
- * of user input, i.e. a simulator bug. Aborts.
+ * of user input, i.e. a simulator bug. Aborts — unless the thread
+ * runs under the executor's error trap (common/sim_error.hh), in
+ * which case a SimError(FailureKind::Panic) is thrown so one bad run
+ * cannot kill a whole experiment matrix.
  */
 #define panic(...) ::scusim::logPanic(::scusim::strprintf(__VA_ARGS__))
+
+/** Checked-build invariant violation (see sim/check.hh). */
+#define sim_invariant(...)                                              \
+    ::scusim::logInvariant(::scusim::strprintf(__VA_ARGS__))
 
 /** Non-fatal warning about questionable but survivable conditions. */
 #define warn(...) ::scusim::logWarn(::scusim::strprintf(__VA_ARGS__))

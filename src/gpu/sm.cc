@@ -3,14 +3,16 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/fault.hh"
+#include "sim/simulation.hh"
 
 namespace scusim::gpu
 {
 
 StreamingMultiprocessor::StreamingMultiprocessor(
     const GpuParams &params, unsigned id, mem::MemLevel *shared_mem,
-    stats::StatGroup *parent)
-    : p(params), smId(id), sharedMem(shared_mem),
+    stats::StatGroup *parent, sim::Simulation *sim)
+    : p(params), smId(id), sharedMem(shared_mem), simPtr(sim),
       l1Cache(params.l1, shared_mem, parent),
       grp(std::string("sm") + std::to_string(id), parent),
       smActiveCycles(&grp, "active_cycles",
@@ -193,10 +195,19 @@ StreamingMultiprocessor::issueOne(Warp &w, Tick now)
 void
 StreamingMultiprocessor::tick(Tick now)
 {
+    if (simPtr) {
+        // An injected FIFO stall: the SM stays busy but cannot
+        // drain, so its progress counter freezes and the deadlock
+        // watchdog eventually fires.
+        if (auto *inj = simPtr->faultInjector();
+            inj && inj->smStalled(smId, now))
+            return;
+    }
     if (resident.empty()) {
         refill();
         if (resident.empty())
             return;
+        noteProgress(resident.size());
     }
     smActiveCycles += 1;
 
@@ -208,15 +219,23 @@ StreamingMultiprocessor::tick(Tick now)
             ++issued;
     }
     rrCursor = n ? (rrCursor + 1) % n : 0;
-    if (!issued)
+    if (issued)
+        noteProgress(issued);
+    else
         issueStallCycles += 1;
 
     // Retire finished warps — a warp with its last memory access
     // still in flight stays resident until it completes.
+    const std::size_t before = resident.size();
     std::erase_if(resident, [now](const Warp &w) {
         return w.done() && w.blockedUntil <= now;
     });
+    const std::size_t retired = before - resident.size();
+    const std::size_t low = resident.size();
     refill();
+    const std::size_t added = resident.size() - low;
+    if (retired + added)
+        noteProgress(retired + added);
 }
 
 } // namespace scusim::gpu

@@ -21,6 +21,11 @@
 #include "sim/clocked.hh"
 #include "stats/stats.hh"
 
+namespace scusim::sim
+{
+class Simulation;
+}
+
 namespace scusim::gpu
 {
 
@@ -57,7 +62,8 @@ class StreamingMultiprocessor : public sim::Clocked
   public:
     StreamingMultiprocessor(const GpuParams &params, unsigned id,
                             mem::MemLevel *shared_mem,
-                            stats::StatGroup *parent);
+                            stats::StatGroup *parent,
+                            sim::Simulation *sim = nullptr);
 
     /** Attach the warp source and per-kernel stats sink for a launch. */
     void beginKernel(WarpSource source, KernelStats *sink);
@@ -86,6 +92,8 @@ class StreamingMultiprocessor : public sim::Clocked
     const GpuParams &p;
     unsigned smId;
     mem::MemLevel *sharedMem; ///< L2 side (atomics bypass the L1)
+    sim::Simulation *simPtr;  ///< for fault-injector lookups (may
+                              ///< be null in unit tests)
     mem::Cache l1Cache;
 
     WarpSource warpSource;

@@ -24,6 +24,33 @@ memo()
     return m;
 }
 
+/** Copy the outcome fields of @p from into @p to (not the run). */
+void
+copyOutcome(RunRecord &to, const RunRecord &from)
+{
+    to.result = from.result;
+    to.ok = from.ok;
+    to.error = from.error;
+    to.failure = from.failure;
+    to.diagnostics = from.diagnostics;
+    to.attempts = from.attempts;
+}
+
+/** Merge executor-level default guards into one run's config. */
+void
+mergeGuards(RunConfig &cfg, const ExecutorOptions &opts)
+{
+    if (!cfg.guards.tickBudget)
+        cfg.guards.tickBudget = opts.guards.tickBudget;
+    if (!cfg.guards.stallWindow)
+        cfg.guards.stallWindow = opts.guards.stallWindow;
+    if (cfg.guards.wallSeconds <= 0)
+        cfg.guards.wallSeconds = opts.guards.wallSeconds;
+    if (!cfg.guards.cancel)
+        cfg.guards.cancel =
+            opts.guards.cancel ? opts.guards.cancel : opts.cancel;
+}
+
 /**
  * Validate and execute one run. User errors that runPrimitive()
  * would treat as fatal (unknown system or dataset, bad scale) are
@@ -102,6 +129,39 @@ PlanResults::byLabel(const std::string &label) const
     return r->result;
 }
 
+const RunRecord *
+PlanResults::cell(const std::string &system, Primitive prim,
+                  const std::string &dataset, ScuMode mode) const
+{
+    RunConfig cfg;
+    cfg.systemName = system;
+    cfg.primitive = prim;
+    cfg.dataset = dataset;
+    cfg.mode = mode;
+    return find(runLabel(cfg));
+}
+
+const RunRecord *
+PlanResults::record(const std::string &label) const
+{
+    return find(label);
+}
+
+const RunResult *
+PlanResults::tryGet(const std::string &system, Primitive prim,
+                    const std::string &dataset, ScuMode mode) const
+{
+    const RunRecord *r = cell(system, prim, dataset, mode);
+    return r && r->ok ? &r->result : nullptr;
+}
+
+const RunResult *
+PlanResults::tryByLabel(const std::string &label) const
+{
+    const RunRecord *r = find(label);
+    return r && r->ok ? &r->result : nullptr;
+}
+
 unsigned
 executorJobs(const ExecutorOptions &opts)
 {
@@ -136,9 +196,7 @@ runPlan(const std::vector<PlannedRun> &runs,
             if (opts.memoize) {
                 auto it = memo().find(runs[i].key);
                 if (it != memo().end()) {
-                    recs[i].result = it->second.result;
-                    recs[i].ok = it->second.ok;
-                    recs[i].error = it->second.error;
+                    copyOutcome(recs[i], it->second);
                     continue;
                 }
             }
@@ -156,16 +214,50 @@ runPlan(const std::vector<PlannedRun> &runs,
             if (t >= todo.size())
                 break;
             RunRecord &rec = recs[todo[t]];
-            try {
-                rec.result = checkedRun(rec.run.cfg, rec.run.graph);
-                rec.ok = true;
-                if (!rec.result.validated)
-                    warn("run '%s' failed validation",
-                         rec.run.label.c_str());
-            } catch (const std::exception &e) {
-                rec.error = e.what();
-                warn("run '%s' failed: %s", rec.run.label.c_str(),
-                     e.what());
+            RunConfig cfg = rec.run.cfg;
+            mergeGuards(cfg, opts);
+            for (;;) {
+                ++rec.attempts;
+                if (opts.cancel &&
+                    opts.cancel->load(std::memory_order_relaxed)) {
+                    rec.failure = FailureKind::Timeout;
+                    rec.error = "cancelled before start";
+                    break;
+                }
+                try {
+                    // Failures inside the run (panics, invariant
+                    // violations, watchdog trips) throw SimError
+                    // while the trap is alive instead of aborting
+                    // the whole matrix.
+                    ErrorTrapGuard trap;
+                    rec.result = checkedRun(cfg, rec.run.graph);
+                    rec.ok = true;
+                    rec.failure.reset();
+                    rec.error.clear();
+                    rec.diagnostics.clear();
+                    if (!rec.result.validated)
+                        warn("run '%s' failed validation",
+                             rec.run.label.c_str());
+                    break;
+                } catch (const SimError &e) {
+                    rec.error = e.what();
+                    rec.failure = e.kind();
+                    rec.diagnostics = e.diagnostics();
+                    warn("run '%s' failed (%s): %s",
+                         rec.run.label.c_str(),
+                         to_string(e.kind()), e.what());
+                    // Only wall-clock failures are transient; a
+                    // deterministic fault would just fail again.
+                    if (e.kind() == FailureKind::Timeout &&
+                        rec.attempts <= opts.maxRetries)
+                        continue;
+                    break;
+                } catch (const std::exception &e) {
+                    rec.error = e.what();
+                    warn("run '%s' failed: %s",
+                         rec.run.label.c_str(), e.what());
+                    break;
+                }
             }
         }
     };
@@ -187,13 +279,14 @@ runPlan(const std::vector<PlannedRun> &runs,
         std::lock_guard<std::mutex> lock(memoMutex);
         for (std::size_t i : todo) {
             for (std::size_t j : dup[recs[i].run.key]) {
-                if (j != i) {
-                    recs[j].result = recs[i].result;
-                    recs[j].ok = recs[i].ok;
-                    recs[j].error = recs[i].error;
-                }
+                if (j != i)
+                    copyOutcome(recs[j], recs[i]);
             }
-            if (opts.memoize)
+            // Timeouts depend on host load, not on the run: serving
+            // one from the memo would make a transient failure
+            // permanent.
+            if (opts.memoize &&
+                recs[i].failure != FailureKind::Timeout)
                 memo().emplace(recs[i].run.key, recs[i]);
         }
     }

@@ -11,10 +11,13 @@
 #ifndef SCUSIM_HARNESS_EXECUTOR_HH
 #define SCUSIM_HARNESS_EXECUTOR_HH
 
+#include <atomic>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/sim_error.hh"
 #include "harness/plan.hh"
 
 namespace scusim::harness
@@ -27,6 +30,12 @@ struct RunRecord
     RunResult result; ///< meaningful only when ok
     bool ok = false;
     std::string error; ///< what() of the exception, when !ok
+    /** Classified failure; empty when ok or for non-SimError throws. */
+    std::optional<FailureKind> failure;
+    /** Per-component diagnostic dump attached to the failure. */
+    std::string diagnostics;
+    /** Execution attempts (> 1 when a Timeout was retried). */
+    unsigned attempts = 0;
 };
 
 /**
@@ -57,6 +66,30 @@ class PlanResults
     /** The result labelled @p label; fatal if absent or failed. */
     const RunResult &byLabel(const std::string &label) const;
 
+    /**
+     * The record at the given matrix coordinates, failed or not;
+     * null when absent, fatal when ambiguous. The ok-aware access
+     * path benches use to render failed cells instead of dying.
+     */
+    const RunRecord *cell(const std::string &system, Primitive prim,
+                          const std::string &dataset,
+                          ScuMode mode) const;
+
+    /** The record labelled @p label; null when absent. */
+    const RunRecord *record(const std::string &label) const;
+
+    /**
+     * The result at the given matrix coordinates, or null when the
+     * cell is absent or failed (fatal only when ambiguous).
+     */
+    const RunResult *tryGet(const std::string &system,
+                            Primitive prim,
+                            const std::string &dataset,
+                            ScuMode mode) const;
+
+    /** The result labelled @p label, or null if absent or failed. */
+    const RunResult *tryByLabel(const std::string &label) const;
+
   private:
     const RunRecord *find(const std::string &label) const;
 
@@ -74,9 +107,23 @@ struct ExecutorOptions
     /**
      * Share results across runPlan() calls in this process (the
      * run-level replacement of the old bench runCached()). Tests
-     * that compare fresh executions turn this off.
+     * that compare fresh executions turn this off. Timeout failures
+     * are never memoized — they are transient by definition.
      */
     bool memoize = true;
+    /**
+     * Default budgets merged into every run whose own guards leave
+     * the corresponding field unset.
+     */
+    RunGuards guards = {};
+    /** Extra attempts granted to transient (Timeout) failures. */
+    unsigned maxRetries = 0;
+    /**
+     * Cooperative cancellation of the whole plan: pending runs fail
+     * fast with Timeout, in-flight runs stop at their supervisor's
+     * next checkpoint.
+     */
+    std::atomic<bool> *cancel = nullptr;
 };
 
 /** The resolved worker count runPlan() would use for @p opts. */

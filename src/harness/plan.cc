@@ -59,6 +59,17 @@ runKey(const RunConfig &cfg, const graph::CsrGraph *graph)
         os << "|scu=";
         appendScu(os, *cfg.scuOverride);
     }
+    // Faults and budgets change what a run produces (or whether it
+    // completes at all), so they key the memo; a pristine, unguarded
+    // run keeps the exact key it had before either feature existed.
+    if (!cfg.faults.empty())
+        os << "|faults=" << cfg.faults.fingerprint();
+    if (cfg.guards.tickBudget || cfg.guards.stallWindow ||
+        cfg.guards.wallSeconds > 0) {
+        os << "|guards=" << cfg.guards.tickBudget << ","
+           << cfg.guards.stallWindow << ","
+           << keyNum(cfg.guards.wallSeconds);
+    }
     if (graph)
         os << "|graph=" << static_cast<const void *>(graph);
     return os.str();

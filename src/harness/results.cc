@@ -173,6 +173,16 @@ const Field runFields[] = {
          return std::string(r.ok ? "true" : "false");
      }},
     {"error", [](const RunRecord &r) { return quoted(r.error); }},
+    {"failureKind",
+     [](const RunRecord &r) {
+         if (r.ok)
+             return quoted("");
+         // A failed run without a classified kind was a plain
+         // exception (bad config, ...), not a supervised failure.
+         return quoted(r.failure ? to_string(*r.failure) : "error");
+     }},
+    {"attempts",
+     [](const RunRecord &r) { return std::to_string(r.attempts); }},
     {"validated",
      [](const RunRecord &r) {
          return std::string(r.ok && r.result.validated ? "true"
@@ -281,6 +291,25 @@ writeRunsCsv(std::ostream &os, const PlanResults &res)
 }
 
 void
+writeFailureReport(std::ostream &os, const PlanResults &res)
+{
+    os << "{\"failures\":[";
+    bool first = true;
+    for (const auto &r : res.records()) {
+        if (r.ok)
+            continue;
+        os << (first ? "" : ",") << "\n  {\"label\":"
+           << quoted(r.run.label) << ",\"failureKind\":"
+           << quoted(r.failure ? to_string(*r.failure) : "error")
+           << ",\"error\":" << quoted(r.error)
+           << ",\"attempts\":" << r.attempts
+           << ",\"diagnostics\":" << quoted(r.diagnostics) << "}";
+        first = false;
+    }
+    os << "\n]}\n";
+}
+
+void
 writeArtifact(const std::string &name, const PlanResults &res,
               const std::vector<const Table *> &tables)
 {
@@ -305,6 +334,17 @@ writeArtifact(const std::string &name, const PlanResults &res,
     std::ofstream csv(csvPath);
     fatal_if(!csv, "cannot write artifact '%s'", csvPath.c_str());
     writeRunsCsv(csv, res);
+
+    if (res.failures()) {
+        const std::string failPath =
+            dir + "/" + name + ".failures.json";
+        std::ofstream fs(failPath);
+        fatal_if(!fs, "cannot write artifact '%s'",
+                 failPath.c_str());
+        writeFailureReport(fs, res);
+        // simlint: allow(direct-output)
+        std::printf("\nfailure report: %s\n", failPath.c_str());
+    }
 
     // simlint: allow(direct-output)
     std::printf("\nartifacts: %s, %s\n", jsonPath.c_str(),

@@ -55,10 +55,18 @@ void writeRunsJson(std::ostream &os, const PlanResults &res);
 void writeRunsCsv(std::ostream &os, const PlanResults &res);
 
 /**
+ * Write a machine-readable failure report: one JSON object per
+ * failed run with its label, classified failure kind, error message
+ * and per-component diagnostics.
+ */
+void writeFailureReport(std::ostream &os, const PlanResults &res);
+
+/**
  * Emit the artifact of one bench binary: <name>.json holding the
  * run records and the printed tables, plus <name>.csv with the run
- * records, under $SCUSIM_ARTIFACT_DIR (default "."). Prints the
- * paths written.
+ * records, under $SCUSIM_ARTIFACT_DIR (default "."). When any run
+ * failed, also <name>.failures.json with the failure report. Prints
+ * the paths written.
  */
 void writeArtifact(const std::string &name, const PlanResults &res,
                    const std::vector<const Table *> &tables);

@@ -9,6 +9,7 @@
 #ifndef SCUSIM_HARNESS_RUNNER_HH
 #define SCUSIM_HARNESS_RUNNER_HH
 
+#include <atomic>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -17,6 +18,7 @@
 #include "energy/energy_model.hh"
 #include "graph/csr.hh"
 #include "harness/system.hh"
+#include "sim/fault.hh"
 
 namespace scusim::harness
 {
@@ -25,6 +27,28 @@ namespace scusim::harness
 enum class Primitive { Bfs, Sssp, Pr };
 
 std::string to_string(Primitive p);
+
+/**
+ * Per-run supervision budgets; zero / null disables the respective
+ * guard. Tick budgets are enforced by the simulation's watchdog
+ * (Runaway / Deadlock), the wall-clock budget and the cancellation
+ * flag by a supervisor installed for the run (Timeout).
+ */
+struct RunGuards
+{
+    Tick tickBudget = 0;   ///< max absolute tick before Runaway
+    Tick stallWindow = 0;  ///< no-progress ticks before Deadlock
+    double wallSeconds = 0; ///< wall-clock budget before Timeout
+    /** Cooperative cancellation: set to make the run stop (Timeout). */
+    std::atomic<bool> *cancel = nullptr;
+
+    bool
+    any() const
+    {
+        return tickBudget || stallWindow || wallSeconds > 0 ||
+               cancel;
+    }
+};
 
 /** Everything needed to reproduce one run. */
 struct RunConfig
@@ -40,6 +64,10 @@ struct RunConfig
     std::optional<scu::ScuParams> scuOverride;
     /** Dump the full component statistics tree after the run. */
     std::ostream *dumpStatsTo = nullptr;
+    /** Faults to inject into this run (empty = pristine). */
+    sim::FaultPlan faults = {};
+    /** Supervision budgets for this run. */
+    RunGuards guards = {};
 };
 
 /** Metrics of one run (the raw material of Figures 1 and 9-13). */

@@ -16,6 +16,7 @@
 
 #include "common/bits.hh"
 #include "common/types.hh"
+#include "sim/check.hh"
 
 namespace scusim::mem
 {
@@ -43,6 +44,7 @@ coalesceLanes(std::span<const Addr> lane_addrs, unsigned line_bytes,
         if (!seen)
             out.push_back(line);
     }
+    sim::checkCoalesceBounds(lane_addrs.size(), out.size() - first);
     return out.size() - first;
 }
 

@@ -1,6 +1,7 @@
 #include "mem/mem_system.hh"
 
 #include "sim/check.hh"
+#include "sim/fault.hh"
 
 namespace scusim::mem
 {
@@ -24,6 +25,10 @@ MemSystem::access(Tick issue, Addr addr, AccessKind kind,
     MemResult r = l2Cache.access(issue + icnLat, addr, kind, bytes);
     if (kind != AccessKind::Write)
         r.complete += icnLat; // response network crossing
+    // Posted writes are excluded: nothing waits on their completion
+    // tick, so a perturbed one could never be observed.
+    if (faultInj && kind != AccessKind::Write)
+        r.complete = faultInj->adjustMemCompletion(issue, r.complete);
     sim::checkMemCompletion("memsys", issue, r.complete);
     return r;
 }

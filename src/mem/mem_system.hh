@@ -17,6 +17,11 @@
 #include "sim/clock.hh"
 #include "stats/stats.hh"
 
+namespace scusim::sim
+{
+class FaultInjector;
+}
+
 namespace scusim::mem
 {
 
@@ -41,6 +46,12 @@ class MemSystem : public MemLevel
 
     MemResult access(Tick issue, Addr addr, AccessKind kind,
                      unsigned bytes) override;
+
+    /**
+     * Attach the run's fault injector (non-owning, null detaches).
+     * Lets MemDelay / MemReorder faults perturb completion ticks.
+     */
+    void setFaultInjector(sim::FaultInjector *inj) { faultInj = inj; }
 
     Cache &l2() { return l2Cache; }
     Dram &dram() { return dramModel; }
@@ -76,6 +87,7 @@ class MemSystem : public MemLevel
     Dram dramModel;
     Cache l2Cache;
     stats::Scalar requests;
+    sim::FaultInjector *faultInj = nullptr;
 };
 
 } // namespace scusim::mem

@@ -5,6 +5,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "sim/check.hh"
 
 namespace scusim::scu
 {
@@ -60,6 +61,8 @@ ScuPipeline::issueRead(Addr line_addr, unsigned bytes)
     auto r = mem.access(t, line_addr, mem::AccessKind::ReadNoAlloc,
                         bytes);
     inflight.push(r.complete);
+    sim::checkOccupancy("scu inflight window", inflight.size(),
+                        inflightLimit());
     memReady = std::max(memReady, r.complete);
     txnIssue = t;
     ++traffic.readTxns;

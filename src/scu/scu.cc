@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/fault.hh"
+#include "sim/simulation.hh"
 
 namespace scusim::scu
 {
@@ -126,12 +128,21 @@ Scu::emitStream(const std::vector<std::uint32_t> &produced,
         for (std::size_t k = 0; k < n; ++k) {
             ProbeTraffic traffic;
             bool keep;
+            // Armed HashCorrupt faults strike the set the next probe
+            // touches, so the parity check is guaranteed to see the
+            // flipped bit (checked builds).
+            sim::FaultInjector *inj = sim.faultInjector();
             if (opt.filterMode == FilterMode::Unique) {
                 auto &table = opt.useSecondaryUnique
                                   ? *uniqueTable2
                                   : *uniqueTable;
+                if (inj && inj->fireHashCorrupt(sim.now()))
+                    table.corruptForKey(produced[k], inj->rng());
                 keep = table.probe(produced[k], traffic);
             } else {
+                if (inj && inj->fireHashCorrupt(sim.now()))
+                    costTable->corruptForKey(produced[k],
+                                             inj->rng());
                 keep = costTable->probe(produced[k], opt.costs[k],
                                         traffic);
             }

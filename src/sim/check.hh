@@ -20,6 +20,7 @@
 #define SCUSIM_SIM_CHECK_HH
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -32,10 +33,17 @@
 
 /**
  * Assert a simulator invariant. Active only in checked builds, but
- * the condition must always compile so checks cannot bitrot.
+ * the condition must always compile so checks cannot bitrot. A
+ * violation is classified FailureKind::Invariant: it aborts
+ * standalone (death tests) and throws SimError under the executor's
+ * error trap (see common/sim_error.hh).
  */
 #if SCUSIM_CHECK_ENABLED
-#define sim_check(cond, ...) panic_if(!(cond), __VA_ARGS__)
+#define sim_check(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond))                                                    \
+            sim_invariant(__VA_ARGS__);                                 \
+    } while (0)
 #else
 #define sim_check(cond, ...)                                            \
     do {                                                                \
@@ -106,6 +114,40 @@ checkOccupancy([[maybe_unused]] const char *what,
     sim_check(occupancy <= capacity,
               "%s overfull: %zu entries in capacity %zu", what,
               occupancy, capacity);
+}
+
+/**
+ * FIFO credit-accounting contract: the number of elements popped
+ * never exceeds the number pushed, and the difference equals the
+ * queue's occupancy. A drift means a producer and a consumer
+ * disagree about back-pressure credits — the hardware analogue loses
+ * or duplicates flow-control credits and hangs.
+ */
+inline void
+checkFifoCredits([[maybe_unused]] const char *what,
+                 std::uint64_t pushes, std::uint64_t pops,
+                 std::size_t occupancy)
+{
+    sim_check(pops <= pushes && pushes - pops == occupancy,
+              "%s credit drift: %llu pushes - %llu pops != %zu "
+              "occupancy",
+              what, static_cast<unsigned long long>(pushes),
+              static_cast<unsigned long long>(pops), occupancy);
+}
+
+/**
+ * Coalescing-window contract: merging a warp's lane addresses can
+ * produce at most one transaction per lane, and at least one when
+ * any lane is active. Outside those bounds the coalescer fabricated
+ * or lost traffic, corrupting every bandwidth-derived metric.
+ */
+inline void
+checkCoalesceBounds(std::size_t lanes, std::size_t txns)
+{
+    sim_check(txns <= lanes && (lanes == 0 || txns >= 1),
+              "coalescer window out of bounds: %zu lanes merged "
+              "into %zu transactions",
+              lanes, txns);
 }
 
 } // namespace scusim::sim

@@ -53,9 +53,22 @@ class Clocked
 #endif
     }
 
+    /**
+     * Work units completed so far (instructions issued, warps
+     * retired, ...). The Simulation's deadlock watchdog compares the
+     * sum across components between ticks: busy components whose
+     * progress counters stand still are hung, not working.
+     */
+    std::uint64_t progressCount() const { return progressed; }
+
+  protected:
+    /** Record @p n units of forward progress (subclasses' tick()). */
+    void noteProgress(std::uint64_t n = 1) { progressed += n; }
+
   private:
     /** Latest tick this component was advanced at (checked builds). */
     Tick lastTickSeen = 0;
+    std::uint64_t progressed = 0;
 };
 
 } // namespace scusim::sim

@@ -69,12 +69,16 @@ class EventQueue
             e.cb(e.when);
             ++n;
         }
+        servicedCount += n;
         if (now > horizon)
             horizon = now;
         return n;
     }
 
     std::size_t size() const { return events.size(); }
+
+    /** Total events serviced over the queue's lifetime (progress). */
+    std::uint64_t serviced() const { return servicedCount; }
 
   private:
     struct Entry
@@ -96,6 +100,7 @@ class EventQueue
 
     std::priority_queue<Entry, std::vector<Entry>, Later> events;
     std::uint64_t seq = 0;
+    std::uint64_t servicedCount = 0;
     /** Latest tick passed to serviceUpTo(); schedule floor. */
     Tick horizon = 0;
 };

@@ -1,0 +1,144 @@
+#include "sim/fault.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace scusim::sim
+{
+
+const char *
+to_string(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::PanicAt:
+        return "panic-at";
+      case FaultKind::MemDelay:
+        return "mem-delay";
+      case FaultKind::MemReorder:
+        return "mem-reorder";
+      case FaultKind::FifoStall:
+        return "fifo-stall";
+      case FaultKind::ComponentFreeze:
+        return "component-freeze";
+      case FaultKind::HashCorrupt:
+        return "hash-corrupt";
+      case FaultKind::NumFaultKinds:
+        break;
+    }
+    return "?";
+}
+
+std::string
+FaultPlan::fingerprint() const
+{
+    std::ostringstream os;
+    for (const auto &s : faults) {
+        os << to_string(s.kind) << "@" << s.at << "x" << s.magnitude
+           << "t" << s.target << ";";
+    }
+    return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan p, std::uint64_t seed)
+    : plan(std::move(p)), randGen(seed),
+      spent(plan.faults.size(), false)
+{
+}
+
+std::uint64_t
+FaultInjector::fired(FaultKind k) const
+{
+    return firedCount[static_cast<std::size_t>(k)];
+}
+
+void
+FaultInjector::checkPanic(Tick now)
+{
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec &s = plan.faults[i];
+        if (s.kind != FaultKind::PanicAt || spent[i] || now < s.at)
+            continue;
+        spent[i] = true;
+        ++firedCount[static_cast<std::size_t>(s.kind)];
+        panic("injected panic at tick %llu (armed for %llu)",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(s.at));
+    }
+}
+
+Tick
+FaultInjector::adjustMemCompletion(Tick issue, Tick complete)
+{
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec &s = plan.faults[i];
+        if (spent[i] || issue < s.at)
+            continue;
+        if (s.kind == FaultKind::MemDelay) {
+            spent[i] = true;
+            ++firedCount[static_cast<std::size_t>(s.kind)];
+            complete += s.magnitude;
+        } else if (s.kind == FaultKind::MemReorder) {
+            spent[i] = true;
+            ++firedCount[static_cast<std::size_t>(s.kind)];
+            complete = issue > s.magnitude ? issue - s.magnitude : 0;
+        }
+    }
+    return complete;
+}
+
+bool
+FaultInjector::smStalled(unsigned sm, Tick now) const
+{
+    for (const auto &s : plan.faults) {
+        if (s.kind != FaultKind::FifoStall || s.target != sm ||
+            now < s.at)
+            continue;
+        // magnitude 0 stalls forever; otherwise for `magnitude`
+        // ticks starting at `at`.
+        if (s.magnitude == 0 || now < s.at + s.magnitude)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::frozen(unsigned index, Tick now) const
+{
+    for (const auto &s : plan.faults) {
+        if (s.kind == FaultKind::ComponentFreeze &&
+            s.target == index && now >= s.at)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::fireHashCorrupt(Tick now)
+{
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec &s = plan.faults[i];
+        if (s.kind != FaultKind::HashCorrupt || spent[i] ||
+            now < s.at)
+            continue;
+        spent[i] = true;
+        ++firedCount[static_cast<std::size_t>(s.kind)];
+        return true;
+    }
+    return false;
+}
+
+std::string
+FaultInjector::summary() const
+{
+    std::ostringstream os;
+    os << "faults:";
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec &s = plan.faults[i];
+        os << " " << to_string(s.kind) << "@" << s.at
+           << (spent[i] ? "(fired)" : "(armed)");
+    }
+    return os.str();
+}
+
+} // namespace scusim::sim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection. A FaultPlan arms a set of faults; a
+ * FaultInjector (owned by the Simulation, seeded from the run's RNG
+ * seed — never from the wall clock) fires them at deterministic
+ * points so the same plan + seed reproduces the same failure
+ * bit-for-bit. The point of the subsystem is to *exercise* the
+ * defensive stack above it: every FaultKind must be detected and
+ * classified as the matching FailureKind by the watchdog, the
+ * checked-build invariants or the panic path — never silently
+ * averaged into results.
+ *
+ * Designed detection mapping (asserted by tests/fault_test.cc):
+ *
+ *   PanicAt         -> FailureKind::Panic     (injected panic())
+ *   MemDelay        -> FailureKind::Runaway   (tick budget exceeded)
+ *   MemReorder      -> FailureKind::Invariant (completion < issue)
+ *   FifoStall       -> FailureKind::Deadlock  (SM busy, no progress)
+ *   ComponentFreeze -> FailureKind::Deadlock  (component never ticks)
+ *   HashCorrupt     -> FailureKind::Invariant (entry parity mismatch)
+ */
+
+#ifndef SCUSIM_SIM_FAULT_HH
+#define SCUSIM_SIM_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace scusim::sim
+{
+
+/** The fault classes the injector can arm. */
+enum class FaultKind
+{
+    PanicAt,         ///< panic() once the clock reaches `at`
+    MemDelay,        ///< inflate one memory completion by `magnitude`
+    MemReorder,      ///< pull one completion `magnitude` before issue
+    FifoStall,       ///< freeze SM `target`'s issue FIFO from `at` on
+    ComponentFreeze, ///< stop ticking Clocked component `target`
+    HashCorrupt,     ///< flip a bit in an SCU hash-table entry
+    NumFaultKinds,
+};
+
+const char *to_string(FaultKind k);
+
+/** One armed fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::PanicAt;
+    /** Tick at or after which the fault fires (0 = first chance). */
+    Tick at = 0;
+    /** Kind-specific size: delay/reorder ticks. */
+    std::uint64_t magnitude = 0;
+    /** Kind-specific target: SM id / Clocked registration index. */
+    unsigned target = 0;
+};
+
+/** A (possibly empty) set of faults to arm for one run. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    FaultPlan &
+    add(FaultSpec s)
+    {
+        faults.push_back(s);
+        return *this;
+    }
+
+    /** Canonical serialization, for run keys (plan identity). */
+    std::string fingerprint() const;
+};
+
+/**
+ * Fires the armed faults of one run. The components consult the
+ * injector through Simulation::faultInjector(); a null injector (the
+ * common case) costs one pointer test per hook.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+    /** PanicAt hook: panics once `now` reaches the armed tick. */
+    void checkPanic(Tick now);
+
+    /**
+     * MemDelay/MemReorder hook: returns the (possibly adjusted)
+     * completion tick for a read issued at @p issue. Each armed
+     * memory fault fires exactly once. MemReorder clamps at 0 so
+     * the corruption is a detectable time reversal, not an unsigned
+     * wrap-around that happens to pass the check.
+     */
+    Tick adjustMemCompletion(Tick issue, Tick complete);
+
+    /** FifoStall hook: whether SM @p sm must not issue at @p now. */
+    bool smStalled(unsigned sm, Tick now) const;
+
+    /** ComponentFreeze hook: whether Clocked @p index is frozen. */
+    bool frozen(unsigned index, Tick now) const;
+
+    /**
+     * HashCorrupt hook: true exactly once, on the first filter-table
+     * probe at or after the armed tick — the caller then corrupts
+     * the entry the probe is about to inspect, guaranteeing the
+     * parity check sees the flip.
+     */
+    bool fireHashCorrupt(Tick now);
+
+    /** Deterministic randomness for corruption targets. */
+    Rng &rng() { return randGen; }
+
+    /** How many times faults of @p k have fired (diagnostics). */
+    std::uint64_t fired(FaultKind k) const;
+
+    /** One-line summary of armed and fired faults. */
+    std::string summary() const;
+
+  private:
+    FaultPlan plan;
+    Rng randGen;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(FaultKind::NumFaultKinds)>
+        firedCount{};
+    std::vector<bool> spent; ///< one-shot bookkeeping per spec
+};
+
+} // namespace scusim::sim
+
+#endif // SCUSIM_SIM_FAULT_HH

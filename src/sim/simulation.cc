@@ -1,11 +1,64 @@
 #include "sim/simulation.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
+#include "sim/fault.hh"
 
 namespace scusim::sim
 {
+
+Simulation::Simulation() = default;
+Simulation::~Simulation() = default;
+
+void
+Simulation::addClocked(Clocked *c, std::string name)
+{
+    if (name.empty())
+        name = "clocked#" + std::to_string(clockedList.size());
+    clockedList.push_back(c);
+    clockedNames.push_back(std::move(name));
+}
+
+void
+Simulation::installFaultInjector(std::unique_ptr<FaultInjector> inj)
+{
+    injector = std::move(inj);
+}
+
+std::string
+Simulation::diagnosticDump() const
+{
+    std::ostringstream os;
+    os << "tick " << currentTick << "\n";
+    for (std::size_t i = 0; i < clockedList.size(); ++i) {
+        const Clocked *c = clockedList[i];
+        os << clockedNames[i] << ": busy="
+           << (c->busy(currentTick) ? "yes" : "no");
+        Tick wake = c->nextWakeTick();
+        os << " wake=";
+        if (wake == tickNever)
+            os << "never";
+        else
+            os << wake;
+        os << " progress=" << c->progressCount();
+        if (injector &&
+            injector->frozen(static_cast<unsigned>(i), currentTick))
+            os << " [frozen by fault injector]";
+        os << "\n";
+    }
+    os << "events: pending=" << eq.size() << " next=";
+    if (eq.nextTick() == tickNever)
+        os << "never";
+    else
+        os << eq.nextTick();
+    os << " serviced=" << eq.serviced();
+    if (injector)
+        os << "\n" << injector->summary();
+    return os.str();
+}
 
 Tick
 Simulation::nextInterestingTick() const
@@ -19,12 +72,29 @@ Simulation::nextInterestingTick() const
     return t;
 }
 
+std::uint64_t
+Simulation::progressStamp() const
+{
+    std::uint64_t stamp = eq.serviced();
+    for (const auto *c : clockedList)
+        stamp += c->progressCount();
+    return stamp;
+}
+
 void
 Simulation::step(Tick n)
 {
     for (Tick i = 0; i < n; ++i) {
         eq.serviceUpTo(currentTick);
-        for (auto *c : clockedList) {
+        for (std::size_t j = 0; j < clockedList.size(); ++j) {
+            Clocked *c = clockedList[j];
+            // A frozen component keeps claiming to be busy but is
+            // never ticked — exactly the hang mode the deadlock
+            // watchdog exists to catch.
+            if (injector &&
+                injector->frozen(static_cast<unsigned>(j),
+                                 currentTick))
+                continue;
             if (c->busy(currentTick)) {
                 c->noteTick(currentTick);
                 c->tick(currentTick);
@@ -38,7 +108,15 @@ Tick
 Simulation::run(Tick max_ticks)
 {
     const Tick start = currentTick;
+    const Tick budget = wd.tickBudget;
+    std::uint64_t lastStamp = progressStamp();
+    Tick stallStart = currentTick;
+    std::uint64_t iters = 0;
     while (true) {
+        if (injector)
+            injector->checkPanic(currentTick);
+        if (supervisor && (iters++ & 1023) == 0)
+            supervisor->checkpoint(currentTick);
         Tick next = nextInterestingTick();
         if (next == tickNever)
             break;
@@ -47,11 +125,57 @@ Simulation::run(Tick max_ticks)
             currentTick = next;
         }
         step(1);
-        panic_if(currentTick - start > max_ticks,
-                 "simulation exceeded %llu ticks without draining",
-                 static_cast<unsigned long long>(max_ticks));
+        const bool over_budget =
+            budget ? currentTick > budget
+                   : currentTick - start > max_ticks;
+        if (over_budget) {
+            reportFailure(
+                FailureKind::Runaway,
+                strprintf(
+                    "simulation exceeded %llu ticks without draining",
+                    static_cast<unsigned long long>(
+                        budget ? budget : max_ticks)),
+                diagnosticDump());
+        }
+        if (wd.stallWindow) {
+            std::uint64_t stamp = progressStamp();
+            if (stamp != lastStamp) {
+                lastStamp = stamp;
+                stallStart = currentTick;
+            } else if (currentTick - stallStart >= wd.stallWindow) {
+                reportFailure(
+                    FailureKind::Deadlock,
+                    strprintf("no component progress for %llu ticks "
+                              "while busy (deadlock)",
+                              static_cast<unsigned long long>(
+                                  wd.stallWindow)),
+                    diagnosticDump());
+            }
+        }
     }
     return currentTick - start;
+}
+
+void
+Simulation::advanceTo(Tick t)
+{
+    if (t <= currentTick)
+        return;
+    if (injector)
+        injector->checkPanic(currentTick);
+    if (wd.tickBudget && t > wd.tickBudget) {
+        reportFailure(
+            FailureKind::Runaway,
+            strprintf("simulation exceeded %llu ticks without "
+                      "draining (analytic completion at %llu)",
+                      static_cast<unsigned long long>(wd.tickBudget),
+                      static_cast<unsigned long long>(t)),
+            diagnosticDump());
+    }
+    eq.serviceUpTo(t);
+    currentTick = t;
+    if (supervisor)
+        supervisor->checkpoint(currentTick);
 }
 
 } // namespace scusim::sim

@@ -1,12 +1,18 @@
 /**
  * @file
  * Top-level simulation driver: owns the notion of "now", steps all
- * registered Clocked components and fast-forwards across idle gaps.
+ * registered Clocked components, fast-forwards across idle gaps and
+ * — when supervised — watches its own progress: a run that exceeds
+ * its tick budget is reported as a *runaway*, a run whose busy
+ * components stop making progress as a *deadlock*, both with a
+ * per-component diagnostic dump instead of a bare fatal.
  */
 
 #ifndef SCUSIM_SIM_SIMULATION_HH
 #define SCUSIM_SIM_SIMULATION_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -16,6 +22,35 @@
 namespace scusim::sim
 {
 
+class FaultInjector;
+
+/** Progress-watchdog thresholds; 0 disables the respective check. */
+struct WatchdogConfig
+{
+    /** Absolute tick ceiling of the run (runaway detection). */
+    Tick tickBudget = 0;
+    /**
+     * Ticks a busy simulation may spin without any component or
+     * event progress before it is declared deadlocked.
+     */
+    Tick stallWindow = 0;
+};
+
+/**
+ * Periodic callback hook of the harness into the simulation loop —
+ * the wall-clock budget and cooperative cancellation live behind it
+ * so the sim layer itself never reads the wall clock. A checkpoint
+ * that cannot let the run continue throws SimError(Timeout).
+ */
+class Supervisor
+{
+  public:
+    virtual ~Supervisor() = default;
+
+    /** Called periodically from run()/advanceTo(). */
+    virtual void checkpoint(Tick now) = 0;
+};
+
 /**
  * The simulation loop. Components register once; run() advances time
  * until every component is drained and no events remain.
@@ -23,18 +58,43 @@ namespace scusim::sim
 class Simulation
 {
   public:
+    Simulation();
+    ~Simulation();
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
     Tick now() const { return currentTick; }
 
-    /** Register a cycle-stepped component. */
-    void addClocked(Clocked *c) { clockedList.push_back(c); }
+    /** Register a cycle-stepped component (name for diagnostics). */
+    void addClocked(Clocked *c, std::string name = "");
 
     EventQueue &events() { return eq; }
+
+    /** Arm the progress watchdog for this run. */
+    void setWatchdog(const WatchdogConfig &w) { wd = w; }
+
+    /** Install the harness supervisor (null detaches). */
+    void setSupervisor(Supervisor *s) { supervisor = s; }
+
+    /** Install a fault injector for this run (takes ownership). */
+    void installFaultInjector(std::unique_ptr<FaultInjector> inj);
+
+    /** The run's fault injector, or null (the common case). */
+    FaultInjector *faultInjector() const { return injector.get(); }
+
+    /**
+     * Per-component diagnostic snapshot: busy state, next wake tick
+     * and progress counter per Clocked component, plus event-queue
+     * depth. Attached to watchdog failures.
+     */
+    std::string diagnosticDump() const;
 
     /**
      * Advance until all components are idle with no future wake-ups
      * and the event queue is empty.
-     * @param max_ticks safety bound; exceeding it is a simulator bug
-     *                  (runaway model).
+     * @param max_ticks safety bound when no watchdog tick budget is
+     *                  armed; exceeding either is reported as a
+     *                  runaway (FailureKind::Runaway).
      * @return ticks elapsed during this call.
      */
     Tick run(Tick max_ticks = static_cast<Tick>(1) << 40);
@@ -46,24 +106,26 @@ class Simulation
      * Jump the clock forward to @p t (no-op if in the past). Used by
      * components that compute their completion time analytically
      * (the SCU pipeline) while the cycle-stepped components are
-     * drained. Pending events up to @p t are serviced.
+     * drained. Pending events up to @p t are serviced; the watchdog
+     * tick budget and the supervisor are consulted, so an
+     * analytically-runaway completion tick is caught too.
      */
-    void
-    advanceTo(Tick t)
-    {
-        if (t > currentTick) {
-            eq.serviceUpTo(t);
-            currentTick = t;
-        }
-    }
+    void advanceTo(Tick t);
 
   private:
     /** Earliest tick at which anything can happen, or tickNever. */
     Tick nextInterestingTick() const;
 
+    /** Monotone counter of everything that counts as progress. */
+    std::uint64_t progressStamp() const;
+
     Tick currentTick = 0;
     EventQueue eq;
     std::vector<Clocked *> clockedList;
+    std::vector<std::string> clockedNames;
+    WatchdogConfig wd;
+    Supervisor *supervisor = nullptr;
+    std::unique_ptr<FaultInjector> injector;
 };
 
 } // namespace scusim::sim

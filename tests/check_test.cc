@@ -97,6 +97,33 @@ TEST(CheckDeath, OccupancyAboveCapacityPanics)
                  "overfull");
 }
 
+TEST(CheckDeath, FifoCreditDriftPanics)
+{
+    SKIP_UNLESS_CHECKED();
+    // Balanced books at every occupancy are fine...
+    sim::checkFifoCredits("BoundedFifo", 8, 3, 5);
+    sim::checkFifoCredits("BoundedFifo", 0, 0, 0);
+    // ...a consumer ahead of its producer lost a credit...
+    EXPECT_DEATH(sim::checkFifoCredits("BoundedFifo", 3, 4, 0),
+                 "credit drift");
+    // ...and books that do not match the queue duplicated one.
+    EXPECT_DEATH(sim::checkFifoCredits("BoundedFifo", 8, 3, 4),
+                 "credit drift");
+}
+
+TEST(CheckDeath, CoalescerWindowBoundsPanic)
+{
+    SKIP_UNLESS_CHECKED();
+    // A warp's lanes merge into [1, lanes] transactions.
+    sim::checkCoalesceBounds(32, 1);
+    sim::checkCoalesceBounds(32, 32);
+    sim::checkCoalesceBounds(0, 0);
+    // Fabricated traffic: more transactions than lanes.
+    EXPECT_DEATH(sim::checkCoalesceBounds(4, 5), "out of bounds");
+    // Lost traffic: active lanes produced no transaction at all.
+    EXPECT_DEATH(sim::checkCoalesceBounds(4, 0), "out of bounds");
+}
+
 TEST(Check, PassingChecksAreSilent)
 {
     // Valid in both checked and unchecked builds.

@@ -1,0 +1,68 @@
+// simlint fixture: swallowed-sim-error.
+
+#include <exception>
+#include <string>
+
+namespace scusim
+{
+enum class FailureKind { Panic };
+struct SimError : std::exception
+{
+    FailureKind kind() const { return FailureKind::Panic; }
+};
+} // namespace scusim
+
+int
+swallowsEverything()
+{
+    try {
+        return 1;
+    } catch (...) { // simlint: expect(swallowed-sim-error)
+        return 0;
+    }
+}
+
+int
+swallowsAfterLogging(std::string &log)
+{
+    try {
+        return 1;
+    } catch (...) { // simlint: expect(swallowed-sim-error)
+        log = "something went wrong";
+        return 0;
+    }
+}
+
+int
+rethrows()
+{
+    try {
+        return 1;
+    } catch (...) { // ok: the failure survives
+        throw;
+    }
+}
+
+int
+classifiesFirst(scusim::FailureKind &out)
+{
+    try {
+        return 1;
+    } catch (const scusim::SimError &e) {
+        out = e.kind();
+        return -1;
+    } catch (...) { // ok: SimError was caught and recorded above
+        out = scusim::FailureKind::Panic;
+        return 0;
+    }
+}
+
+int
+typedHandlerIsFine()
+{
+    try {
+        return 1;
+    } catch (const std::exception &) { // ok: not a catch-all
+        return 0;
+    }
+}

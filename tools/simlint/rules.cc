@@ -596,6 +596,52 @@ ruleRawStatCounter(const LexedFile &f, const Analysis &a,
     }
 }
 
+/**
+ * swallowed-sim-error: a `catch (...)` handler also catches SimError,
+ * the typed failure the supervision stack depends on — a handler that
+ * neither rethrows nor mentions the failure taxonomy turns a
+ * classified panic/deadlock/timeout into a silently "successful" run.
+ */
+void
+ruleSwallowedSimError(const LexedFile &f, const Analysis &a,
+                      FindingSink &out)
+{
+    (void)a;
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 5 < toks.size(); ++i) {
+        // catch ( . . . )  — '...' lexes as three '.' tokens.
+        if (!toks[i].is("catch") || !toks[i + 1].is("(") ||
+            !toks[i + 2].is(".") || !toks[i + 3].is(".") ||
+            !toks[i + 4].is(".") || !toks[i + 5].is(")"))
+            continue;
+        std::size_t open = i + 6;
+        if (open >= toks.size() || !toks[open].is("{"))
+            continue;
+        // Scan the handler body for evidence the failure survives:
+        // a rethrow, or the SimError / FailureKind types being
+        // consulted to record what happened.
+        int depth = 0;
+        bool handled = false;
+        std::size_t j = open;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].is("{"))
+                ++depth;
+            else if (toks[j].is("}") && --depth == 0)
+                break;
+            else if (toks[j].is("throw") || toks[j].is("SimError") ||
+                     toks[j].is("FailureKind"))
+                handled = true;
+        }
+        if (!handled) {
+            addFinding(out, f, toks[i].line, "swallowed-sim-error",
+                       "catch (...) swallows SimError without "
+                       "recording a FailureKind; rethrow, or catch "
+                       "SimError first and classify the failure");
+        }
+        i = j;
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -626,6 +672,11 @@ ruleRegistry()
          "mutable namespace-scope arithmetic variable in library "
          "code (ad-hoc stat escaping the Stat registry)",
          true},
+        {"swallowed-sim-error",
+         "catch (...) handler that neither rethrows nor records a "
+         "FailureKind (silently discards classified SimError "
+         "failures)",
+         true},
     };
     return registry;
 }
@@ -645,6 +696,7 @@ runRules(const LexedFile &file, bool treatAsSrc)
     if (inSrc) {
         ruleDirectOutput(file, a, found);
         ruleRawStatCounter(file, a, found);
+        ruleSwallowedSimError(file, a, found);
     }
 
     std::vector<Finding> kept;

@@ -34,8 +34,10 @@ tx1KronPlan(harness::Primitive prim)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const sim::FaultPlan faults = parseBenchArgs(argc, argv);
+
     std::vector<std::pair<std::string, scu::ScuParams>> widths;
     for (unsigned w : {1u, 2u, 4u, 8u}) {
         scu::ScuParams sp = scu::ScuParams::forTx1();
@@ -43,7 +45,8 @@ main()
         widths.emplace_back(std::to_string(w), sp);
     }
     auto widthPlan = tx1KronPlan(harness::Primitive::Bfs)
-                         .ablate("width", widths);
+                         .ablate("width", widths)
+                         .faults(faults);
 
     std::vector<std::pair<std::string, scu::ScuParams>> hashes;
     for (std::uint64_t kb : {8, 33, 132, 528}) {
@@ -52,7 +55,8 @@ main()
         hashes.emplace_back(std::to_string(kb), sp);
     }
     auto hashPlan = tx1KronPlan(harness::Primitive::Bfs)
-                        .ablate("hashKB", hashes);
+                        .ablate("hashKB", hashes)
+                        .faults(faults);
 
     std::vector<std::pair<std::string, scu::ScuParams>> groups;
     for (unsigned gs : {4u, 8u, 32u}) {
@@ -61,7 +65,8 @@ main()
         groups.emplace_back(std::to_string(gs), sp);
     }
     auto groupPlan = tx1KronPlan(harness::Primitive::Sssp)
-                         .ablate("group", groups);
+                         .ablate("group", groups)
+                         .faults(faults);
 
     // One batch: the executor interleaves all three sweeps.
     auto runs = widthPlan.expand();
@@ -71,7 +76,7 @@ main()
     std::printf("executing %zu runs on %u workers "
                 "(SCUSIM_JOBS to change)...\n",
                 runs.size(), harness::executorJobs());
-    auto res = harness::runPlan(runs);
+    auto res = harness::runPlan(runs, benchExecutorOptions(faults));
 
     harness::Table t1(
         "Ablation: SCU pipeline width (BFS, kron, TX1)");

@@ -10,6 +10,14 @@
  *   SCUSIM_SCALE        dataset scale factor (default 0.05)
  *   SCUSIM_JOBS         executor worker count (default: all cores)
  *   SCUSIM_ARTIFACT_DIR where artifacts land (default ".")
+ *   SCUSIM_TRACE_MASK   enable per-run tracing (trace-enabled builds)
+ *   SCUSIM_TRACE_PERIOD timeseries sampling window, ticks
+ *   SCUSIM_PROFILE      print the host-side profiler report
+ *
+ * Command line (every bench binary):
+ *   --inject <kind>@<tick>[x<magnitude>][t<target>]
+ *       arm a deterministic fault in every run of the matrix;
+ *       repeatable. Kinds: see sim::FaultKind / `--inject help`.
  */
 
 #ifndef SCUSIM_BENCH_BENCH_COMMON_HH
@@ -23,6 +31,7 @@
 #include "harness/executor.hh"
 #include "harness/plan.hh"
 #include "harness/results.hh"
+#include "sim/fault.hh"
 
 namespace scusim::bench
 {
@@ -73,6 +82,70 @@ scuModeFor(harness::Primitive prim)
                : harness::ScuMode::ScuEnhanced;
 }
 
+/**
+ * Parse the shared bench command line: every "--inject <spec>" arms
+ * one fault (syntax "<kind>@<tick>[x<magnitude>][t<target>]", see
+ * sim::parseFaultSpec) in every run of the plan. Exits with usage on
+ * anything unrecognized, so a typo can't silently run pristine.
+ */
+inline sim::FaultPlan
+parseBenchArgs(int argc, char **argv)
+{
+    sim::FaultPlan faults;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--inject" && i + 1 < argc) {
+            faults.add(sim::parseFaultSpec(argv[++i]));
+            continue;
+        }
+        std::fprintf(stderr,
+                     "usage: %s [--inject "
+                     "<kind>@<tick>[x<magnitude>][t<target>]]...\n",
+                     argv[0]);
+        std::exit(2);
+    }
+    return faults;
+}
+
+/**
+ * Executor options shared by the bench binaries: tracing defaults
+ * from the environment, per-run trace artifacts next to the bench's
+ * own artifacts.
+ */
+inline harness::ExecutorOptions
+benchExecutorOptions()
+{
+    harness::ExecutorOptions opts;
+    opts.trace = trace::TraceConfig::fromEnv();
+    opts.traceDir = ".";
+    if (const char *d = std::getenv("SCUSIM_ARTIFACT_DIR"))
+        opts.traceDir = d;
+    return opts;
+}
+
+/**
+ * Executor options for a plan that carries @p faults. An armed fault
+ * plan also arms the detection guards: a chaos run without a tick
+ * budget or stall window would just absorb the fault into an
+ * absurd-but-"successful" cycle count instead of rendering the
+ * FAIL(<kind>) cell the injection exists to demonstrate. Both bounds
+ * are far above anything a healthy run reaches, and they are only
+ * applied when faults are armed, so pristine runs keep the
+ * executor's usual (wall-clock-only) supervision.
+ */
+inline harness::ExecutorOptions
+benchExecutorOptions(const sim::FaultPlan &faults)
+{
+    harness::ExecutorOptions opts = benchExecutorOptions();
+    if (!faults.empty()) {
+        if (!opts.guards.tickBudget)
+            opts.guards.tickBudget = 1'000'000'000;
+        if (!opts.guards.stallWindow)
+            opts.guards.stallWindow = 1'000'000;
+    }
+    return opts;
+}
+
 /** Execute @p plan, reporting matrix size and worker count. */
 inline harness::PlanResults
 runBenchPlan(const harness::ExperimentPlan &plan)
@@ -81,7 +154,24 @@ runBenchPlan(const harness::ExperimentPlan &plan)
     std::printf("executing %zu runs on %u workers "
                 "(SCUSIM_JOBS to change)...\n",
                 runs.size(), harness::executorJobs());
-    return harness::runPlan(runs);
+    return harness::runPlan(runs, benchExecutorOptions());
+}
+
+/**
+ * Execute @p plan with the shared command line applied: parses
+ * --inject faults into every run (arming the chaos guards, see
+ * above), then runs as runBenchPlan does.
+ */
+inline harness::PlanResults
+runBenchPlan(harness::ExperimentPlan plan, int argc, char **argv)
+{
+    sim::FaultPlan faults = parseBenchArgs(argc, argv);
+    harness::ExecutorOptions opts = benchExecutorOptions(faults);
+    auto runs = plan.faults(std::move(faults)).expand();
+    std::printf("executing %zu runs on %u workers "
+                "(SCUSIM_JOBS to change)...\n",
+                runs.size(), harness::executorJobs());
+    return harness::runPlan(runs, opts);
 }
 
 inline std::string

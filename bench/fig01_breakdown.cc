@@ -12,7 +12,7 @@ using namespace scusim;
 using namespace scusim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto res = runBenchPlan(
         harness::ExperimentPlan()
@@ -20,7 +20,8 @@ main()
             .primitives(benchPrimitives())
             .datasets(benchDatasets())
             .modes({harness::ScuMode::GpuOnly})
-            .scale(benchScale()));
+            .scale(benchScale()),
+        argc, argv);
 
     harness::Table t(
         "Figure 1: % of GPU-only time in stream compaction "

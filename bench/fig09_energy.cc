@@ -11,7 +11,7 @@ using namespace scusim;
 using namespace scusim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto res = runBenchPlan(
         harness::ExperimentPlan()
@@ -22,7 +22,8 @@ main()
                 return std::vector<harness::ScuMode>{
                     harness::ScuMode::GpuOnly, scuModeFor(p)};
             })
-            .scale(benchScale()));
+            .scale(benchScale()),
+        argc, argv);
 
     harness::Table t(
         "Figure 9: normalized energy, SCU system vs GPU-only "

@@ -15,7 +15,7 @@ using namespace scusim;
 using namespace scusim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto res = runBenchPlan(
         harness::ExperimentPlan()
@@ -26,7 +26,8 @@ main()
             .modes({harness::ScuMode::GpuOnly,
                     harness::ScuMode::ScuBasic,
                     harness::ScuMode::ScuEnhanced})
-            .scale(benchScale()));
+            .scale(benchScale()),
+        argc, argv);
 
     harness::Table t(
         "Figure 11: basic vs enhanced SCU (dataset-average; "

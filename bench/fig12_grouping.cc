@@ -22,7 +22,7 @@ using namespace scusim;
 using namespace scusim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto res = runBenchPlan(
         harness::ExperimentPlan()
@@ -31,7 +31,8 @@ main()
             .datasets(benchDatasets())
             .modes({harness::ScuMode::ScuBasic,
                     harness::ScuMode::ScuEnhanced})
-            .scale(benchScale()));
+            .scale(benchScale()),
+        argc, argv);
 
     harness::Table t(
         "Figure 12: coalescing improvement from grouping, SSSP "

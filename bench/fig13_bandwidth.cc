@@ -13,7 +13,7 @@ using namespace scusim;
 using namespace scusim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto res = runBenchPlan(
         harness::ExperimentPlan()
@@ -24,7 +24,8 @@ main()
                 return std::vector<harness::ScuMode>{
                     harness::ScuMode::GpuOnly, scuModeFor(p)};
             })
-            .scale(benchScale()));
+            .scale(benchScale()),
+        argc, argv);
 
     harness::Table t(
         "Figure 13: memory bandwidth utilization (% of peak), "

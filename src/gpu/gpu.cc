@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace scusim::gpu
 {
@@ -17,6 +18,15 @@ Gpu::Gpu(const GpuParams &params, mem::MemSystem &mem,
         sim.addClocked(sms.back().get(),
                        "sm" + std::to_string(i));
     }
+}
+
+void
+Gpu::attachTrace(trace::TraceSink &sink)
+{
+    traceChan = sink.channel("gpu");
+    for (std::size_t i = 0; i < sms.size(); ++i)
+        sms[i]->setTraceChannel(
+            sink.channel("sm" + std::to_string(i)));
 }
 
 void
@@ -112,6 +122,9 @@ Gpu::launch(const KernelLaunch &k)
     }
 
     ks.endTick = sim.now();
+    TRACE_EVENT_SPAN(traceChan, trace::Category::Kernel,
+                     ks.name.empty() ? std::string("kernel") : ks.name,
+                     ks.startTick, ks.endTick, k.numThreads);
 
     ++agg.launches;
     if (k.phase == Phase::Compaction) {

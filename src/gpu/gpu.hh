@@ -19,6 +19,12 @@
 #include "sim/simulation.hh"
 #include "stats/stats.hh"
 
+namespace scusim::trace
+{
+class TraceChannel;
+class TraceSink;
+} // namespace scusim::trace
+
 namespace scusim::gpu
 {
 
@@ -63,6 +69,12 @@ class Gpu
     /** Fixed host-side launch overhead, in cycles. */
     Tick launchOverhead() const { return p.launchLatency; }
 
+    /**
+     * Bind trace channels: "gpu" for kernel spans, one per-SM channel
+     * ("sm<i>") for issue/memory events.
+     */
+    void attachTrace(trace::TraceSink &sink);
+
   private:
     /** Merge one warp's thread op lists into a SIMT stream. */
     void buildWarp(const KernelLaunch &k, std::uint64_t warp_id,
@@ -73,6 +85,7 @@ class Gpu
     stats::StatGroup grp;
     std::vector<std::unique_ptr<StreamingMultiprocessor>> sms;
     GpuTotals agg;
+    trace::TraceChannel *traceChan = nullptr;
 };
 
 } // namespace scusim::gpu

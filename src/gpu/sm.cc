@@ -5,6 +5,8 @@
 #include "common/logging.hh"
 #include "sim/fault.hh"
 #include "sim/simulation.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
 
 namespace scusim::gpu
 {
@@ -134,6 +136,13 @@ StreamingMultiprocessor::executeMem(const WarpInstr &wi, Tick now)
                                     mem::AccessKind::Read,
                                     p.l1.lineBytes);
             outstandingLoads.push(r.complete);
+            // MSHR occupancy high-water mark, for the FIFO track.
+            if (outstandingLoads.size() > mshrHighWater) {
+                mshrHighWater = outstandingLoads.size();
+                TRACE_EVENT_COUNTER(traceChan, trace::Category::Fifo,
+                                    "outstanding_loads", inject,
+                                    mshrHighWater);
+            }
             complete = std::max(complete, r.complete);
         } else if (wi.kind == ThreadOp::Kind::Store) {
             auto r = l1Cache.access(inject, line,
@@ -195,6 +204,7 @@ StreamingMultiprocessor::issueOne(Warp &w, Tick now)
 void
 StreamingMultiprocessor::tick(Tick now)
 {
+    SCUSIM_PROFILE_SCOPE("Sm::tick");
     if (simPtr) {
         // An injected FIFO stall: the SM stays busy but cannot
         // drain, so its progress counter freezes and the deadlock

@@ -26,6 +26,11 @@ namespace scusim::sim
 class Simulation;
 }
 
+namespace scusim::trace
+{
+class TraceChannel;
+}
+
 namespace scusim::gpu
 {
 
@@ -79,6 +84,9 @@ class StreamingMultiprocessor : public sim::Clocked
 
     double activeCycles() const { return smActiveCycles.value(); }
 
+    /** Bind this SM's trace channel (non-owning, null detaches). */
+    void setTraceChannel(trace::TraceChannel *c) { traceChan = c; }
+
   private:
     /** Issue one instruction of @p w; true if it issued. */
     bool issueOne(Warp &w, Tick now);
@@ -106,6 +114,8 @@ class StreamingMultiprocessor : public sim::Clocked
     std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
         outstandingLoads;
     std::vector<Addr> txnScratch;
+    trace::TraceChannel *traceChan = nullptr;
+    std::size_t mshrHighWater = 0; ///< outstanding-load FIFO peak
 
     stats::StatGroup grp;
     stats::Scalar smActiveCycles;

@@ -7,8 +7,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "graph/datasets.hh"
+#include "trace/profiler.hh"
 
 namespace scusim::harness
 {
@@ -49,6 +52,43 @@ mergeGuards(RunConfig &cfg, const ExecutorOptions &opts)
     if (!cfg.guards.cancel)
         cfg.guards.cancel =
             opts.guards.cancel ? opts.guards.cancel : opts.cancel;
+}
+
+/** File-name-safe rendering of a run label. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        bool keep = (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '_';
+        out.push_back(keep ? c : '-');
+    }
+    return out;
+}
+
+/**
+ * Merge executor-level tracing defaults into one run's config and
+ * fill the per-run artifact paths from opts.traceDir.
+ */
+void
+mergeTrace(RunConfig &cfg, const std::string &label,
+           const ExecutorOptions &opts)
+{
+    if (!cfg.trace.enabled && opts.trace.enabled)
+        cfg.trace = opts.trace;
+    if (!cfg.trace.enabled || opts.traceDir.empty())
+        return;
+    const std::string stem =
+        opts.traceDir + "/" + sanitizeLabel(label);
+    if (cfg.trace.exportPath.empty())
+        cfg.trace.exportPath = stem + ".trace.json";
+    if (cfg.trace.timeseriesPath.empty() &&
+        cfg.trace.timeseriesPeriod)
+        cfg.trace.timeseriesPath = stem + ".timeseries.csv";
 }
 
 /**
@@ -181,6 +221,9 @@ PlanResults
 runPlan(const std::vector<PlannedRun> &runs,
         const ExecutorOptions &opts)
 {
+    if (trace::Profiler::envEnabled())
+        trace::Profiler::instance().setEnabled(true);
+
     std::vector<RunRecord> recs(runs.size());
     for (std::size_t i = 0; i < runs.size(); ++i)
         recs[i].run = runs[i];
@@ -216,6 +259,7 @@ runPlan(const std::vector<PlannedRun> &runs,
             RunRecord &rec = recs[todo[t]];
             RunConfig cfg = rec.run.cfg;
             mergeGuards(cfg, opts);
+            mergeTrace(cfg, rec.run.label, opts);
             for (;;) {
                 ++rec.attempts;
                 if (opts.cancel &&
@@ -289,6 +333,15 @@ runPlan(const std::vector<PlannedRun> &runs,
                 recs[i].failure != FailureKind::Timeout)
                 memo().emplace(recs[i].run.key, recs[i]);
         }
+    }
+
+    // Per-phase wall-clock breakdown of the plan just executed
+    // (SCUSIM_PROFILE=1). Reset so consecutive plans don't blur.
+    if (trace::Profiler::instance().enabled()) {
+        std::ostringstream os;
+        trace::Profiler::instance().report(os);
+        inform("%s", os.str().c_str());
+        trace::Profiler::instance().reset();
     }
     return PlanResults(std::move(recs));
 }

@@ -124,6 +124,21 @@ struct ExecutorOptions
      * next checkpoint.
      */
     std::atomic<bool> *cancel = nullptr;
+    /**
+     * Default observability configuration merged into every run
+     * whose own RunConfig::trace is disabled (typically
+     * trace::TraceConfig::fromEnv()). Note that memoized results are
+     * served without re-executing, so repeated runs of an identical
+     * config within one process do not regenerate trace artifacts.
+     */
+    trace::TraceConfig trace = {};
+    /**
+     * Directory for per-run trace artifacts. When a run has tracing
+     * enabled but no explicit export paths, the executor fills them
+     * with "<traceDir>/<sanitized label>.trace.json" and
+     * ".timeseries.csv". Empty leaves pathless runs unexported.
+     */
+    std::string traceDir;
 };
 
 /** The resolved worker count runPlan() would use for @p opts. */

@@ -158,6 +158,13 @@ ExperimentPlan::algOptions(const alg::AlgOptions &o)
 }
 
 ExperimentPlan &
+ExperimentPlan::faults(sim::FaultPlan f)
+{
+    faultsValue = std::move(f);
+    return *this;
+}
+
+ExperimentPlan &
 ExperimentPlan::graph(const graph::CsrGraph *g, std::string name)
 {
     graphPtr = g;
@@ -201,11 +208,24 @@ ExperimentPlan::expand() const
         out.push_back(std::move(r));
     };
 
+    // Extras keep their own faults; plan-level faults only fill the
+    // gap (and re-key, since faults are part of the run identity).
+    auto pushExtra = [&](const PlannedRun &e) {
+        if (faultsValue.empty() || !e.cfg.faults.empty()) {
+            push(e);
+            return;
+        }
+        PlannedRun r = e;
+        r.cfg.faults = faultsValue;
+        r.key = runKey(r.cfg, r.graph);
+        push(std::move(r));
+    };
+
     // An extras-only plan states its runs exhaustively: don't smuggle
     // in the one-cell default matrix.
     if (!extras.empty() && !axesDeclared) {
         for (const auto &e : extras)
-            push(e);
+            pushExtra(e);
         return out;
     }
 
@@ -231,6 +251,7 @@ ExperimentPlan::expand() const
                         cfg.scale = scaleValue;
                         cfg.seed = seedValue;
                         cfg.alg = algValue;
+                        cfg.faults = faultsValue;
                         if (!ablateVariants.empty())
                             cfg.scuOverride = var.second;
                         PlannedRun r;
@@ -249,7 +270,7 @@ ExperimentPlan::expand() const
         }
     }
     for (const auto &e : extras)
-        push(e);
+        pushExtra(e);
     return out;
 }
 

@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 
+#include <fstream>
+
 #include "alg/bfs.hh"
 #include "alg/pagerank.hh"
 #include "alg/serial.hh"
@@ -13,6 +15,9 @@
 #include "common/logging.hh"
 #include "common/sim_error.hh"
 #include "graph/datasets.hh"
+#include "stats/timeseries.hh"
+#include "trace/chrome_export.hh"
+#include "trace/profiler.hh"
 
 namespace scusim::harness
 {
@@ -54,6 +59,7 @@ cachedDataset(const std::string &name, double scale,
         e = &cache[key];
     }
     std::call_once(e->once, [&] {
+        SCUSIM_PROFILE_SCOPE("harness::dataset");
         e->g = graph::makeDataset(name, scale, seed);
     });
     return e->g;
@@ -66,6 +72,7 @@ bool
 validateBfs(const graph::CsrGraph &g, NodeId src,
             const std::vector<std::uint32_t> &got)
 {
+    SCUSIM_PROFILE_SCOPE("harness::validate");
     auto want = alg::serialBfs(g, src);
     return want == got;
 }
@@ -74,6 +81,7 @@ bool
 validateSssp(const graph::CsrGraph &g, NodeId src,
              const std::vector<std::uint32_t> &got)
 {
+    SCUSIM_PROFILE_SCOPE("harness::validate");
     auto want = alg::serialDijkstra(g, src);
     return want == got;
 }
@@ -82,6 +90,7 @@ bool
 validatePr(const graph::CsrGraph &g, const alg::AlgOptions &opt,
            const std::vector<float> &got)
 {
+    SCUSIM_PROFILE_SCOPE("harness::validate");
     auto want = alg::serialPageRank(g, 0.15, opt.prEpsilon,
                                     opt.prMaxIterations);
     for (std::size_t u = 0; u < got.size(); ++u) {
@@ -162,11 +171,59 @@ pickSource(const graph::CsrGraph &g)
 RunResult
 runPrimitive(const RunConfig &cfg, const graph::CsrGraph &g)
 {
+    SCUSIM_PROFILE_SCOPE("harness::runPrimitive");
     SystemConfig sc = SystemConfig::byName(
         cfg.systemName, cfg.mode != ScuMode::GpuOnly);
     if (cfg.scuOverride)
         sc.scu = *cfg.scuOverride;
     System sys(sc);
+
+    // Observability. The sink lives in this run's Simulation; the
+    // trace-driven timeseries live in a standalone group that never
+    // joins sys.statsRoot(), so the dumped stats tree stays
+    // byte-identical whether or not tracing is on.
+    std::unique_ptr<stats::StatGroup> tsRoot;
+    std::vector<std::unique_ptr<stats::Timeseries>> series;
+    if (cfg.trace.enabled) {
+        sys.simulation().installTraceSink(
+            std::make_unique<trace::TraceSink>(cfg.trace));
+        sys.attachTrace();
+    }
+    if (cfg.trace.enabled && cfg.trace.timeseriesPeriod) {
+        tsRoot = std::make_unique<stats::StatGroup>("timeseries");
+        System *sp = &sys;
+        auto addSeries = [&](std::string name, std::string desc,
+                             std::function<double()> src,
+                             stats::Timeseries::Mode mode) {
+            series.push_back(std::make_unique<stats::Timeseries>(
+                tsRoot.get(), std::move(name), std::move(desc),
+                cfg.trace.timeseriesPeriod, std::move(src), mode));
+            sys.simulation().addTimeseries(series.back().get());
+        };
+        addSeries(
+            "filtered_nodes",
+            "duplicate nodes filtered by the SCU so far",
+            [sp] {
+                return sp->hasScu()
+                           ? static_cast<double>(
+                                 sp->scuDevice().totals().filtered)
+                           : 0.0;
+            },
+            stats::Timeseries::Mode::Cumulative);
+        addSeries(
+            "coalesced_accesses",
+            "memory transactions reaching the L2 after coalescing",
+            [sp] {
+                return static_cast<double>(
+                    sp->memory().l2().numAccesses());
+            },
+            stats::Timeseries::Mode::Cumulative);
+        addSeries(
+            "dram_bytes",
+            "DRAM bytes moved within each window",
+            [sp] { return sp->memory().dramBytes(); },
+            stats::Timeseries::Mode::Delta);
+    }
 
     if (!cfg.faults.empty()) {
         auto inj = std::make_unique<sim::FaultInjector>(cfg.faults,
@@ -237,6 +294,28 @@ runPrimitive(const RunConfig &cfg, const graph::CsrGraph &g)
 
     if (cfg.dumpStatsTo)
         sys.statsRoot().dumpAll(*cfg.dumpStatsTo);
+
+    if (const trace::TraceSink *sink = sys.simulation().traceSink()) {
+        // Flush any window boundary the loop has not crossed yet,
+        // then write the run's artifacts.
+        for (auto &ts : series)
+            ts->sampleUpTo(sys.simulation().now());
+        if (!cfg.trace.exportPath.empty())
+            trace::writeChromeTrace(cfg.trace.exportPath, *sink);
+        if (!cfg.trace.timeseriesPath.empty() && !series.empty()) {
+            std::ofstream os(cfg.trace.timeseriesPath);
+            if (!os) {
+                warn("cannot write timeseries CSV '%s'",
+                     cfg.trace.timeseriesPath.c_str());
+            } else {
+                std::vector<const stats::Timeseries *> ptrs;
+                ptrs.reserve(series.size());
+                for (const auto &ts : series)
+                    ptrs.push_back(ts.get());
+                stats::writeTimeseriesCsv(os, ptrs);
+            }
+        }
+    }
 
     return r;
 }

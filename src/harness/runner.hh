@@ -19,6 +19,7 @@
 #include "graph/csr.hh"
 #include "harness/system.hh"
 #include "sim/fault.hh"
+#include "trace/trace.hh"
 
 namespace scusim::harness
 {
@@ -68,6 +69,14 @@ struct RunConfig
     sim::FaultPlan faults = {};
     /** Supervision budgets for this run. */
     RunGuards guards = {};
+    /**
+     * Observability configuration for this run (trace ring buffers,
+     * Chrome JSON export, stat timeseries). Tracing never changes
+     * what a run computes, so it is deliberately NOT part of the
+     * run's memoization key (runKey): a memoized result can be
+     * served without regenerating trace artifacts.
+     */
+    trace::TraceConfig trace = {};
 };
 
 /** Metrics of one run (the raw material of Figures 1 and 9-13). */

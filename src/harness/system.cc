@@ -1,6 +1,7 @@
 #include "harness/system.hh"
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace scusim::harness
 {
@@ -76,6 +77,18 @@ System::scuDevice()
 {
     panic_if(!scuUnit, "system configured without an SCU");
     return *scuUnit;
+}
+
+void
+System::attachTrace()
+{
+    trace::TraceSink *sink = sim.traceSink();
+    if (!sink)
+        return;
+    gpuModel->attachTrace(*sink);
+    if (scuUnit)
+        scuUnit->attachTrace(*sink);
+    memsys->attachTrace(*sink);
 }
 
 energy::Activity

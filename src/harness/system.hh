@@ -74,6 +74,15 @@ class System
     const SystemConfig &config() const { return cfg_; }
     stats::StatGroup &statsRoot() { return root; }
 
+    /**
+     * Distribute the Simulation's installed trace sink to every
+     * component (no-op without a sink). Call once, right after
+     * Simulation::installTraceSink and before any work runs, so the
+     * channel creation order — and thus the exported track order —
+     * stays deterministic.
+     */
+    void attachTrace();
+
     /** Snapshot of every activity counter in the system. */
     energy::Activity activitySnapshot() const;
 

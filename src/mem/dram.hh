@@ -17,6 +17,11 @@
 #include "sim/clock.hh"
 #include "stats/stats.hh"
 
+namespace scusim::sim
+{
+class FaultInjector;
+}
+
 namespace scusim::mem
 {
 
@@ -55,6 +60,12 @@ class Dram : public MemLevel
                      unsigned bytes) override;
 
     const DramParams &params() const { return p; }
+
+    /**
+     * Attach the run's fault injector (non-owning, null detaches) so
+     * DramRefreshStorm faults can park a bank and close its row.
+     */
+    void setFaultInjector(sim::FaultInjector *inj) { faultInj = inj; }
 
     /** Total bytes moved on the pins (reads + writes). */
     double bytesMoved() const { return movedBytes.value(); }
@@ -98,6 +109,7 @@ class Dram : public MemLevel
     stats::Scalar reads, writes, rowHits, rowMisses;
     stats::Scalar busBusyCycles;
     stats::Scalar movedBytes;
+    sim::FaultInjector *faultInj = nullptr;
 };
 
 } // namespace scusim::mem

@@ -2,6 +2,8 @@
 
 #include "sim/check.hh"
 #include "sim/fault.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
 
 namespace scusim::mem
 {
@@ -17,12 +19,25 @@ MemSystem::MemSystem(const MemSystemParams &params,
 {
 }
 
+void
+MemSystem::attachTrace(trace::TraceSink &sink)
+{
+    traceChan = sink.channel("memsys");
+}
+
 MemResult
 MemSystem::access(Tick issue, Addr addr, AccessKind kind,
                   unsigned bytes)
 {
+    SCUSIM_PROFILE_SCOPE("MemSystem::access");
     ++requests;
-    MemResult r = l2Cache.access(issue + icnLat, addr, kind, bytes);
+    // An injected interconnect stall delays the request crossing; the
+    // response then completes late enough to trip the tick budget.
+    Tick icnExtra = 0;
+    if (faultInj)
+        icnExtra = faultInj->icnExtraDelay(issue);
+    MemResult r =
+        l2Cache.access(issue + icnLat + icnExtra, addr, kind, bytes);
     if (kind != AccessKind::Write)
         r.complete += icnLat; // response network crossing
     // Posted writes are excluded: nothing waits on their completion
@@ -30,6 +45,12 @@ MemSystem::access(Tick issue, Addr addr, AccessKind kind,
     if (faultInj && kind != AccessKind::Write)
         r.complete = faultInj->adjustMemCompletion(issue, r.complete);
     sim::checkMemCompletion("memsys", issue, r.complete);
+    TRACE_EVENT_SPAN(traceChan, trace::Category::Mem,
+                     kind == AccessKind::Write ||
+                             kind == AccessKind::WriteNoAlloc
+                         ? "write"
+                         : "read",
+                     issue, r.complete, bytes);
     return r;
 }
 

@@ -22,6 +22,12 @@ namespace scusim::sim
 class FaultInjector;
 }
 
+namespace scusim::trace
+{
+class TraceChannel;
+class TraceSink;
+} // namespace scusim::trace
+
 namespace scusim::mem
 {
 
@@ -49,9 +55,19 @@ class MemSystem : public MemLevel
 
     /**
      * Attach the run's fault injector (non-owning, null detaches).
-     * Lets MemDelay / MemReorder faults perturb completion ticks.
+     * Lets MemDelay / MemReorder faults perturb completion ticks,
+     * IcnDelay faults stall the interconnect crossing, and
+     * DramRefreshStorm faults park a DRAM bank (forwarded to Dram).
      */
-    void setFaultInjector(sim::FaultInjector *inj) { faultInj = inj; }
+    void
+    setFaultInjector(sim::FaultInjector *inj)
+    {
+        faultInj = inj;
+        dramModel.setFaultInjector(inj);
+    }
+
+    /** Bind this component's trace channel ("memsys"). */
+    void attachTrace(trace::TraceSink &sink);
 
     Cache &l2() { return l2Cache; }
     Dram &dram() { return dramModel; }
@@ -88,6 +104,7 @@ class MemSystem : public MemLevel
     Cache l2Cache;
     stats::Scalar requests;
     sim::FaultInjector *faultInj = nullptr;
+    trace::TraceChannel *traceChan = nullptr;
 };
 
 } // namespace scusim::mem

@@ -61,6 +61,8 @@ ScuPipeline::issueRead(Addr line_addr, unsigned bytes)
     auto r = mem.access(t, line_addr, mem::AccessKind::ReadNoAlloc,
                         bytes);
     inflight.push(r.complete);
+    traffic.maxInflight =
+        std::max<std::uint64_t>(traffic.maxInflight, inflight.size());
     sim::checkOccupancy("scu inflight window", inflight.size(),
                         inflightLimit());
     memReady = std::max(memReady, r.complete);

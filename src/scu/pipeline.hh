@@ -48,6 +48,7 @@ struct PipelineTraffic
     std::uint64_t hashReadTxns = 0;
     std::uint64_t hashWriteTxns = 0;
     std::uint64_t elements = 0;
+    std::uint64_t maxInflight = 0; ///< in-flight read window peak
 };
 
 class ScuPipeline

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
 #include "sim/fault.hh"
 #include "sim/simulation.hh"
 
@@ -71,14 +73,26 @@ Scu::resetFilterTables()
 }
 
 void
-Scu::sealOp(ScuPipeline &pipe, ScuOpStats &st)
+Scu::attachTrace(trace::TraceSink &sink)
 {
+    traceChan = sink.channel("scu");
+}
+
+void
+Scu::sealOp(const char *op, ScuPipeline &pipe, ScuOpStats &st)
+{
+    SCUSIM_PROFILE_SCOPE("Scu::op");
     st.end = pipe.finish();
     sim.advanceTo(st.end);
 
     const auto &t = pipe.counters();
     st.readTxns = t.readTxns;
     st.writeTxns = t.writeTxns;
+
+    TRACE_EVENT_SPAN(traceChan, trace::Category::ScuOp, op, st.start,
+                     st.end, t.elements);
+    TRACE_EVENT_COUNTER(traceChan, trace::Category::Fifo,
+                        "inflight_reads_peak", st.end, t.maxInflight);
 
     ++agg.ops;
     agg.elements += t.elements;
@@ -245,7 +259,7 @@ Scu::bitmaskConstructor(const Elems &in, std::size_t n, CompareOp op,
         pipe.seqWrite(out.addrOf(i), 1);
         ++st.elemsOut;
     }
-    sealOp(pipe, st);
+    sealOp("bitmask-constructor", pipe, st);
     return st;
 }
 
@@ -272,7 +286,7 @@ Scu::dataCompaction(const Elems &in, std::size_t n, const Flags *mask,
         produced.push_back(in[i]);
     }
     emitStream(produced, opt, out, out_n, pipe, st);
-    sealOp(pipe, st);
+    sealOp("data-compaction", pipe, st);
     return st;
 }
 
@@ -303,7 +317,7 @@ Scu::accessCompaction(const Elems &data, const Elems &indexes,
         produced.push_back(data[idx]);
     }
     emitStream(produced, opt, out, out_n, pipe, st);
-    sealOp(pipe, st);
+    sealOp("access-compaction", pipe, st);
     return st;
 }
 
@@ -335,7 +349,7 @@ Scu::replicationCompaction(const Elems &in, const Elems &count,
             produced.push_back(in[i]);
     }
     emitStream(produced, opt, out, out_n, pipe, st);
-    sealOp(pipe, st);
+    sealOp("replication-compaction", pipe, st);
     return st;
 }
 
@@ -375,7 +389,7 @@ Scu::accessExpansionCompaction(const Elems &data, const Elems &indexes,
         }
     }
     emitStream(produced, opt, out, out_n, pipe, st);
-    sealOp(pipe, st);
+    sealOp("access-expansion-compaction", pipe, st);
     return st;
 }
 

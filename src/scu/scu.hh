@@ -38,6 +38,12 @@
 #include "sim/simulation.hh"
 #include "stats/stats.hh"
 
+namespace scusim::trace
+{
+class TraceChannel;
+class TraceSink;
+} // namespace scusim::trace
+
 namespace scusim::scu
 {
 
@@ -173,6 +179,9 @@ class Scu
     /** Reset the filtering/grouping hash tables between passes. */
     void resetFilterTables();
 
+    /** Bind this unit's trace channel ("scu"). */
+    void attachTrace(trace::TraceSink &sink);
+
     const ScuParams &params() const { return p; }
     const ScuTotals &totals() const { return agg; }
 
@@ -199,8 +208,8 @@ class Scu
                     std::size_t &out_n, ScuPipeline &pipe,
                     ScuOpStats &st);
 
-    /** Close out an operation: timing, totals, simulation time. */
-    void sealOp(ScuPipeline &pipe, ScuOpStats &st);
+    /** Close out operation @p op: timing, totals, simulation time. */
+    void sealOp(const char *op, ScuPipeline &pipe, ScuOpStats &st);
 
     const ScuParams p;
     mem::MemSystem &memSys;
@@ -222,6 +231,7 @@ class Scu
     stats::Scalar elementsProcessed;
     stats::Scalar duplicatesFiltered;
     stats::Scalar busyCycles;
+    trace::TraceChannel *traceChan = nullptr;
 };
 
 } // namespace scusim::scu

@@ -1,5 +1,6 @@
 #include "sim/fault.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -23,10 +24,69 @@ to_string(FaultKind k)
         return "component-freeze";
       case FaultKind::HashCorrupt:
         return "hash-corrupt";
+      case FaultKind::IcnDelay:
+        return "icn-delay";
+      case FaultKind::DramRefreshStorm:
+        return "dram-refresh-storm";
       case FaultKind::NumFaultKinds:
         break;
     }
     return "?";
+}
+
+FaultKind
+faultKindFromString(const std::string &name)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(FaultKind::NumFaultKinds); ++i) {
+        const auto k = static_cast<FaultKind>(i);
+        if (name == to_string(k))
+            return k;
+    }
+    std::string known;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(FaultKind::NumFaultKinds); ++i) {
+        if (i)
+            known += "|";
+        known += to_string(static_cast<FaultKind>(i));
+    }
+    fatal("unknown fault kind '%s' (expected %s)", name.c_str(),
+          known.c_str());
+}
+
+FaultSpec
+parseFaultSpec(const std::string &spec)
+{
+    // "<kind>@<tick>[x<magnitude>][t<target>]", e.g.
+    // "mem-delay@1000x100000" or "fifo-stall@0t2".
+    const std::size_t atPos = spec.find('@');
+    fatal_if(atPos == std::string::npos,
+             "malformed fault spec '%s' (expected "
+             "<kind>@<tick>[x<magnitude>][t<target>])",
+             spec.c_str());
+
+    FaultSpec s;
+    s.kind = faultKindFromString(spec.substr(0, atPos));
+
+    std::string rest = spec.substr(atPos + 1);
+    const std::size_t tPos = rest.rfind('t');
+    if (tPos != std::string::npos) {
+        s.target = static_cast<unsigned>(
+            std::strtoul(rest.c_str() + tPos + 1, nullptr, 0));
+        rest.resize(tPos);
+    }
+    const std::size_t xPos = rest.find('x');
+    if (xPos != std::string::npos) {
+        s.magnitude =
+            std::strtoull(rest.c_str() + xPos + 1, nullptr, 0);
+        rest.resize(xPos);
+    }
+    fatal_if(rest.empty() ||
+                 rest.find_first_not_of("0123456789") !=
+                     std::string::npos,
+             "malformed fault tick in '%s'", spec.c_str());
+    s.at = std::strtoull(rest.c_str(), nullptr, 10);
+    return s;
 }
 
 std::string
@@ -126,6 +186,37 @@ FaultInjector::fireHashCorrupt(Tick now)
         return true;
     }
     return false;
+}
+
+Tick
+FaultInjector::icnExtraDelay(Tick issue)
+{
+    Tick extra = 0;
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec &s = plan.faults[i];
+        if (s.kind != FaultKind::IcnDelay || spent[i] || issue < s.at)
+            continue;
+        spent[i] = true;
+        ++firedCount[static_cast<std::size_t>(s.kind)];
+        extra += s.magnitude;
+    }
+    return extra;
+}
+
+Tick
+FaultInjector::dramRefreshDelay(Tick issue)
+{
+    Tick extra = 0;
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec &s = plan.faults[i];
+        if (s.kind != FaultKind::DramRefreshStorm || spent[i] ||
+            issue < s.at)
+            continue;
+        spent[i] = true;
+        ++firedCount[static_cast<std::size_t>(s.kind)];
+        extra += s.magnitude;
+    }
+    return extra;
 }
 
 std::string

@@ -12,12 +12,14 @@
  *
  * Designed detection mapping (asserted by tests/fault_test.cc):
  *
- *   PanicAt         -> FailureKind::Panic     (injected panic())
- *   MemDelay        -> FailureKind::Runaway   (tick budget exceeded)
- *   MemReorder      -> FailureKind::Invariant (completion < issue)
- *   FifoStall       -> FailureKind::Deadlock  (SM busy, no progress)
- *   ComponentFreeze -> FailureKind::Deadlock  (component never ticks)
- *   HashCorrupt     -> FailureKind::Invariant (entry parity mismatch)
+ *   PanicAt          -> FailureKind::Panic     (injected panic())
+ *   MemDelay         -> FailureKind::Runaway   (tick budget exceeded)
+ *   MemReorder       -> FailureKind::Invariant (completion < issue)
+ *   FifoStall        -> FailureKind::Deadlock  (SM busy, no progress)
+ *   ComponentFreeze  -> FailureKind::Deadlock  (component never ticks)
+ *   HashCorrupt      -> FailureKind::Invariant (entry parity mismatch)
+ *   IcnDelay         -> FailureKind::Runaway   (tick budget exceeded)
+ *   DramRefreshStorm -> FailureKind::Runaway   (tick budget exceeded)
  */
 
 #ifndef SCUSIM_SIM_FAULT_HH
@@ -43,10 +45,15 @@ enum class FaultKind
     FifoStall,       ///< freeze SM `target`'s issue FIFO from `at` on
     ComponentFreeze, ///< stop ticking Clocked component `target`
     HashCorrupt,     ///< flip a bit in an SCU hash-table entry
+    IcnDelay,        ///< stall one interconnect crossing `magnitude` ticks
+    DramRefreshStorm,///< refresh storm: park a DRAM bank `magnitude` ticks
     NumFaultKinds,
 };
 
 const char *to_string(FaultKind k);
+
+/** Inverse of to_string; fatal()s on an unknown name (user input). */
+FaultKind faultKindFromString(const std::string &name);
 
 /** One armed fault. */
 struct FaultSpec
@@ -59,6 +66,13 @@ struct FaultSpec
     /** Kind-specific target: SM id / Clocked registration index. */
     unsigned target = 0;
 };
+
+/**
+ * Parse the fingerprint syntax "<kind>@<tick>[x<magnitude>][t<target>]"
+ * — the same shape FaultPlan::fingerprint() emits and the bench
+ * binaries accept via --inject. fatal()s on malformed input.
+ */
+FaultSpec parseFaultSpec(const std::string &spec);
 
 /** A (possibly empty) set of faults to arm for one run. */
 struct FaultPlan
@@ -113,6 +127,20 @@ class FaultInjector
      * parity check sees the flip.
      */
     bool fireHashCorrupt(Tick now);
+
+    /**
+     * IcnDelay hook (MemSystem): extra interconnect latency for a
+     * request issued at @p issue. Each armed fault fires exactly
+     * once, on the first crossing at or after its tick.
+     */
+    Tick icnExtraDelay(Tick issue);
+
+    /**
+     * DramRefreshStorm hook (Dram): extra ticks the addressed bank
+     * stays unavailable for a request issued at @p issue; the caller
+     * also closes the open row, as a real refresh would. One-shot.
+     */
+    Tick dramRefreshDelay(Tick issue);
 
     /** Deterministic randomness for corruption targets. */
     Rng &rng() { return randGen; }

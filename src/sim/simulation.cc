@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "common/sim_error.hh"
 #include "sim/fault.hh"
+#include "stats/timeseries.hh"
+#include "trace/trace.hh"
 
 namespace scusim::sim
 {
@@ -26,6 +28,27 @@ void
 Simulation::installFaultInjector(std::unique_ptr<FaultInjector> inj)
 {
     injector = std::move(inj);
+}
+
+void
+Simulation::installTraceSink(std::unique_ptr<trace::TraceSink> sink)
+{
+    tracer = std::move(sink);
+    simChan = tracer ? tracer->channel("sim") : nullptr;
+}
+
+void
+Simulation::addTimeseries(stats::Timeseries *ts)
+{
+    if (ts)
+        timeseries.push_back(ts);
+}
+
+void
+Simulation::sampleTimeseries(Tick now)
+{
+    for (stats::Timeseries *ts : timeseries)
+        ts->sampleUpTo(now);
 }
 
 std::string
@@ -57,6 +80,10 @@ Simulation::diagnosticDump() const
     os << " serviced=" << eq.serviced();
     if (injector)
         os << "\n" << injector->summary();
+    // On a hang the most recent trace events are the closest thing to
+    // a flight recorder — attach the tail of every ring buffer.
+    if (tracer)
+        os << "\n" << tracer->tailDump();
     return os.str();
 }
 
@@ -102,6 +129,8 @@ Simulation::step(Tick n)
         }
         ++currentTick;
     }
+    if (!timeseries.empty())
+        sampleTimeseries(currentTick);
 }
 
 Tick
@@ -153,6 +182,8 @@ Simulation::run(Tick max_ticks)
             }
         }
     }
+    TRACE_EVENT_SPAN(simChan, trace::Category::Sim, "run", start,
+                     currentTick, iters);
     return currentTick - start;
 }
 
@@ -174,6 +205,8 @@ Simulation::advanceTo(Tick t)
     }
     eq.serviceUpTo(t);
     currentTick = t;
+    if (!timeseries.empty())
+        sampleTimeseries(currentTick);
     if (supervisor)
         supervisor->checkpoint(currentTick);
 }

@@ -19,6 +19,17 @@
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 
+namespace scusim::stats
+{
+class Timeseries;
+} // namespace scusim::stats
+
+namespace scusim::trace
+{
+class TraceChannel;
+class TraceSink;
+} // namespace scusim::trace
+
 namespace scusim::sim
 {
 
@@ -83,6 +94,24 @@ class Simulation
     FaultInjector *faultInjector() const { return injector.get(); }
 
     /**
+     * Install the run's trace sink (takes ownership; null detaches).
+     * Components fetch their channels through traceSink() during
+     * System::attachTrace, so install before wiring.
+     */
+    void installTraceSink(std::unique_ptr<trace::TraceSink> sink);
+
+    /** The run's trace sink, or null (the common case). */
+    trace::TraceSink *traceSink() const { return tracer.get(); }
+
+    /**
+     * Register a windowed timeseries to be sampled as simulated time
+     * advances (both the cycle-stepped loop and analytic advanceTo
+     * jumps). The series must outlive the sampling — the harness owns
+     * trace-driven series for the duration of the run.
+     */
+    void addTimeseries(stats::Timeseries *ts);
+
+    /**
      * Per-component diagnostic snapshot: busy state, next wake tick
      * and progress counter per Clocked component, plus event-queue
      * depth. Attached to watchdog failures.
@@ -119,6 +148,9 @@ class Simulation
     /** Monotone counter of everything that counts as progress. */
     std::uint64_t progressStamp() const;
 
+    /** Record every timeseries window boundary at or before @p now. */
+    void sampleTimeseries(Tick now);
+
     Tick currentTick = 0;
     EventQueue eq;
     std::vector<Clocked *> clockedList;
@@ -126,6 +158,9 @@ class Simulation
     WatchdogConfig wd;
     Supervisor *supervisor = nullptr;
     std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<trace::TraceSink> tracer;
+    trace::TraceChannel *simChan = nullptr;
+    std::vector<stats::Timeseries *> timeseries;
 };
 
 } // namespace scusim::sim

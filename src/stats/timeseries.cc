@@ -1,0 +1,71 @@
+#include "stats/timeseries.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace scusim::stats
+{
+
+Timeseries::Timeseries(StatGroup *parent, std::string name,
+                       std::string desc, Tick period,
+                       std::function<double()> source, Mode mode)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      period_(period), next(period), source(std::move(source)),
+      mode(mode)
+{
+    panic_if(period_ == 0, "Timeseries '%s' with a zero period",
+             this->name().c_str());
+    panic_if(!this->source, "Timeseries '%s' without a source",
+             this->name().c_str());
+}
+
+void
+Timeseries::sampleUpTo(Tick now)
+{
+    while (next <= now) {
+        const double raw = source();
+        data.push_back(
+            {next, mode == Mode::Delta ? raw - lastRaw : raw});
+        lastRaw = raw;
+        next += period_;
+    }
+}
+
+void
+Timeseries::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::samples " << data.size() << " # "
+       << desc() << "\n";
+    if (!data.empty()) {
+        os << prefix << name() << "::last_tick " << data.back().tick
+           << "\n";
+        os << prefix << name() << "::last " << data.back().value
+           << "\n";
+    }
+}
+
+void
+Timeseries::reset()
+{
+    data.clear();
+    next = period_;
+    lastRaw = 0;
+}
+
+void
+writeTimeseriesCsv(std::ostream &os,
+                   const std::vector<const Timeseries *> &series)
+{
+    os << "series,tick,value\n";
+    char buf[64];
+    for (const Timeseries *ts : series) {
+        if (!ts)
+            continue;
+        for (const Timeseries::Sample &s : ts->samples()) {
+            std::snprintf(buf, sizeof(buf), "%.17g", s.value);
+            os << ts->name() << "," << s.tick << "," << buf << "\n";
+        }
+    }
+}
+
+} // namespace scusim::stats

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Windowed stat timeseries: samples a counter every N simulated ticks
+ * so time-resolved behaviour (filtering effectiveness across BFS
+ * iterations, DRAM bandwidth per window, ...) can be plotted instead
+ * of collapsed into an end-of-run aggregate.
+ *
+ * A Timeseries is a StatBase like any other, but the harness keeps
+ * trace-driven instances in a *standalone* group that is not part of
+ * the System's dumped stats tree, so enabling tracing never perturbs
+ * the determinism gate's byte-identical dump comparison.
+ *
+ * Sampling is driven by the Simulation (see Simulation::addTimeseries):
+ * as simulated time advances past each window boundary, the source
+ * functor is read. A fast-forward that jumps several windows at once
+ * records the boundary values it can still observe — the cumulative
+ * value at the jump for Cumulative series, the whole delta attributed
+ * to the first crossed window for Delta series.
+ */
+
+#ifndef SCUSIM_STATS_TIMESERIES_HH
+#define SCUSIM_STATS_TIMESERIES_HH
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace scusim::stats
+{
+
+class Timeseries : public StatBase
+{
+  public:
+    enum class Mode
+    {
+        Cumulative, ///< record the source value at each boundary
+        Delta,      ///< record the change since the previous boundary
+    };
+
+    /**
+     * @param period window length in ticks (must be > 0)
+     * @param source functor returning the current counter value; must
+     *               stay valid for the lifetime of the series
+     */
+    Timeseries(StatGroup *parent, std::string name, std::string desc,
+               Tick period, std::function<double()> source,
+               Mode mode = Mode::Cumulative);
+
+    Tick period() const { return period_; }
+
+    /** Next window boundary still to be sampled. */
+    Tick nextSampleTick() const { return next; }
+
+    /** Record every window boundary at or before @p now. */
+    void sampleUpTo(Tick now);
+
+    struct Sample
+    {
+        Tick tick;
+        double value;
+    };
+
+    const std::vector<Sample> &samples() const { return data; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    Tick period_;
+    Tick next;
+    std::function<double()> source;
+    Mode mode;
+    double lastRaw = 0;
+    std::vector<Sample> data;
+};
+
+/**
+ * Long-format CSV (`series,tick,value` rows) for a set of series —
+ * trivially pivotable by pandas or a spreadsheet.
+ */
+void writeTimeseriesCsv(std::ostream &os,
+                        const std::vector<const Timeseries *> &series);
+
+} // namespace scusim::stats
+
+#endif // SCUSIM_STATS_TIMESERIES_HH

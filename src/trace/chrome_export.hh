@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter: turns a TraceSink into a file
+ * chrome://tracing and Perfetto load directly. One pid per simulated
+ * device (sim loop, GPU, SCU, memory system), one tid per component
+ * channel, simulated ticks as microsecond timestamps.
+ */
+
+#ifndef SCUSIM_TRACE_CHROME_EXPORT_HH
+#define SCUSIM_TRACE_CHROME_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace scusim::trace
+{
+
+/** Write the Chrome trace-event JSON document for @p sink. */
+void writeChromeTrace(std::ostream &os, const TraceSink &sink);
+
+/**
+ * Write the trace to @p path, creating or truncating the file.
+ * Returns false (with a warning) when the file cannot be opened.
+ */
+bool writeChromeTrace(const std::string &path, const TraceSink &sink);
+
+} // namespace scusim::trace
+
+#endif // SCUSIM_TRACE_CHROME_EXPORT_HH

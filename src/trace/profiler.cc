@@ -1,0 +1,124 @@
+#include "trace/profiler.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+
+namespace scusim::trace
+{
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler p;
+    return p;
+}
+
+bool
+Profiler::envEnabled()
+{
+    const char *v = std::getenv("SCUSIM_PROFILE");
+    return v && *v && std::strcmp(v, "0") != 0;
+}
+
+void
+Profiler::add(ProfilePhase *p)
+{
+    // Registration is rare (once per instrumented site, at first
+    // execution); a spin lock keeps the header dependency-light.
+    int expected = 0;
+    while (!registering.compare_exchange_weak(expected, 1,
+                                              std::memory_order_acquire))
+        expected = 0;
+    phases.push_back(p);
+    registering.store(0, std::memory_order_release);
+}
+
+std::vector<Profiler::PhaseStats>
+Profiler::snapshot() const
+{
+    int expected = 0;
+    while (!registering.compare_exchange_weak(expected, 1,
+                                              std::memory_order_acquire))
+        expected = 0;
+    std::vector<ProfilePhase *> copy = phases;
+    registering.store(0, std::memory_order_release);
+
+    // Several sites may share one label (e.g. each validator scopes
+    // itself as "harness::validate"); merge them into one row.
+    std::vector<PhaseStats> out;
+    for (ProfilePhase *p : copy) {
+        const std::uint64_t calls = p->totalCalls();
+        if (!calls)
+            continue;
+        auto it = std::find_if(out.begin(), out.end(),
+                               [&](const PhaseStats &s) {
+                                   return s.name == p->name();
+                               });
+        if (it == out.end()) {
+            out.push_back({p->name(), p->totalNs(), calls});
+        } else {
+            it->ns += p->totalNs();
+            it->calls += calls;
+        }
+    }
+    return out;
+}
+
+void
+Profiler::reset()
+{
+    int expected = 0;
+    while (!registering.compare_exchange_weak(expected, 1,
+                                              std::memory_order_acquire))
+        expected = 0;
+    for (ProfilePhase *p : phases)
+        p->reset();
+    registering.store(0, std::memory_order_release);
+}
+
+void
+Profiler::report(std::ostream &os) const
+{
+    std::vector<PhaseStats> stats = snapshot();
+    std::sort(stats.begin(), stats.end(),
+              [](const PhaseStats &a, const PhaseStats &b) {
+                  return a.ns != b.ns ? a.ns > b.ns : a.name < b.name;
+              });
+
+    std::uint64_t totalNs = 0;
+    std::size_t nameWidth = 5;
+    for (const PhaseStats &s : stats) {
+        totalNs += s.ns;
+        nameWidth = std::max(nameWidth, s.name.size());
+    }
+
+    os << "profile: per-phase wall-clock breakdown\n";
+    os << "  " << std::left << std::setw(static_cast<int>(nameWidth))
+       << "phase" << std::right << std::setw(12) << "ms"
+       << std::setw(8) << "%" << std::setw(14) << "calls"
+       << std::setw(12) << "ns/call" << "\n";
+    for (const PhaseStats &s : stats) {
+        const double ms = static_cast<double>(s.ns) / 1e6;
+        const double pct =
+            totalNs ? 100.0 * static_cast<double>(s.ns) /
+                          static_cast<double>(totalNs)
+                    : 0.0;
+        os << "  " << std::left << std::setw(static_cast<int>(nameWidth))
+           << s.name << std::right << std::setw(12) << std::fixed
+           << std::setprecision(2) << ms << std::setw(7)
+           << std::setprecision(1) << pct << "%" << std::setw(14)
+           << s.calls << std::setw(12) << s.ns / s.calls << "\n";
+    }
+    if (stats.empty())
+        os << "  (no phases recorded)\n";
+}
+
+ProfilePhase::ProfilePhase(const char *name) : name_(name)
+{
+    Profiler::instance().add(this);
+}
+
+} // namespace scusim::trace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Host-side wall-clock profiler for the simulator's own hot paths
+ * (Sm::tick, the SCU pipeline, MemSystem::access, harness phases).
+ * Measures where *wall-clock* time goes, never simulated time: the
+ * timers feed a report table only, so the simulation's determinism is
+ * untouched (hence the nondeterminism-lint allowances below).
+ *
+ * Usage: drop SCUSIM_PROFILE_SCOPE("Sm::tick") at the top of a scope.
+ * The macro interns a process-wide phase accumulator (atomic adds, so
+ * the parallel executor's workers can share it) and times the scope
+ * with a steady clock when profiling is enabled. Disabled — the
+ * default — the cost is one relaxed atomic load and a branch.
+ *
+ * Enable with SCUSIM_PROFILE=1 in the environment (picked up by
+ * runPlan, which prints the per-phase breakdown after each plan) or
+ * programmatically via Profiler::instance().setEnabled(true).
+ */
+
+#ifndef SCUSIM_TRACE_PROFILER_HH
+#define SCUSIM_TRACE_PROFILER_HH
+
+#include <atomic>
+#include <chrono> // simlint: allow(nondeterminism)
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scusim::trace
+{
+
+class ProfilePhase;
+
+/** Process-wide registry of profiling phases. */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** True when the SCUSIM_PROFILE environment variable asks for
+     *  profiling ("" / "0" mean off). */
+    static bool envEnabled();
+
+    struct PhaseStats
+    {
+        std::string name;
+        std::uint64_t ns;
+        std::uint64_t calls;
+    };
+
+    /** Accumulated stats of every registered phase, registration
+     *  order (skips phases never hit). */
+    std::vector<PhaseStats> snapshot() const;
+
+    /** Zero every accumulator (phases stay registered). */
+    void reset();
+
+    /** Per-phase breakdown table, widest consumer first. */
+    void report(std::ostream &os) const;
+
+  private:
+    friend class ProfilePhase;
+    void add(ProfilePhase *p);
+
+    std::atomic<bool> enabled_{false};
+    mutable std::atomic<int> registering{0}; ///< spin lock for phases
+    std::vector<ProfilePhase *> phases;
+};
+
+/**
+ * One named accumulator, defined as a function-local static by
+ * SCUSIM_PROFILE_SCOPE so registration happens exactly once.
+ */
+class ProfilePhase
+{
+  public:
+    explicit ProfilePhase(const char *name);
+
+    void
+    add(std::uint64_t ns)
+    {
+        nsTotal.fetch_add(ns, std::memory_order_relaxed);
+        calls.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const char *name() const { return name_; }
+    std::uint64_t totalNs() const { return nsTotal.load(std::memory_order_relaxed); }
+    std::uint64_t totalCalls() const { return calls.load(std::memory_order_relaxed); }
+
+    void
+    reset()
+    {
+        nsTotal.store(0, std::memory_order_relaxed);
+        calls.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    const char *name_;
+    std::atomic<std::uint64_t> nsTotal{0};
+    std::atomic<std::uint64_t> calls{0};
+};
+
+/** RAII timer charging its lifetime to a phase when profiling is on. */
+class ScopedProfiler
+{
+  public:
+    explicit ScopedProfiler(ProfilePhase &p)
+        : phase(Profiler::instance().enabled() ? &p : nullptr)
+    {
+        if (phase)
+            begin = std::chrono::steady_clock::now(); // simlint: allow(nondeterminism)
+    }
+
+    ~ScopedProfiler()
+    {
+        if (!phase)
+            return;
+        const auto end = std::chrono::steady_clock::now(); // simlint: allow(nondeterminism)
+        phase->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - begin)
+                .count()));
+    }
+
+    ScopedProfiler(const ScopedProfiler &) = delete;
+    ScopedProfiler &operator=(const ScopedProfiler &) = delete;
+
+  private:
+    ProfilePhase *phase;
+    std::chrono::steady_clock::time_point begin; // simlint: allow(nondeterminism)
+};
+
+} // namespace scusim::trace
+
+#define SCUSIM_PROFILE_CAT2(a, b) a##b
+#define SCUSIM_PROFILE_CAT(a, b) SCUSIM_PROFILE_CAT2(a, b)
+
+/**
+ * Time the rest of the enclosing scope under phase @p name (a string
+ * literal). Safe in multi-threaded code; negligible when disabled.
+ */
+#define SCUSIM_PROFILE_SCOPE(name)                                      \
+    static ::scusim::trace::ProfilePhase SCUSIM_PROFILE_CAT(            \
+        scusim_profile_phase_, __LINE__)(name);                         \
+    ::scusim::trace::ScopedProfiler SCUSIM_PROFILE_CAT(                 \
+        scusim_profile_scope_,                                          \
+        __LINE__)(SCUSIM_PROFILE_CAT(scusim_profile_phase_, __LINE__))
+
+#endif // SCUSIM_TRACE_PROFILER_HH

@@ -1,0 +1,199 @@
+#include "trace/trace.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace scusim::trace
+{
+
+const char *
+to_string(Category c)
+{
+    switch (c) {
+      case Category::Kernel: return "kernel";
+      case Category::ScuOp: return "scu-op";
+      case Category::Mem: return "mem";
+      case Category::Fifo: return "fifo";
+      case Category::Sim: return "sim";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr Category allCategories[] = {
+    Category::Kernel, Category::ScuOp, Category::Mem, Category::Fifo,
+    Category::Sim,
+};
+
+} // namespace
+
+std::uint32_t
+parseCategoryMask(const std::string &spec)
+{
+    if (spec.empty() || spec == "none" || spec == "0")
+        return 0;
+    if (spec == "all" || spec == "1")
+        return maskAll;
+    if (spec.find_first_not_of("0123456789xX") == std::string::npos)
+        return static_cast<std::uint32_t>(
+            std::stoul(spec, nullptr, 0));
+
+    std::uint32_t mask = 0;
+    std::istringstream is(spec);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        bool known = false;
+        for (Category c : allCategories) {
+            if (tok == to_string(c)) {
+                mask |= static_cast<std::uint32_t>(c);
+                known = true;
+                break;
+            }
+        }
+        fatal_if(!known,
+                 "unknown trace category '%s' (expected "
+                 "kernel|scu-op|mem|fifo|sim|all|none or a bit mask)",
+                 tok.c_str());
+    }
+    return mask;
+}
+
+TraceConfig
+TraceConfig::fromEnv()
+{
+    TraceConfig cfg;
+    const char *mask = std::getenv("SCUSIM_TRACE_MASK");
+    if (!mask)
+        return cfg;
+    cfg.mask = parseCategoryMask(mask);
+    cfg.enabled = cfg.mask != 0;
+    if (!cfg.enabled)
+        return cfg;
+    cfg.timeseriesPeriod = 8192;
+    if (const char *period = std::getenv("SCUSIM_TRACE_PERIOD"))
+        cfg.timeseriesPeriod = std::strtoull(period, nullptr, 0);
+    return cfg;
+}
+
+TraceChannel::TraceChannel(std::string name, std::size_t capacity,
+                           std::uint32_t mask)
+    : name_(std::move(name)), mask_(mask), capacity(capacity ? capacity : 1)
+{
+    ring.reserve(this->capacity);
+}
+
+void
+TraceChannel::push(TraceEvent e)
+{
+    if (ring.size() < capacity) {
+        ring.push_back(std::move(e));
+    } else {
+        ring[head] = std::move(e);
+        head = (head + 1) % capacity;
+    }
+    ++total;
+}
+
+void
+TraceChannel::span(Category c, std::string name, Tick start, Tick end,
+                   std::uint64_t arg)
+{
+    if (!wants(c))
+        return;
+    push({start, end >= start ? end - start : 0, EventType::Span, c,
+          std::move(name), arg});
+}
+
+void
+TraceChannel::instant(Category c, std::string name, Tick at,
+                      std::uint64_t arg)
+{
+    if (!wants(c))
+        return;
+    push({at, 0, EventType::Instant, c, std::move(name), arg});
+}
+
+void
+TraceChannel::counter(Category c, std::string name, Tick at,
+                      std::uint64_t value)
+{
+    if (!wants(c))
+        return;
+    push({at, 0, EventType::Counter, c, std::move(name), value});
+}
+
+std::vector<TraceEvent>
+TraceChannel::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(head + i) % ring.size()]);
+    return out;
+}
+
+std::size_t
+TraceChannel::size() const
+{
+    return ring.size();
+}
+
+std::uint64_t
+TraceChannel::dropped() const
+{
+    return total - ring.size();
+}
+
+TraceSink::TraceSink(const TraceConfig &cfg) : cfg_(cfg) {}
+
+TraceChannel *
+TraceSink::channel(const std::string &component)
+{
+    for (auto &c : chans)
+        if (c->name() == component)
+            return c.get();
+    chans.push_back(std::make_unique<TraceChannel>(
+        component, cfg_.ringCapacity, cfg_.mask));
+    return chans.back().get();
+}
+
+std::vector<const TraceChannel *>
+TraceSink::channels() const
+{
+    std::vector<const TraceChannel *> out;
+    out.reserve(chans.size());
+    for (const auto &c : chans)
+        out.push_back(c.get());
+    return out;
+}
+
+std::string
+TraceSink::tailDump(std::size_t maxPerChannel) const
+{
+    std::ostringstream os;
+    os << "trace tails (newest last";
+    os << ", ring capacity " << cfg_.ringCapacity << "):\n";
+    for (const auto &c : chans) {
+        os << "  " << c->name() << ": " << c->recorded()
+           << " recorded, " << c->dropped() << " dropped\n";
+        const auto events = c->snapshot();
+        const std::size_t first =
+            events.size() > maxPerChannel ? events.size() - maxPerChannel
+                                          : 0;
+        for (std::size_t i = first; i < events.size(); ++i) {
+            const TraceEvent &e = events[i];
+            os << "    [" << e.start;
+            if (e.type == EventType::Span)
+                os << "+" << e.dur;
+            os << "] " << to_string(e.cat) << " " << e.name << " ("
+               << e.arg << ")\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace scusim::trace

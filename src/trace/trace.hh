@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Deterministic trace-event layer. Every Clocked component (and a few
+ * non-Clocked models such as the SCU front end) can own a
+ * TraceChannel — a fixed-capacity ring buffer of typed events stamped
+ * with simulated ticks. Channels live in a TraceSink owned by the
+ * Simulation, so one run's events never leak into another run under
+ * the parallel executor.
+ *
+ * Emission discipline, in order of cost:
+ *  - Build with SCUSIM_TRACE off (the default): the TRACE_EVENT_*
+ *    macros compile to nothing, so Release timing runs pay zero.
+ *  - Built with -DSCUSIM_TRACE=ON but no sink installed: the channel
+ *    pointer at each site is null and the macro is one branch.
+ *  - Sink installed but category masked off: one branch and one AND.
+ *  - Enabled: a bounded ring-buffer write, no allocation past the
+ *    ring itself (event names use SSO-sized strings in practice).
+ *
+ * Events record completed spans (start + duration) rather than
+ * separate begin/end markers: a ring that overflowed mid-span can
+ * never strand an unmatched "begin", so the Chrome exporter stays
+ * well-formed no matter how small the ring is.
+ */
+
+#ifndef SCUSIM_TRACE_TRACE_HH
+#define SCUSIM_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+#ifdef SCUSIM_TRACE
+#define SCUSIM_TRACE_ENABLED 1
+#else
+#define SCUSIM_TRACE_ENABLED 0
+#endif
+
+namespace scusim::trace
+{
+
+/**
+ * Event categories, one bit each, selected at runtime through
+ * TraceConfig::mask (see parseCategoryMask for the spellings).
+ */
+enum class Category : std::uint32_t
+{
+    Kernel = 1u << 0, ///< GPU kernel / phase begin-end spans
+    ScuOp = 1u << 1,  ///< SCU operation lifecycle spans
+    Mem = 1u << 2,    ///< memory request issue/complete spans
+    Fifo = 1u << 3,   ///< FIFO / queue high-water marks
+    Sim = 1u << 4,    ///< simulation-loop housekeeping
+};
+
+/** Mask enabling every category. */
+constexpr std::uint32_t maskAll = 0xffffffffu;
+
+/** Human-readable category name, used as the Chrome "cat" field. */
+const char *to_string(Category c);
+
+/**
+ * Parse a category mask: "all", "none", a comma-separated list of
+ * category names ("kernel,scu-op,mem,fifo,sim"), or a plain decimal /
+ * 0x-hex bit mask. fatal()s on unknown names.
+ */
+std::uint32_t parseCategoryMask(const std::string &spec);
+
+/** How a trace layer is configured for one run. */
+struct TraceConfig
+{
+    /** Master switch; off means no sink is installed at all. */
+    bool enabled = false;
+
+    /** Runtime category mask; events in masked-off categories are
+     *  dropped at the emission site. */
+    std::uint32_t mask = maskAll;
+
+    /** Ring capacity, in events, of each per-component channel. */
+    std::size_t ringCapacity = 4096;
+
+    /** Sampling period of the stat timeseries, in ticks; 0 keeps the
+     *  timeseries machinery off entirely. */
+    Tick timeseriesPeriod = 0;
+
+    /** Chrome trace-event JSON output path; empty means don't write. */
+    std::string exportPath;
+
+    /** Timeseries CSV output path; empty means don't write. */
+    std::string timeseriesPath;
+
+    /**
+     * Build a config from the environment: tracing is enabled when
+     * SCUSIM_TRACE_MASK is set to anything but "" / "0" / "none"
+     * (value parsed by parseCategoryMask), and the timeseries period
+     * comes from SCUSIM_TRACE_PERIOD (default 8192 ticks). Paths are
+     * left empty; the executor fills per-run artifact paths.
+     */
+    static TraceConfig fromEnv();
+};
+
+/** Shape of one recorded event. */
+enum class EventType : std::uint8_t
+{
+    Span,    ///< something with a duration: [start, start + dur)
+    Instant, ///< a point event at `start`
+    Counter, ///< a sampled value (`arg`) at `start`
+};
+
+/** One trace record. Ticks, not wall-clock. */
+struct TraceEvent
+{
+    Tick start = 0;
+    Tick dur = 0;
+    EventType type = EventType::Instant;
+    Category cat = Category::Sim;
+    std::string name;
+    std::uint64_t arg = 0;
+};
+
+/**
+ * Per-component ring buffer. Overflow overwrites the oldest event, so
+ * the tail (the part the watchdog wants on a hang) always survives.
+ */
+class TraceChannel
+{
+  public:
+    TraceChannel(std::string name, std::size_t capacity,
+                 std::uint32_t mask);
+
+    const std::string &name() const { return name_; }
+
+    /** Does the runtime mask let @p c through on this channel? */
+    bool
+    wants(Category c) const
+    {
+        return (mask_ & static_cast<std::uint32_t>(c)) != 0;
+    }
+
+    void span(Category c, std::string name, Tick start, Tick end,
+              std::uint64_t arg = 0);
+    void instant(Category c, std::string name, Tick at,
+                 std::uint64_t arg = 0);
+    void counter(Category c, std::string name, Tick at,
+                 std::uint64_t value);
+
+    /** Events currently held, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Total events ever accepted, including overwritten ones. */
+    std::uint64_t recorded() const { return total; }
+
+    /** Events lost to ring overflow. */
+    std::uint64_t dropped() const;
+
+  private:
+    void push(TraceEvent e);
+
+    std::string name_;
+    std::uint32_t mask_;
+    std::vector<TraceEvent> ring;
+    std::size_t capacity;
+    std::size_t head = 0;    ///< next slot to write
+    std::uint64_t total = 0; ///< lifetime event count
+};
+
+/**
+ * The per-run collection of channels. Channel creation order is the
+ * (deterministic) component wiring order, which the exporter reuses
+ * for stable pid/tid assignment.
+ */
+class TraceSink
+{
+  public:
+    explicit TraceSink(const TraceConfig &cfg);
+
+    const TraceConfig &config() const { return cfg_; }
+
+    /** Get-or-create the channel for component @p component. */
+    TraceChannel *channel(const std::string &component);
+
+    /** All channels in creation order. */
+    std::vector<const TraceChannel *> channels() const;
+
+    /**
+     * The last @p maxPerChannel events of every channel, formatted
+     * for the watchdog's diagnostic dump.
+     */
+    std::string tailDump(std::size_t maxPerChannel = 8) const;
+
+  private:
+    TraceConfig cfg_;
+    std::vector<std::unique_ptr<TraceChannel>> chans;
+};
+
+} // namespace scusim::trace
+
+/**
+ * Emission macros. `chan` is a TraceChannel* that may be null (the
+ * common case: no sink installed). Compiled out entirely unless the
+ * build sets -DSCUSIM_TRACE=ON; the dead branch keeps every argument
+ * type-checked so call sites cannot bitrot.
+ */
+#if SCUSIM_TRACE_ENABLED
+
+#define TRACE_EVENT_SPAN(chan, cat, name, start, end, arg)              \
+    do {                                                                \
+        if ((chan) && (chan)->wants(cat))                               \
+            (chan)->span((cat), (name), (start), (end), (arg));         \
+    } while (0)
+
+#define TRACE_EVENT_INSTANT(chan, cat, name, at, arg)                   \
+    do {                                                                \
+        if ((chan) && (chan)->wants(cat))                               \
+            (chan)->instant((cat), (name), (at), (arg));                \
+    } while (0)
+
+#define TRACE_EVENT_COUNTER(chan, cat, name, at, value)                 \
+    do {                                                                \
+        if ((chan) && (chan)->wants(cat))                               \
+            (chan)->counter((cat), (name), (at), (value));              \
+    } while (0)
+
+#else // !SCUSIM_TRACE_ENABLED
+
+#define TRACE_EVENT_SPAN(chan, cat, name, start, end, arg)              \
+    do {                                                                \
+        if (false) {                                                    \
+            (void)(chan); (void)(cat); (void)(name);                    \
+            (void)(start); (void)(end); (void)(arg);                    \
+        }                                                               \
+    } while (0)
+
+#define TRACE_EVENT_INSTANT(chan, cat, name, at, arg)                   \
+    do {                                                                \
+        if (false) {                                                    \
+            (void)(chan); (void)(cat); (void)(name);                    \
+            (void)(at); (void)(arg);                                    \
+        }                                                               \
+    } while (0)
+
+#define TRACE_EVENT_COUNTER(chan, cat, name, at, value)                 \
+    do {                                                                \
+        if (false) {                                                    \
+            (void)(chan); (void)(cat); (void)(name);                    \
+            (void)(at); (void)(value);                                  \
+        }                                                               \
+    } while (0)
+
+#endif // SCUSIM_TRACE_ENABLED
+
+#endif // SCUSIM_TRACE_TRACE_HH

@@ -259,6 +259,44 @@ TEST(FaultInjector, MemFaultsFireOnceAndReorderClampsAtZero)
     EXPECT_EQ(inj.fired(sim::FaultKind::MemReorder), 1u);
 }
 
+TEST(FaultPlan, SpecParsingRoundTripsTheFingerprint)
+{
+    // The --inject syntax is the fingerprint syntax: parse every
+    // shape back and compare field by field.
+    auto s = sim::parseFaultSpec("mem-delay@1000x500");
+    EXPECT_EQ(s.kind, sim::FaultKind::MemDelay);
+    EXPECT_EQ(s.at, 1000u);
+    EXPECT_EQ(s.magnitude, 500u);
+    EXPECT_EQ(s.target, 0u);
+
+    s = sim::parseFaultSpec("fifo-stall@42t3");
+    EXPECT_EQ(s.kind, sim::FaultKind::FifoStall);
+    EXPECT_EQ(s.at, 42u);
+    EXPECT_EQ(s.target, 3u);
+
+    s = sim::parseFaultSpec("icn-delay@0x1000000");
+    EXPECT_EQ(s.kind, sim::FaultKind::IcnDelay);
+    EXPECT_EQ(s.magnitude, 1000000u);
+
+    s = sim::parseFaultSpec("dram-refresh-storm@7");
+    EXPECT_EQ(s.kind, sim::FaultKind::DramRefreshStorm);
+    EXPECT_EQ(s.at, 7u);
+
+    // A parsed plan fingerprints identically to a built one.
+    sim::FaultPlan built;
+    built.add({.kind = sim::FaultKind::MemDelay,
+               .at = 1000,
+               .magnitude = 500});
+    sim::FaultPlan parsed;
+    parsed.add(sim::parseFaultSpec("mem-delay@1000x500"));
+    EXPECT_EQ(built.fingerprint(), parsed.fingerprint());
+
+    EXPECT_EQ(sim::faultKindFromString("panic-at"),
+              sim::FaultKind::PanicAt);
+    EXPECT_EQ(sim::faultKindFromString("icn-delay"),
+              sim::FaultKind::IcnDelay);
+}
+
 TEST(FaultPlan, FingerprintIsCanonical)
 {
     sim::FaultPlan a;
@@ -349,6 +387,34 @@ TEST(FaultMatrix, ComponentFreezeIsDeadlock)
         expectFailure(rec, FailureKind::Deadlock);
         EXPECT_NE(rec.diagnostics.find("frozen"), std::string::npos)
             << rec.diagnostics;
+    }
+}
+
+TEST(FaultMatrix, IcnDelayTripsTheTickBudgetAsRunaway)
+{
+    for (const auto *sys : kSystems) {
+        RunConfig cfg = tinyConfig(sys);
+        cfg.faults.add({.kind = sim::FaultKind::IcnDelay,
+                        .at = 0,
+                        .magnitude = 1'000'000'000'000'000ULL});
+        cfg.guards.tickBudget = 1'000'000'000;
+        auto rec = runOne(cfg);
+        expectFailure(rec, FailureKind::Runaway);
+        EXPECT_FALSE(rec.diagnostics.empty()) << rec.error;
+    }
+}
+
+TEST(FaultMatrix, DramRefreshStormTripsTheTickBudgetAsRunaway)
+{
+    for (const auto *sys : kSystems) {
+        RunConfig cfg = tinyConfig(sys);
+        cfg.faults.add({.kind = sim::FaultKind::DramRefreshStorm,
+                        .at = 0,
+                        .magnitude = 1'000'000'000'000'000ULL});
+        cfg.guards.tickBudget = 1'000'000'000;
+        auto rec = runOne(cfg);
+        expectFailure(rec, FailureKind::Runaway);
+        EXPECT_FALSE(rec.diagnostics.empty()) << rec.error;
     }
 }
 

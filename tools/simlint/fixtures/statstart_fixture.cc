@@ -1,0 +1,81 @@
+// simlint fixture: stat-registered-after-start (src/-scoped; the
+// self-test forces src scoping on).
+
+#include <memory>
+#include <string>
+
+namespace scusim::stats
+{
+struct StatGroup
+{
+    explicit StatGroup(std::string) {}
+};
+struct Scalar
+{
+    Scalar(StatGroup *, std::string, std::string) {}
+    Scalar &operator+=(double) { return *this; }
+};
+struct Timeseries
+{
+    Timeseries(StatGroup *, std::string, std::string) {}
+};
+} // namespace scusim::stats
+
+namespace scusim::fixture
+{
+
+struct Component
+{
+    // Member declarations: the right place for stats. No parens
+    // follow the name, so these never match the local shape.
+    stats::StatGroup grp;
+    stats::Scalar requests;
+
+    Component()
+        : grp("component"),
+          // Mem-init-list construction is the blessed pattern; the
+          // member name carries no stat type token, so no match.
+          requests(&grp, "requests", "requests issued")
+    {
+    }
+
+    void
+    work()
+    {
+        requests += 1;
+    }
+};
+
+inline double
+midRunCounter(stats::StatGroup *parent)
+{
+    // A function-local stat registers mid-run and unregisters on
+    // return — exactly the bug the rule exists for.
+    stats::Scalar lost(parent, "lost", // simlint: expect(stat-registered-after-start)
+                       "never survives to the dump");
+    stats::Timeseries bad(parent, "bad", // simlint: expect(stat-registered-after-start)
+                          "window samples dropped at scope exit");
+    return 0;
+}
+
+inline void
+heapAllocatedIsFine(stats::StatGroup *parent)
+{
+    // Heap-owned series handed to a longer-lived owner (the harness
+    // pattern): the type appears as a template argument, not as a
+    // local declaration, so the rule stays quiet.
+    auto ts = std::make_unique<stats::Timeseries>(
+        parent, "ok", "owned beyond this scope");
+    (void)ts;
+}
+
+// A deliberate, annotated exception is suppressible as usual.
+inline void
+annotatedException(stats::StatGroup *parent)
+{
+    // simlint: allow(stat-registered-after-start)
+    stats::Scalar scratch(parent, "scratch", "debug only");
+    (void)scratch;
+}
+
+} // namespace scusim::fixture

@@ -597,6 +597,51 @@ ruleRawStatCounter(const LexedFile &f, const Analysis &a,
 }
 
 /**
+ * stat-registered-after-start: a stat constructed as a function
+ * local registers with its StatGroup only when that function runs —
+ * typically after the simulation started — so it misses dumps and
+ * resets that already happened and silently unregisters again on
+ * scope exit. Stats must be members, constructed while the component
+ * tree is built (member declarations and mem-init lists don't match
+ * the local-declaration shape this rule looks for).
+ */
+void
+ruleStatRegisteredAfterStart(const LexedFile &f, const Analysis &a,
+                             FindingSink &out)
+{
+    static const std::set<std::string> statTypes = {
+        "Scalar", "Formula", "Distribution", "Timeseries"};
+
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!toks[i].isIdent() || !statTypes.count(toks[i].text))
+            continue;
+        // Local *declaration* shape: `Scalar name(...)`. Temporaries
+        // (`Scalar(...)`), members (`Scalar name;`), template args
+        // (`make_unique<Timeseries>(...)`) and parameters all differ.
+        if (!toks[i + 1].isIdent() || !toks[i + 2].is("("))
+            continue;
+        // stats:: / scusim::stats:: qualification is fine; any other
+        // namespace's Scalar is not ours.
+        if (i >= 2 && toks[i - 1].is("::") &&
+            toks[i - 2].text != "stats")
+            continue;
+        if (a.parenDepth[i] != 0)
+            continue;
+        if (enclosingFunction(a, i) < 0)
+            continue;
+        addFinding(out, f, toks[i].line,
+                   "stat-registered-after-start",
+                   "stat '" + toks[i + 1].text +
+                       "' constructed inside a function body "
+                       "registers with its StatGroup after the "
+                       "simulation may have started (and "
+                       "unregisters at scope exit); make it a "
+                       "member built with the component tree");
+    }
+}
+
+/**
  * swallowed-sim-error: a `catch (...)` handler also catches SimError,
  * the typed failure the supervision stack depends on — a handler that
  * neither rethrows nor mentions the failure taxonomy turns a
@@ -677,6 +722,11 @@ ruleRegistry()
          "FailureKind (silently discards classified SimError "
          "failures)",
          true},
+        {"stat-registered-after-start",
+         "stats::Scalar/Formula/Distribution/Timeseries constructed "
+         "as a function local (registers with its StatGroup after "
+         "the simulation started, unregisters at scope exit)",
+         true},
     };
     return registry;
 }
@@ -697,6 +747,7 @@ runRules(const LexedFile &file, bool treatAsSrc)
         ruleDirectOutput(file, a, found);
         ruleRawStatCounter(file, a, found);
         ruleSwallowedSimError(file, a, found);
+        ruleStatRegisteredAfterStart(file, a, found);
     }
 
     std::vector<Finding> kept;

@@ -35,6 +35,9 @@ StreamingMultiprocessor::beginKernel(WarpSource source,
     kstats = sink;
     sourceDry = false;
     refill();
+    // New work arrived outside tick(): re-arm the event-driven
+    // scheduler so the launch is picked up without a full rescan.
+    notifyWake();
 }
 
 void
@@ -63,6 +66,16 @@ StreamingMultiprocessor::refill()
         }
         resident.push_back(std::move(w));
     }
+    recomputeWake();
+}
+
+void
+StreamingMultiprocessor::recomputeWake()
+{
+    Tick t = tickNever;
+    for (const auto &w : resident)
+        t = std::min(t, w.blockedUntil);
+    wakeCache = t;
 }
 
 bool
@@ -73,20 +86,13 @@ StreamingMultiprocessor::busy(Tick now) const
     // the simulation fast-forwards over pure stall intervals.
     if (resident.empty())
         return !sourceDry && warpSource != nullptr;
-    for (const auto &w : resident) {
-        if (w.blockedUntil <= now)
-            return true;
-    }
-    return false;
+    return wakeCache <= now;
 }
 
 Tick
 StreamingMultiprocessor::nextWakeTick() const
 {
-    Tick t = tickNever;
-    for (const auto &w : resident)
-        t = std::min(t, w.blockedUntil);
-    return t;
+    return resident.empty() ? tickNever : wakeCache;
 }
 
 Tick
@@ -98,12 +104,7 @@ StreamingMultiprocessor::executeMem(const WarpInstr &wi, Tick now)
     txnScratch.clear();
     std::size_t txns;
     if (wi.kind == ThreadOp::Kind::Atomic) {
-        for (Addr a : wi.laneAddrs) {
-            if (std::find(txnScratch.begin(), txnScratch.end(), a) ==
-                txnScratch.end())
-                txnScratch.push_back(a);
-        }
-        txns = txnScratch.size();
+        txns = mem::appendUniqueAddrs(wi.laneAddrs, txnScratch);
     } else {
         txns = mem::coalesceLanes(wi.laneAddrs, p.l1.lineBytes,
                                   txnScratch);
@@ -221,14 +222,21 @@ StreamingMultiprocessor::tick(Tick now)
     }
     smActiveCycles += 1;
 
+    // Round-robin over the residents starting at the cursor. One
+    // modulo normalizes the cursor (retirement may have shrunk the
+    // list since last cycle); the walk itself wraps with a compare
+    // instead of the old per-iteration `(rrCursor + i) % n` divide.
     unsigned issued = 0;
     const std::size_t n = resident.size();
+    const std::size_t start = rrCursor % n;
+    std::size_t idx = start;
     for (std::size_t i = 0; i < n && issued < p.issueWidth; ++i) {
-        std::size_t idx = (rrCursor + i) % n;
         if (issueOne(resident[idx], now))
             ++issued;
+        if (++idx == n)
+            idx = 0;
     }
-    rrCursor = n ? (rrCursor + 1) % n : 0;
+    rrCursor = start + 1 == n ? 0 : start + 1;
     if (issued)
         noteProgress(issued);
     else

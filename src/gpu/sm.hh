@@ -104,11 +104,21 @@ class StreamingMultiprocessor : public sim::Clocked
                               ///< be null in unit tests)
     mem::Cache l1Cache;
 
+    /** Recompute wakeCache from the resident warps' blockedUntil. */
+    void recomputeWake();
+
     WarpSource warpSource;
     KernelStats *kstats = nullptr;
     std::vector<Warp> resident;
     std::size_t rrCursor = 0;
     bool sourceDry = true;
+    /**
+     * Min blockedUntil over resident warps (tickNever when none),
+     * maintained at the end of every tick()/refill() so busy() and
+     * nextWakeTick() are O(1) instead of rescanning the warp list
+     * twice per serviced cycle — the simulator's hottest reads.
+     */
+    Tick wakeCache = tickNever;
 
     Tick lsuFree = 0;
     std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>

@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "graph/datasets.hh"
+#include "harness/run_cache.hh"
 #include "trace/profiler.hh"
 
 namespace scusim::harness
@@ -37,6 +38,7 @@ copyOutcome(RunRecord &to, const RunRecord &from)
     to.failure = from.failure;
     to.diagnostics = from.diagnostics;
     to.attempts = from.attempts;
+    to.fromDiskCache = from.fromDiskCache;
 }
 
 /** Merge executor-level default guards into one run's config. */
@@ -228,9 +230,13 @@ runPlan(const std::vector<PlannedRun> &runs,
     for (std::size_t i = 0; i < runs.size(); ++i)
         recs[i].run = runs[i];
 
-    // Serve memoized results; collect the indexes left to execute.
-    // Within those, equal keys (possible through the raw-run-list
-    // overload) execute once and fan out afterwards.
+    // Serve memoized results, then the persistent disk cache;
+    // collect the indexes left to execute. Within those, equal keys
+    // (possible through the raw-run-list overload) execute once and
+    // fan out afterwards.
+    const std::string cacheDir = opts.memoize && opts.diskCache
+                                     ? runCacheDir()
+                                     : std::string();
     std::vector<std::size_t> todo;
     std::map<std::string, std::vector<std::size_t>> dup;
     {
@@ -240,6 +246,19 @@ runPlan(const std::vector<PlannedRun> &runs,
                 auto it = memo().find(runs[i].key);
                 if (it != memo().end()) {
                     copyOutcome(recs[i], it->second);
+                    continue;
+                }
+            }
+            if (!cacheDir.empty() && !runs[i].graph) {
+                RunRecord hit;
+                if (loadCachedRun(cacheDir, runs[i].key, hit) &&
+                    hit.failure != FailureKind::Timeout) {
+                    copyOutcome(recs[i], hit);
+                    recs[i].fromDiskCache = true;
+                    // Disk hits also feed the in-process memo so
+                    // later plans in this process skip the file
+                    // system too.
+                    memo().emplace(runs[i].key, recs[i]);
                     continue;
                 }
             }
@@ -332,7 +351,24 @@ runPlan(const std::vector<PlannedRun> &runs,
             if (opts.memoize &&
                 recs[i].failure != FailureKind::Timeout)
                 memo().emplace(recs[i].run.key, recs[i]);
+            // Persist freshly executed outcomes for later processes
+            // (storeCachedRun itself rejects graph-backed runs and
+            // transient Timeouts).
+            if (!cacheDir.empty())
+                storeCachedRun(cacheDir, recs[i]);
         }
+    }
+
+    if (!cacheDir.empty()) {
+        std::size_t served = 0;
+        for (const auto &r : recs)
+            served += r.fromDiskCache ? 1 : 0;
+        if (served && served == recs.size())
+            inform("disk cache: all %zu runs served from %s",
+                   recs.size(), cacheDir.c_str());
+        else if (served)
+            inform("disk cache: %zu of %zu runs served from %s",
+                   served, recs.size(), cacheDir.c_str());
     }
 
     // Per-phase wall-clock breakdown of the plan just executed

@@ -36,6 +36,13 @@ struct RunRecord
     std::string diagnostics;
     /** Execution attempts (> 1 when a Timeout was retried). */
     unsigned attempts = 0;
+    /**
+     * Served from the persistent disk cache (SCUSIM_CACHE_DIR)
+     * instead of simulating. Deliberately excluded from the JSON/CSV
+     * artifacts so a cache-served plan stays byte-identical to a
+     * simulated one.
+     */
+    bool fromDiskCache = false;
 };
 
 /**
@@ -118,6 +125,15 @@ struct ExecutorOptions
     RunGuards guards = {};
     /** Extra attempts granted to transient (Timeout) failures. */
     unsigned maxRetries = 0;
+    /**
+     * Consult the persistent on-disk run cache when SCUSIM_CACHE_DIR
+     * is set (run_cache.hh): completed records are stored keyed by
+     * run key, and later processes serve matching runs from disk —
+     * zero simulation — with bit-identical results. Requires memoize
+     * (the same "identical key, identical result" contract); runs on
+     * caller-owned graphs and Timeout failures are never cached.
+     */
+    bool diskCache = true;
     /**
      * Cooperative cancellation of the whole plan: pending runs fail
      * fast with Timeout, in-flight runs stop at their supervisor's

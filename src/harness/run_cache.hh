@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Persistent cross-process run cache. When SCUSIM_CACHE_DIR is set,
+ * the executor stores every completed RunRecord on disk keyed by its
+ * canonical run key, so a repeated plan invocation — a re-run of a
+ * bench binary, a CI retry, a figure regenerated after an unrelated
+ * edit — serves its results from disk instead of simulating again.
+ *
+ * Format: one small text file per record, named by a 64-bit FNV-1a
+ * hash of (schema version, run key). The file stores the full key, so
+ * a hash collision reads as a miss rather than a wrong result, and a
+ * schema-version constant, so records written by an incompatible
+ * build are rejected instead of misparsed. Doubles round-trip as IEEE
+ * bit patterns: a cache-served result is bit-identical to the
+ * simulated one, which keeps the %.17g JSON/CSV artifacts
+ * byte-identical — the CI cache job diffs exactly that.
+ *
+ * Writes go through a process-unique temp file and std::rename, so
+ * concurrent executors never expose a torn record; any read that
+ * fails to parse (truncation, corruption, stale schema) is treated
+ * as a miss and the run is simply re-simulated.
+ */
+
+#ifndef SCUSIM_HARNESS_RUN_CACHE_HH
+#define SCUSIM_HARNESS_RUN_CACHE_HH
+
+#include <string>
+
+#include "harness/executor.hh"
+
+namespace scusim::harness
+{
+
+/**
+ * Bump whenever the serialized RunRecord layout changes; old cache
+ * files are then rejected (miss) instead of misparsed.
+ */
+constexpr unsigned runCacheSchemaVersion = 1;
+
+/**
+ * The cache directory from SCUSIM_CACHE_DIR, or "" when unset /
+ * empty (caching disabled).
+ */
+std::string runCacheDir();
+
+/** The file a record with @p key would live at under @p dir. */
+std::string runCachePath(const std::string &dir,
+                         const std::string &key);
+
+/**
+ * True when @p rec may be stored at all: graph-backed runs carry a
+ * raw pointer in their key (meaningless across processes) and
+ * Timeout failures are transient (mirrors the in-process memo
+ * policy), so neither is ever written.
+ */
+bool runCacheStorable(const RunRecord &rec);
+
+/**
+ * Load the record for @p key from @p dir. On a hit, fills every
+ * outcome field of @p rec (not rec.run) and returns true; any miss,
+ * parse failure, schema or key mismatch returns false with @p rec
+ * untouched.
+ */
+bool loadCachedRun(const std::string &dir, const std::string &key,
+                   RunRecord &rec);
+
+/**
+ * Atomically persist @p rec under @p dir (created if needed).
+ * Returns false (after a warn) on I/O failure — a full disk must
+ * not fail the plan — and for records runCacheStorable rejects.
+ */
+bool storeCachedRun(const std::string &dir, const RunRecord &rec);
+
+/** Serialize @p rec's outcome (testing / debugging aid). */
+std::string encodeRunRecord(const RunRecord &rec);
+
+/**
+ * Parse @p text (as written by encodeRunRecord) into @p rec's
+ * outcome fields; @p expectKey guards against hash collisions.
+ * Returns false on any malformed input.
+ */
+bool decodeRunRecord(const std::string &text,
+                     const std::string &expectKey, RunRecord &rec);
+
+} // namespace scusim::harness
+
+#endif // SCUSIM_HARNESS_RUN_CACHE_HH

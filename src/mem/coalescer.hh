@@ -11,6 +11,7 @@
 #define SCUSIM_MEM_COALESCER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,75 @@ namespace scusim::mem
 {
 
 /**
+ * Append the unique values of map(a) over @p addrs to @p out,
+ * preserving first-touch order — the order lanes issue transactions
+ * in, which feeds cache and DRAM timing, so it must never change.
+ *
+ * Dedup runs through a small open-addressed scratch set on the stack
+ * (64 slots; a warp is at most 32 lanes, so the load factor stays
+ * under one half) instead of rescanning the output vector per lane —
+ * the old O(lanes²) inner loop was a measurable slice of Sm::tick.
+ * Inputs wider than the table fall back to the linear rescan.
+ *
+ * @return number of unique values appended.
+ */
+template <typename MapFn>
+inline std::size_t
+appendMappedUnique(std::span<const Addr> addrs, MapFn &&map,
+                   std::vector<Addr> &out)
+{
+    const std::size_t first = out.size();
+    constexpr std::size_t kSlots = 64;
+    if (addrs.size() <= kSlots / 2) {
+        Addr table[kSlots];
+        std::uint64_t used = 0;
+        for (Addr a : addrs) {
+            const Addr v = map(a);
+            // Fibonacci multiply-shift to the table's 6 index bits.
+            std::size_t h =
+                static_cast<std::size_t>(
+                    static_cast<std::uint64_t>(v) *
+                    0x9E3779B97F4A7C15ull >>
+                    58);
+            bool dup = false;
+            while ((used >> h) & 1) {
+                if (table[h] == v) {
+                    dup = true;
+                    break;
+                }
+                h = (h + 1) & (kSlots - 1);
+            }
+            if (dup)
+                continue;
+            used |= std::uint64_t{1} << h;
+            table[h] = v;
+            out.push_back(v);
+        }
+        return out.size() - first;
+    }
+    for (Addr a : addrs) {
+        const Addr v = map(a);
+        bool seen = false;
+        for (std::size_t i = first; i < out.size(); ++i) {
+            if (out[i] == v) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            out.push_back(v);
+    }
+    return out.size() - first;
+}
+
+/** Append the distinct addresses of @p addrs (first-touch order). */
+inline std::size_t
+appendUniqueAddrs(std::span<const Addr> addrs, std::vector<Addr> &out)
+{
+    return appendMappedUnique(addrs, [](Addr a) { return a; }, out);
+}
+
+/**
  * Merge @p lane_addrs into unique line base addresses (first-touch
  * order preserved), appending to @p out.
  *
@@ -31,21 +101,12 @@ inline std::size_t
 coalesceLanes(std::span<const Addr> lane_addrs, unsigned line_bytes,
               std::vector<Addr> &out)
 {
-    const std::size_t first = out.size();
-    for (Addr a : lane_addrs) {
-        Addr line = alignDown(a, line_bytes);
-        bool seen = false;
-        for (std::size_t i = first; i < out.size(); ++i) {
-            if (out[i] == line) {
-                seen = true;
-                break;
-            }
-        }
-        if (!seen)
-            out.push_back(line);
-    }
-    sim::checkCoalesceBounds(lane_addrs.size(), out.size() - first);
-    return out.size() - first;
+    const std::size_t txns = appendMappedUnique(
+        lane_addrs,
+        [line_bytes](Addr a) { return alignDown(a, line_bytes); },
+        out);
+    sim::checkCoalesceBounds(lane_addrs.size(), txns);
+    return txns;
 }
 
 /**

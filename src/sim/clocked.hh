@@ -6,16 +6,28 @@
 #ifndef SCUSIM_SIM_CLOCKED_HH
 #define SCUSIM_SIM_CLOCKED_HH
 
+#include <cstddef>
+
 #include "common/types.hh"
 #include "sim/check.hh"
 
 namespace scusim::sim
 {
 
+class Simulation;
+
 /**
  * A component advanced once per simulated cycle while it has work.
  * When every Clocked object is idle the simulation fast-forwards to
  * the earliest nextWakeTick() (e.g. an outstanding memory response).
+ *
+ * Scheduling contract: the owning Simulation caches each component's
+ * earliest-busy tick (from busy()/nextWakeTick()) and re-derives it
+ * after every tick() it delivers. State changes that arrive *outside*
+ * tick() — new work handed to an idle component, e.g. a kernel launch
+ * — must call notifyWake() so the event-driven scheduler re-arms;
+ * run()/step() also re-derive every component's wake on entry, so a
+ * missed notification between calls cannot strand a component.
  */
 class Clocked
 {
@@ -61,14 +73,30 @@ class Clocked
      */
     std::uint64_t progressCount() const { return progressed; }
 
+    /**
+     * Tell the owning Simulation this component's busy state may
+     * have changed outside tick() (new work arrived while idle), so
+     * the event-driven scheduler must re-derive its wake tick. No-op
+     * when the component is not registered with a Simulation (unit
+     * tests) or under the polling scheduler. Defined in
+     * simulation.cc (needs the Simulation definition).
+     */
+    void notifyWake();
+
   protected:
     /** Record @p n units of forward progress (subclasses' tick()). */
     void noteProgress(std::uint64_t n = 1) { progressed += n; }
 
   private:
+    friend class Simulation;
+
     /** Latest tick this component was advanced at (checked builds). */
     Tick lastTickSeen = 0;
     std::uint64_t progressed = 0;
+    /** Owning scheduler backpointer, set by Simulation::addClocked. */
+    Simulation *schedOwner = nullptr;
+    /** This component's index in the owning Simulation. */
+    std::size_t schedIndex = 0;
 };
 
 } // namespace scusim::sim

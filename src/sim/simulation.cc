@@ -1,6 +1,8 @@
 #include "sim/simulation.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -12,16 +14,67 @@
 namespace scusim::sim
 {
 
-Simulation::Simulation() = default;
+namespace
+{
+
+/** Process-wide scheduler override: -1 unset, else SchedulerMode. */
+std::atomic<int> schedOverride{-1};
+
+} // namespace
+
+SchedulerMode
+Simulation::defaultScheduler()
+{
+    const int o = schedOverride.load(std::memory_order_relaxed);
+    if (o >= 0)
+        return static_cast<SchedulerMode>(o);
+    if (const char *s = std::getenv("SCUSIM_SCHEDULER")) {
+        const std::string v = s;
+        if (v == "polling")
+            return SchedulerMode::Polling;
+        if (!v.empty() && v != "event")
+            warn("ignoring unknown SCUSIM_SCHEDULER='%s' "
+                 "(want 'event' or 'polling')",
+                 s);
+    }
+    return SchedulerMode::EventDriven;
+}
+
+void
+Simulation::overrideDefaultScheduler(SchedulerMode m)
+{
+    schedOverride.store(static_cast<int>(m),
+                        std::memory_order_relaxed);
+}
+
+void
+Simulation::clearDefaultSchedulerOverride()
+{
+    schedOverride.store(-1, std::memory_order_relaxed);
+}
+
+Simulation::Simulation() : schedMode(defaultScheduler()) {}
 Simulation::~Simulation() = default;
 
 void
 Simulation::addClocked(Clocked *c, std::string name)
 {
+    panic_if(c->schedOwner && c->schedOwner != this,
+             "Clocked object registered with two Simulations");
+    c->schedOwner = this;
+    c->schedIndex = clockedList.size();
     if (name.empty())
         name = "clocked#" + std::to_string(clockedList.size());
     clockedList.push_back(c);
     clockedNames.push_back(std::move(name));
+    armed.push_back(tickNever);
+}
+
+void
+Clocked::notifyWake()
+{
+    if (schedOwner)
+        schedOwner->wakeComponent(schedIndex);
 }
 
 void
@@ -87,14 +140,66 @@ Simulation::diagnosticDump() const
     return os.str();
 }
 
-Tick
-Simulation::nextInterestingTick() const
+void
+Simulation::arm(std::size_t idx, Tick t)
 {
+    armed[idx] = t;
+    if (t != tickNever)
+        wakeHeap.emplace(t, idx);
+}
+
+void
+Simulation::wakeComponent(std::size_t idx)
+{
+    if (schedMode == SchedulerMode::Polling)
+        return; // the polling scan re-asks everyone anyway
+    const Clocked *c = clockedList[idx];
+    const Tick t =
+        c->busy(currentTick) ? currentTick : c->nextWakeTick();
+    if (t != armed[idx])
+        arm(idx, t);
+}
+
+void
+Simulation::rearmAll()
+{
+    for (std::size_t i = 0; i < clockedList.size(); ++i)
+        wakeComponent(i);
+}
+
+Tick
+Simulation::nextInterestingTick()
+{
+    if (schedMode == SchedulerMode::Polling) {
+        Tick t = eq.nextTick();
+        for (const auto *c : clockedList) {
+            if (c->busy(currentTick))
+                return currentTick;
+            t = std::min(t, c->nextWakeTick());
+        }
+        return t;
+    }
+    // Event-driven: the earliest armed component (dropping stale
+    // lazy-deleted heap entries) or event, whichever comes first. A
+    // component armed at or before "now" is busy now — same answer
+    // the polling scan would give.
     Tick t = eq.nextTick();
-    for (const auto *c : clockedList) {
-        if (c->busy(currentTick))
+    for (std::size_t idx : nextDue) {
+        const Tick a = armed[idx];
+        if (a == tickNever)
+            continue; // superseded
+        if (a <= currentTick)
             return currentTick;
-        t = std::min(t, c->nextWakeTick());
+        t = std::min(t, a);
+    }
+    while (!wakeHeap.empty() &&
+           wakeHeap.top().first != armed[wakeHeap.top().second])
+        wakeHeap.pop();
+    if (!wakeHeap.empty()) {
+        const Tick wake = wakeHeap.top().first;
+        if (wake <= currentTick)
+            return currentTick;
+        t = std::min(t, wake);
     }
     return t;
 }
@@ -109,10 +214,10 @@ Simulation::progressStamp() const
 }
 
 void
-Simulation::step(Tick n)
+Simulation::stepOnce()
 {
-    for (Tick i = 0; i < n; ++i) {
-        eq.serviceUpTo(currentTick);
+    eq.serviceUpTo(currentTick);
+    if (schedMode == SchedulerMode::Polling) {
         for (std::size_t j = 0; j < clockedList.size(); ++j) {
             Clocked *c = clockedList[j];
             // A frozen component keeps claiming to be busy but is
@@ -128,7 +233,73 @@ Simulation::step(Tick n)
             }
         }
         ++currentTick;
+        return;
     }
+
+    // Event-driven: collect every component due at or before now
+    // (consuming its armed entry), then service them in registration
+    // order — the order the polling loop ticks them in, which matters
+    // because components share the analytic memory system within a
+    // tick.
+    readyScratch.clear();
+    // Components the previous tick re-armed straight for this one
+    // (the steady busy state) — consumed without a heap round trip.
+    for (std::size_t idx : nextDue) {
+        if (armed[idx] != tickNever && armed[idx] <= currentTick) {
+            armed[idx] = tickNever;
+            readyScratch.push_back(idx);
+        }
+    }
+    nextDue.clear();
+    while (!wakeHeap.empty() &&
+           wakeHeap.top().first <= currentTick) {
+        const auto [t, idx] = wakeHeap.top();
+        wakeHeap.pop();
+        if (armed[idx] != t)
+            continue; // superseded by a later arm
+        armed[idx] = tickNever;
+        readyScratch.push_back(idx);
+    }
+    // Registration order, as the polling loop ticks them. nextDue is
+    // appended in service order, so the scratch is almost always
+    // already sorted and the check is the common whole cost.
+    if (!std::is_sorted(readyScratch.begin(), readyScratch.end()))
+        std::sort(readyScratch.begin(), readyScratch.end());
+    for (std::size_t idx : readyScratch) {
+        Clocked *c = clockedList[idx];
+        if (injector &&
+            injector->frozen(static_cast<unsigned>(idx),
+                             currentTick)) {
+            // Still busy, never ticked: stay due every tick so the
+            // loop keeps spinning until the deadlock watchdog fires,
+            // exactly as under polling.
+            armed[idx] = currentTick + 1;
+            nextDue.push_back(idx);
+            continue;
+        }
+        if (c->busy(currentTick)) {
+            c->noteTick(currentTick);
+            c->tick(currentTick);
+        }
+        const Tick next = c->busy(currentTick + 1)
+                              ? currentTick + 1
+                              : c->nextWakeTick();
+        if (next == currentTick + 1) {
+            armed[idx] = next;
+            nextDue.push_back(idx);
+        } else {
+            arm(idx, next);
+        }
+    }
+    ++currentTick;
+}
+
+void
+Simulation::step(Tick n)
+{
+    rearmAll();
+    for (Tick i = 0; i < n; ++i)
+        stepOnce();
     if (!timeseries.empty())
         sampleTimeseries(currentTick);
 }
@@ -141,6 +312,10 @@ Simulation::run(Tick max_ticks)
     std::uint64_t lastStamp = progressStamp();
     Tick stallStart = currentTick;
     std::uint64_t iters = 0;
+    // Components may have gained work since the last run()/step()
+    // without a notifyWake (e.g. constructed busy); re-derive every
+    // wake once so the heap starts accurate.
+    rearmAll();
     while (true) {
         if (injector)
             injector->checkPanic(currentTick);
@@ -153,7 +328,9 @@ Simulation::run(Tick max_ticks)
             // Idle gap: jump straight to the next event / wake-up.
             currentTick = next;
         }
-        step(1);
+        stepOnce();
+        if (!timeseries.empty())
+            sampleTimeseries(currentTick);
         const bool over_budget =
             budget ? currentTick > budget
                    : currentTick - start > max_ticks;

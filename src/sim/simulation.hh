@@ -12,7 +12,9 @@
 #define SCUSIM_SIM_SIMULATION_HH
 
 #include <memory>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -34,6 +36,17 @@ namespace scusim::sim
 {
 
 class FaultInjector;
+
+/**
+ * How the simulation loop finds work. EventDriven (the default) keeps
+ * a min-heap of per-component wake ticks and services only the
+ * components whose wake has arrived; Polling is the reference
+ * implementation that re-asks every Clocked component for busy()/
+ * nextWakeTick() on every serviced tick. Both produce byte-identical
+ * stats — the scheduler-equivalence test enforces it — so Polling
+ * exists only as the equivalence oracle and the perf baseline.
+ */
+enum class SchedulerMode { EventDriven, Polling };
 
 /** Progress-watchdog thresholds; 0 disables the respective check. */
 struct WatchdogConfig
@@ -75,6 +88,25 @@ class Simulation
     Simulation &operator=(const Simulation &) = delete;
 
     Tick now() const { return currentTick; }
+
+    /** This simulation's scheduler (fixed per instance at creation,
+     *  unless overridden with setScheduler before the first run). */
+    SchedulerMode scheduler() const { return schedMode; }
+
+    /** Force this instance's scheduler (tests / benches). */
+    void setScheduler(SchedulerMode m) { schedMode = m; }
+
+    /**
+     * The mode new Simulations start in: the process-wide override
+     * (below) if set, else SCUSIM_SCHEDULER from the environment
+     * ("polling" or "event"), else EventDriven.
+     */
+    static SchedulerMode defaultScheduler();
+
+    /** Process-wide scheduler override for new Simulations
+     *  (benches comparing both modes); clear with the second form. */
+    static void overrideDefaultScheduler(SchedulerMode m);
+    static void clearDefaultSchedulerOverride();
 
     /** Register a cycle-stepped component (name for diagnostics). */
     void addClocked(Clocked *c, std::string name = "");
@@ -142,14 +174,33 @@ class Simulation
     void advanceTo(Tick t);
 
   private:
+    friend class Clocked; // notifyWake -> wakeComponent
+
     /** Earliest tick at which anything can happen, or tickNever. */
-    Tick nextInterestingTick() const;
+    Tick nextInterestingTick();
 
     /** Monotone counter of everything that counts as progress. */
     std::uint64_t progressStamp() const;
 
     /** Record every timeseries window boundary at or before @p now. */
     void sampleTimeseries(Tick now);
+
+    /**
+     * Set component @p idx's cached wake tick to @p t and push the
+     * matching heap entry (tickNever disarms). Entries superseded by
+     * a later arm stay in the heap and are dropped lazily when their
+     * tick no longer matches armed[idx].
+     */
+    void arm(std::size_t idx, Tick t);
+
+    /** Re-derive component @p idx's wake from busy()/nextWakeTick(). */
+    void wakeComponent(std::size_t idx);
+
+    /** Re-derive every component's wake tick (run()/step() entry). */
+    void rearmAll();
+
+    /** Service exactly one tick (events + due components). */
+    void stepOnce();
 
     Tick currentTick = 0;
     EventQueue eq;
@@ -161,6 +212,24 @@ class Simulation
     std::unique_ptr<trace::TraceSink> tracer;
     trace::TraceChannel *simChan = nullptr;
     std::vector<stats::Timeseries *> timeseries;
+
+    SchedulerMode schedMode;
+    /** Earliest tick each component can be busy (tickNever = idle). */
+    std::vector<Tick> armed;
+    /** Lazy-deletion min-heap over (armed tick, component index). */
+    std::priority_queue<std::pair<Tick, std::size_t>,
+                        std::vector<std::pair<Tick, std::size_t>>,
+                        std::greater<>>
+        wakeHeap;
+    /** Indices due at the current tick (scratch, sorted). */
+    std::vector<std::size_t> readyScratch;
+    /**
+     * Fast-path arming for the steady busy state: a component due
+     * again at exactly the next tick is appended here instead of
+     * round-tripping the heap. Entries are validated against armed[]
+     * on consumption, like lazy-deleted heap entries.
+     */
+    std::vector<std::size_t> nextDue;
 };
 
 } // namespace scusim::sim

@@ -1,0 +1,99 @@
+// simlint fixture: tick-every-cycle.
+
+using Tick = unsigned long long;
+constexpr Tick tickNever = ~0ull;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Tick now) = 0;
+    virtual bool busy(Tick now) const = 0;
+    virtual Tick nextWakeTick() const = 0;
+};
+
+class PollingEngine : public Clocked
+{
+  public:
+    void tick(Tick now) override;
+    bool busy(Tick now) const override;
+    Tick nextWakeTick() const override { return last_ + 1; } // simlint: expect(tick-every-cycle)
+
+  private:
+    Tick last_ = 0;
+};
+
+class CachedEngine : public Clocked
+{
+  public:
+    void tick(Tick now) override;
+    bool busy(Tick now) const override;
+    // Cached earliest wake — no additive "next tick" answer.
+    Tick nextWakeTick() const override { return wakeCache_; }
+
+  private:
+    Tick wakeCache_ = tickNever;
+};
+
+class IdleAwareEngine : public Clocked
+{
+  public:
+    void tick(Tick now) override;
+    bool busy(Tick now) const override;
+    // Branching on idleness is the contract done right.
+    Tick nextWakeTick() const override
+    {
+        return pending_ ? wakeAt_ : tickNever;
+    }
+
+  private:
+    bool pending_ = false;
+    Tick wakeAt_ = 0;
+};
+
+class OutOfLineEngine : public Clocked
+{
+  public:
+    void tick(Tick now) override;
+    bool busy(Tick now) const override;
+    Tick nextWakeTick() const override;
+
+  private:
+    Tick now_ = 0;
+};
+
+Tick
+OutOfLineEngine::nextWakeTick() const // simlint: expect(tick-every-cycle)
+{
+    return now_ + 1;
+}
+
+class SpinEngine : public Clocked
+{
+  public:
+    void tick(Tick now) override;
+    bool busy(Tick now) const override;
+    // Deliberate busy-spin component (a watchdog test double).
+    // simlint: allow(tick-every-cycle)
+    Tick nextWakeTick() const override { return now_ + 1; }
+
+  private:
+    Tick now_ = 0;
+};
+
+class NotAComponent
+{
+  public:
+    // No base list, not the Clocked contract: out of scope.
+    Tick nextWakeTick() const { return last_ + 1; }
+
+  private:
+    Tick last_ = 0;
+};
+
+Tick
+probe(const Clocked &c)
+{
+    // A *call* is never a finding.
+    return c.nextWakeTick() + 1;
+}

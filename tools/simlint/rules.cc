@@ -687,6 +687,88 @@ ruleSwallowedSimError(const LexedFile &f, const Analysis &a,
     }
 }
 
+/**
+ * tick-every-cycle: a Clocked component's nextWakeTick() is the
+ * event-driven scheduler's only lever — a body that unconditionally
+ * answers "the very next tick" (no branch, never tickNever, returns
+ * an expression built with '+') degrades the whole simulation back
+ * to per-tick polling of that component. Wakes must be derived from
+ * real component state: a cached earliest-wake tick, or tickNever
+ * when idle.
+ */
+void
+ruleTickEveryCycle(const LexedFile &f, const Analysis &a,
+                   FindingSink &out)
+{
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].isIdent() || toks[i].text != "nextWakeTick" ||
+            !toks[i + 1].is("("))
+            continue;
+        // Definition context only: inline in a class that derives
+        // from something (the Clocked pattern), or an out-of-line
+        // qualified member (`Engine::nextWakeTick`). Calls are
+        // preceded by '.' / '->' and never grow a body anyway.
+        bool inDerivedClass = false;
+        const int si = a.innermost[i];
+        if (si >= 0 &&
+            a.spans[si].kind == Span::Kind::Class &&
+            a.spans[si].hasBaseList)
+            inDerivedClass = true;
+        const bool qualified =
+            i >= 2 && toks[i - 1].is("::") && toks[i - 2].isIdent();
+        if (!inDerivedClass && !qualified)
+            continue;
+        const std::size_t close = matchParenFwd(toks, i + 1);
+        if (close == static_cast<std::size_t>(-1))
+            continue;
+        // Skip trailing qualifiers to the body; a ';' first means a
+        // declaration (or a call expression) — nothing to inspect.
+        std::size_t open = close + 1;
+        while (open < toks.size() &&
+               isAnyOf(toks[open],
+                       {"const", "override", "final", "noexcept"}))
+            ++open;
+        if (open >= toks.size() || !toks[open].is("{"))
+            continue;
+        // The body unconditionally schedules the next tick when it
+        // never branches, never mentions tickNever, and its return
+        // value is additive ("now + 1" and friends).
+        int depth = 0;
+        bool conditional = false;
+        bool additiveReturn = false;
+        bool inReturn = false;
+        std::size_t j = open;
+        for (; j < toks.size(); ++j) {
+            const Token &t = toks[j];
+            if (t.is("{"))
+                ++depth;
+            else if (t.is("}") && --depth == 0)
+                break;
+            else if (isAnyOf(t, {"if", "switch", "while", "for"}) ||
+                     t.is("?") || t.is("tickNever"))
+                conditional = true;
+            else if (t.is("return"))
+                inReturn = true;
+            else if (t.is(";"))
+                inReturn = false;
+            else if (inReturn &&
+                     t.text.find('+') != std::string::npos)
+                additiveReturn = true;
+        }
+        if (!conditional && additiveReturn) {
+            addFinding(out, f, toks[i].line, "tick-every-cycle",
+                       "nextWakeTick() unconditionally returns the "
+                       "next tick, degrading the event-driven "
+                       "scheduler to per-tick polling of this "
+                       "component; derive the wake from component "
+                       "state (cache the earliest wake, return "
+                       "tickNever when idle)");
+        }
+        i = j;
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -727,6 +809,11 @@ ruleRegistry()
          "as a function local (registers with its StatGroup after "
          "the simulation started, unregisters at scope exit)",
          true},
+        {"tick-every-cycle",
+         "nextWakeTick() body that unconditionally returns the next "
+         "tick (no branch, no tickNever) — degrades the event-driven "
+         "scheduler to per-tick polling of the component",
+         false},
     };
     return registry;
 }
@@ -743,6 +830,7 @@ runRules(const LexedFile &file, bool treatAsSrc)
     ruleNondeterminism(file, a, found);
     ruleUnorderedIteration(file, a, found);
     ruleMissingOverride(file, a, found);
+    ruleTickEveryCycle(file, a, found);
     if (inSrc) {
         ruleDirectOutput(file, a, found);
         ruleRawStatCounter(file, a, found);

@@ -13,8 +13,14 @@
  * two artifacts are written by different code paths, so agreement is
  * a real invariant, not a tautology.
  *
+ * With --bench it instead reads a perf_core self-timing artifact
+ * (BENCH_core.json) and prints the per-workload scheduler speedup
+ * table, so simulator-performance trends are greppable next to the
+ * figure artifacts.
+ *
  *   trend <artifact.csv> [<artifact.failures.json>]
  *   trend --check <artifact.csv> [<artifact.failures.json>]
+ *   trend --bench <BENCH_core.json>
  *   trend --self-test
  */
 
@@ -188,6 +194,93 @@ parseFailuresJson(const std::string &doc)
     return out;
 }
 
+struct BenchEntry
+{
+    std::string label;
+    std::string simTicks;
+    std::string pollingSec;
+    std::string eventSec;
+    std::string speedup;
+};
+
+/**
+ * Pull the per-workload timings out of a perf_core BENCH_core.json.
+ * Same tolerant scanning approach as parseFailuresJson: the
+ * artifact's shape is fixed, one object per workload.
+ */
+std::vector<BenchEntry>
+parseBenchJson(const std::string &doc)
+{
+    std::vector<BenchEntry> out;
+    auto valueAfter = [&](std::size_t from, const char *key,
+                          std::size_t end) -> std::string {
+        const std::string k = std::string("\"") + key + "\": ";
+        std::size_t p = doc.find(k, from);
+        if (p == std::string::npos || p >= end)
+            return "";
+        p += k.size();
+        if (p < doc.size() && doc[p] == '"') {
+            std::string v;
+            for (std::size_t i = p + 1;
+                 i < doc.size() && doc[i] != '"'; ++i)
+                v.push_back(doc[i]);
+            return v;
+        }
+        std::string v;
+        while (p < doc.size() &&
+               (std::isdigit(static_cast<unsigned char>(doc[p])) ||
+                doc[p] == '.' || doc[p] == '-' || doc[p] == '+' ||
+                doc[p] == 'e'))
+            v.push_back(doc[p++]);
+        return v;
+    };
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t p = doc.find("{\"label\":", pos);
+        if (p == std::string::npos)
+            break;
+        std::size_t end = doc.find('}', p);
+        if (end == std::string::npos)
+            end = doc.size();
+        BenchEntry e;
+        e.label = valueAfter(p, "label", end);
+        e.simTicks = valueAfter(p, "simTicks", end);
+        e.pollingSec = valueAfter(p, "pollingSec", end);
+        e.eventSec = valueAfter(p, "eventSec", end);
+        e.speedup = valueAfter(p, "speedup", end);
+        out.push_back(std::move(e));
+        pos = end;
+    }
+    return out;
+}
+
+/** Print the scheduler-speedup table of a perf_core artifact. */
+void
+printBench(const std::vector<BenchEntry> &entries)
+{
+    std::size_t wLabel = 8;
+    for (const auto &e : entries)
+        wLabel = std::max(wLabel, e.label.size());
+    std::printf("%-*s %12s %10s %10s %8s\n",
+                static_cast<int>(wLabel), "workload", "sim ticks",
+                "polling s", "event s", "speedup");
+    double worst = 0;
+    bool first = true;
+    for (const auto &e : entries) {
+        std::printf("%-*s %12s %10s %10s %7sx\n",
+                    static_cast<int>(wLabel), e.label.c_str(),
+                    e.simTicks.c_str(), e.pollingSec.c_str(),
+                    e.eventSec.c_str(), e.speedup.c_str());
+        const double s = std::atof(e.speedup.c_str());
+        if (first || s < worst) {
+            worst = s;
+            first = false;
+        }
+    }
+    std::printf("\n%zu workloads, worst speedup %.2fx\n",
+                entries.size(), worst);
+}
+
 /** Print the per-run trend table and summary for @p rows. */
 void
 printTrend(const std::vector<Row> &rows)
@@ -324,6 +417,30 @@ selfTest()
     expect(checkConsistency(rows, parseFailuresJson(bad)) == 3,
            "inconsistent artifacts counted");
 
+    // perf_core artifact parsing (--bench mode).
+    const std::string bench =
+        "{\n  \"bench\": \"perf_core\",\n  \"schema\": 1,\n"
+        "  \"scale\": 0.05,\n  \"workloads\": [\n"
+        "    {\"label\": \"BFS/GTX980/delaunay/gpu-only@0.02\", "
+        "\"simTicks\": 1938563, \"pollingSec\": 0.117000, "
+        "\"eventSec\": 0.051000, \"speedup\": 2.294, "
+        "\"eventTicksPerSec\": 38011039},\n"
+        "    {\"label\": \"PR/GTX980/cond/scu-basic@0.05\", "
+        "\"simTicks\": 107282, \"pollingSec\": 0.020000, "
+        "\"eventSec\": 0.018000, \"speedup\": 1.111, "
+        "\"eventTicksPerSec\": 5960111}\n  ]\n}\n";
+    auto entries = parseBenchJson(bench);
+    expect(entries.size() == 2, "two bench workloads");
+    expect(entries[0].label == "BFS/GTX980/delaunay/gpu-only@0.02",
+           "bench label surfaced");
+    expect(entries[0].simTicks == "1938563",
+           "bench simTicks surfaced");
+    expect(entries[1].speedup == "1.111", "bench speedup surfaced");
+    expect(entries[1].eventSec == "0.018000",
+           "bench eventSec surfaced");
+    expect(parseBenchJson("{}").empty(),
+           "workload-free bench JSON parses empty");
+
     std::printf("trend self-test %s\n", failed ? "FAILED" : "OK");
     return failed ? 1 : 0;
 }
@@ -334,8 +451,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--check] <artifact.csv> "
                  "[<artifact.failures.json>]\n"
+                 "       %s --bench <BENCH_core.json>\n"
                  "       %s --self-test\n",
-                 argv0, argv0);
+                 argv0, argv0, argv0);
     return 2;
 }
 
@@ -345,6 +463,7 @@ int
 main(int argc, char **argv)
 {
     bool check = false;
+    bool benchMode = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -352,13 +471,35 @@ main(int argc, char **argv)
             return selfTest();
         if (a == "--check")
             check = true;
+        else if (a == "--bench")
+            benchMode = true;
         else if (!a.empty() && a[0] == '-')
             return usage(argv[0]);
         else
             paths.push_back(a);
     }
-    if (paths.empty() || paths.size() > 2)
+    if (paths.empty() || paths.size() > 2 ||
+        (benchMode && (check || paths.size() != 1)))
         return usage(argv[0]);
+
+    if (benchMode) {
+        std::ifstream bs(paths[0]);
+        if (!bs) {
+            std::fprintf(stderr, "cannot read '%s'\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        std::ostringstream doc;
+        doc << bs.rdbuf();
+        const auto entries = parseBenchJson(doc.str());
+        if (entries.empty()) {
+            std::fprintf(stderr, "'%s' holds no workloads\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        printBench(entries);
+        return 0;
+    }
 
     std::ifstream is(paths[0]);
     if (!is) {

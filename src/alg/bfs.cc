@@ -8,11 +8,20 @@ namespace scusim::alg
 {
 
 BfsRunner::BfsRunner(harness::System &s, const graph::CsrGraph &graph)
-    : sys(s), g(graph), gb(s.addressSpace(), graph),
-      scratch(s.addressSpace(),
+    : BfsRunner(s, 0, graph, nullptr)
+{
+}
+
+BfsRunner::BfsRunner(harness::System &s, DeviceId d,
+                     const graph::CsrGraph &graph,
+                     const graph::GraphPartition *p)
+    : sys(s), dev(d), part(p),
+      frag(p ? &p->fragment(d) : nullptr), g(graph),
+      gb(s.addressSpace(d), graph),
+      scratch(s.addressSpace(d),
               static_cast<std::size_t>(graph.numEdges()) * 2 + 1024)
 {
-    auto &as = sys.addressSpace();
+    auto &as = sys.addressSpace(dev);
     const auto n = static_cast<std::size_t>(g.numNodes());
     const auto ef_cap =
         static_cast<std::size_t>(g.numEdges()) * 2 + 1024;
@@ -24,6 +33,11 @@ BfsRunner::BfsRunner(harness::System &s, const graph::CsrGraph &graph)
     counts.allocate(as, "bfs_counts", ef_cap);
     indexes.allocate(as, "bfs_indexes", ef_cap);
     flags.allocate(as, "bfs_flags", ef_cap);
+    // Remote-injection staging exists only for true multi-fragment
+    // runs so single-fragment address spaces stay byte-identical to
+    // the historical single-device layout.
+    if (part && part->numFragments() > 1)
+        inbox.allocate(as, "bfs_inbox", ef_cap);
     visited.assign(n, 0);
 
     // Best-effort bitmask visibility: marks made by warps racing in
@@ -55,7 +69,8 @@ BfsRunner::prepare(std::size_t nf_n)
             rec.compute(14);
             rec.store(counts.addrOf(t), 4);
             rec.store(indexes.addrOf(t), 4);
-        });
+        },
+        dev);
 }
 
 void
@@ -106,140 +121,245 @@ BfsRunner::contractLookup(std::size_t ef_n, std::uint32_t level)
                 rec.store(dist.addrOf(v), 4);
                 rec.store(visitedBits.addrOf(v / 32), 4);
             }
+        },
+        dev);
+}
+
+void
+BfsRunner::beginRun(const AlgOptions &opt)
+{
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    if (!frag) {
+        fatal_if(opt.source >= g.numNodes(),
+                 "BFS source out of range");
+    } else {
+        fatal_if(opt.source >= part->numNodes(),
+                 "BFS source out of range");
+    }
+
+    // Initialization kernel: dist <- inf, visited <- 0 (memset-like
+    // streaming stores).
+    std::fill(dist.host().begin(), dist.host().end(), infDist);
+    std::fill(visited.begin(), visited.end(), 0);
+    gpuStreamKernel(
+        sys, "bfs_init", gpu::Phase::Processing, n,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.compute(2);
+            rec.store(dist.addrOf(t), 4);
+            if (t % 32 == 0)
+                rec.store(visitedBits.addrOf(t / 32), 4);
+        },
+        dev);
+
+    use_scu = opt.mode != harness::ScuMode::GpuOnly;
+    enhanced = opt.mode == harness::ScuMode::ScuEnhanced;
+    if (use_scu)
+        sys.scuDevice(dev).resetFilterTables();
+
+    nf_n = 0;
+    const bool owned =
+        !frag || part->ownerOf(opt.source) == frag->device;
+    if (owned) {
+        const NodeId src =
+            frag ? part->localOf(opt.source) : opt.source;
+        nodeFrontier[0] = src;
+        visited[src] = 1;
+        dist[src] = 0;
+        nf_n = 1;
+    }
+}
+
+void
+BfsRunner::runLevel(std::uint32_t level, AlgMetrics &m,
+                    std::vector<BoundaryMsg> *outbox)
+{
+    // --- Expansion ---------------------------------------------
+    prepare(nf_n);
+    std::uint64_t produced = 0;
+    for (std::size_t i = 0; i < nf_n; ++i)
+        produced += counts[i];
+    m.rawExpanded += produced;
+    panic_if(produced > edgeFrontier.size(),
+             "edge frontier overflow (%llu > %zu)",
+             static_cast<unsigned long long>(produced),
+             edgeFrontier.size());
+
+    std::size_t ef_n = 0;
+    if (!use_scu) {
+        ExpandOutput out{
+            &edgeFrontier,
+            [&](std::size_t i, std::uint32_t j,
+                gpu::ThreadRecorder &rec) -> std::uint32_t {
+                const std::uint32_t e = indexes[i] + j;
+                rec.load(gb.edges.addrOf(e), 4);
+                return gb.edges[e];
+            }};
+        ef_n = gpuExpand(sys, counts, nf_n, {&out, 1}, scratch,
+                         "bfs_expand", dev);
+    } else {
+        auto &scu = sys.scuDevice(dev);
+        sys.scuSection(dev, [&] {
+            if (enhanced) {
+                // Step 1 (Algorithm 4): generate the filter
+                // vector with an extra expansion pass. The hash
+                // is reconfigured (reset) per operation so the
+                // single Table 2-sized region stays L2-resident;
+                // it removes the intra-frontier duplicates, and
+                // the GPU bitmask handles nodes visited in
+                // earlier iterations.
+                scu.uniqueFilter().reset();
+                std::vector<std::uint8_t> keep;
+                scu::OpOptions o1;
+                o1.writeOutput = false;
+                o1.filterMode = scu::FilterMode::Unique;
+                o1.keepOut = &keep;
+                std::size_t ignore = 0;
+                auto st1 = scu.accessExpansionCompaction(
+                    gb.edges, indexes, counts, nf_n, nullptr,
+                    edgeFrontier, ignore, o1);
+                m.scuFiltered += st1.filtered;
+                // Step 2: the filtered edge frontier.
+                scu::OpOptions o2;
+                o2.keep = &keep;
+                scu.accessExpansionCompaction(
+                    gb.edges, indexes, counts, nf_n, nullptr,
+                    edgeFrontier, ef_n, o2);
+            } else {
+                scu.accessExpansionCompaction(
+                    gb.edges, indexes, counts, nf_n, nullptr,
+                    edgeFrontier, ef_n);
+            }
         });
+    }
+
+    // --- Contraction -------------------------------------------
+    m.gpuEdgeWork += ef_n;
+    contractLookup(ef_n, level);
+
+    std::size_t next_nf = 0;
+    if (!use_scu) {
+        CompactStream s{&edgeFrontier, &nodeFrontier};
+        gpuCompact(sys, {&s, 1}, flags, ef_n, next_nf, scratch,
+                   "bfs_contract_compact", dev);
+    } else {
+        auto &scu = sys.scuDevice(dev);
+        sys.scuSection(dev, [&] {
+            if (enhanced) {
+                // Duplicates that slipped through the expansion
+                // filter (hash collisions) and bitmask races are
+                // removed before they re-enter the frontier.
+                scu.uniqueFilter().reset();
+                std::vector<std::uint8_t> keep;
+                scu::OpOptions o1;
+                o1.writeOutput = false;
+                o1.filterMode = scu::FilterMode::Unique;
+                o1.keepOut = &keep;
+                std::size_t ignore = 0;
+                auto st1 = scu.dataCompaction(
+                    edgeFrontier, ef_n, &flags, nodeFrontier,
+                    ignore, o1);
+                m.scuFiltered += st1.filtered;
+                scu::OpOptions o2;
+                o2.keep = &keep;
+                scu.dataCompaction(edgeFrontier, ef_n, &flags,
+                                   nodeFrontier, next_nf, o2);
+            } else {
+                scu.dataCompaction(edgeFrontier, ef_n, &flags,
+                                   nodeFrontier, next_nf);
+            }
+        });
+    }
+    nf_n = next_nf;
+
+    if (frag && frag->numOuter > 0 && outbox && nf_n > 0)
+        splitBoundary(*outbox);
+}
+
+void
+BfsRunner::splitBoundary(std::vector<BoundaryMsg> &outbox)
+{
+    const std::size_t old_n = nf_n;
+    std::size_t kept = 0;
+    for (std::size_t t = 0; t < old_n; ++t) {
+        const NodeId v = nodeFrontier[t];
+        if (frag->isInner(v)) {
+            nodeFrontier[kept++] = v;
+        } else {
+            outbox.push_back(
+                BoundaryMsg{frag->toGlobal[v], dist[v]});
+        }
+    }
+    nf_n = kept;
+
+    // Timing: one pass over the new frontier comparing each entry
+    // against the inner-vertex bound, repacking survivors.
+    gpuStreamKernel(
+        sys, "bfs_boundary_split", gpu::Phase::Processing, old_n,
+        [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
+            rec.load(nodeFrontier.addrOf(t), 4);
+            rec.compute(8);
+            rec.store(nodeFrontier.addrOf(t), 4);
+        },
+        dev);
+}
+
+void
+BfsRunner::acceptRemote(std::span<const BoundaryMsg> msgs,
+                        std::uint32_t level)
+{
+    if (msgs.empty())
+        return;
+    panic_if(!frag, "acceptRemote on a non-sharded BFS runner");
+
+    std::size_t t = 0;
+    for (const BoundaryMsg &msg : msgs) {
+        const NodeId l = part->localOf(msg.node);
+        inbox[t % inbox.size()] = msg.node;
+        ++t;
+        if (visited[l])
+            continue;
+        visited[l] = 1;
+        dist[l] = msg.value;
+        panic_if(nf_n >= nodeFrontier.size(),
+                 "node frontier overflow on remote inject");
+        nodeFrontier[nf_n++] = l;
+    }
+    (void)level;
+
+    // Timing: one thread per message — load it, probe the bitmask,
+    // conditionally append to the frontier.
+    gpuStreamKernel(
+        sys, "bfs_inject_remote", gpu::Phase::Processing, msgs.size(),
+        [&](std::uint64_t i, gpu::ThreadRecorder &rec) {
+            rec.load(inbox.addrOf(i % inbox.size()), 8);
+            const NodeId l = part->localOf(msgs[i].node);
+            rec.load(visitedBits.addrOf(l / 32), 4);
+            rec.compute(12);
+            rec.store(dist.addrOf(l), 4);
+            rec.store(visitedBits.addrOf(l / 32), 4);
+        },
+        dev);
+}
+
+void
+BfsRunner::collect(std::vector<std::uint32_t> &globalDist) const
+{
+    panic_if(!frag, "collect on a non-sharded BFS runner");
+    for (NodeId l = 0; l < frag->numInner; ++l)
+        globalDist[frag->toGlobal[l]] = dist[l];
 }
 
 BfsResult
 BfsRunner::run(const AlgOptions &opt)
 {
     BfsResult res;
-    const auto n = static_cast<std::size_t>(g.numNodes());
-    fatal_if(opt.source >= g.numNodes(), "BFS source out of range");
+    beginRun(opt);
 
-    // Initialization kernel: dist <- inf, visited <- 0 (memset-like
-    // streaming stores).
-    std::fill(dist.host().begin(), dist.host().end(), infDist);
-    std::fill(visited.begin(), visited.end(), 0);
-    gpuStreamKernel(sys, "bfs_init", gpu::Phase::Processing, n,
-                    [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
-                        rec.compute(2);
-                        rec.store(dist.addrOf(t), 4);
-                        if (t % 32 == 0)
-                            rec.store(visitedBits.addrOf(t / 32), 4);
-                    });
-
-    const bool use_scu = opt.mode != harness::ScuMode::GpuOnly;
-    const bool enhanced = opt.mode == harness::ScuMode::ScuEnhanced;
-    if (use_scu)
-        sys.scuDevice().resetFilterTables();
-
-    nodeFrontier[0] = opt.source;
-    visited[opt.source] = 1;
-    dist[opt.source] = 0;
-    std::size_t nf_n = 1;
     std::uint32_t level = 0;
-
     while (nf_n > 0 && level < opt.maxIterations) {
         ++level;
         ++res.metrics.iterations;
-
-        // --- Expansion -----------------------------------------
-        prepare(nf_n);
-        std::uint64_t produced = 0;
-        for (std::size_t i = 0; i < nf_n; ++i)
-            produced += counts[i];
-        res.metrics.rawExpanded += produced;
-        panic_if(produced > edgeFrontier.size(),
-                 "edge frontier overflow (%llu > %zu)",
-                 static_cast<unsigned long long>(produced),
-                 edgeFrontier.size());
-
-        std::size_t ef_n = 0;
-        if (!use_scu) {
-            ExpandOutput out{
-                &edgeFrontier,
-                [&](std::size_t i, std::uint32_t j,
-                    gpu::ThreadRecorder &rec) -> std::uint32_t {
-                    const std::uint32_t e = indexes[i] + j;
-                    rec.load(gb.edges.addrOf(e), 4);
-                    return gb.edges[e];
-                }};
-            ef_n = gpuExpand(sys, counts, nf_n, {&out, 1}, scratch,
-                             "bfs_expand");
-        } else {
-            auto &scu = sys.scuDevice();
-            sys.scuSection([&] {
-                if (enhanced) {
-                    // Step 1 (Algorithm 4): generate the filter
-                    // vector with an extra expansion pass. The hash
-                    // is reconfigured (reset) per operation so the
-                    // single Table 2-sized region stays L2-resident;
-                    // it removes the intra-frontier duplicates, and
-                    // the GPU bitmask handles nodes visited in
-                    // earlier iterations.
-                    scu.uniqueFilter().reset();
-                    std::vector<std::uint8_t> keep;
-                    scu::OpOptions o1;
-                    o1.writeOutput = false;
-                    o1.filterMode = scu::FilterMode::Unique;
-                    o1.keepOut = &keep;
-                    std::size_t ignore = 0;
-                    auto st1 = scu.accessExpansionCompaction(
-                        gb.edges, indexes, counts, nf_n, nullptr,
-                        edgeFrontier, ignore, o1);
-                    res.metrics.scuFiltered += st1.filtered;
-                    // Step 2: the filtered edge frontier.
-                    scu::OpOptions o2;
-                    o2.keep = &keep;
-                    scu.accessExpansionCompaction(
-                        gb.edges, indexes, counts, nf_n, nullptr,
-                        edgeFrontier, ef_n, o2);
-                } else {
-                    scu.accessExpansionCompaction(
-                        gb.edges, indexes, counts, nf_n, nullptr,
-                        edgeFrontier, ef_n);
-                }
-            });
-        }
-
-        // --- Contraction ---------------------------------------
-        res.metrics.gpuEdgeWork += ef_n;
-        contractLookup(ef_n, level);
-
-        std::size_t next_nf = 0;
-        if (!use_scu) {
-            CompactStream s{&edgeFrontier, &nodeFrontier};
-            gpuCompact(sys, {&s, 1}, flags, ef_n, next_nf, scratch,
-                       "bfs_contract_compact");
-        } else {
-            auto &scu = sys.scuDevice();
-            sys.scuSection([&] {
-                if (enhanced) {
-                    // Duplicates that slipped through the expansion
-                    // filter (hash collisions) and bitmask races are
-                    // removed before they re-enter the frontier.
-                    scu.uniqueFilter().reset();
-                    std::vector<std::uint8_t> keep;
-                    scu::OpOptions o1;
-                    o1.writeOutput = false;
-                    o1.filterMode = scu::FilterMode::Unique;
-                    o1.keepOut = &keep;
-                    std::size_t ignore = 0;
-                    auto st1 = scu.dataCompaction(
-                        edgeFrontier, ef_n, &flags, nodeFrontier,
-                        ignore, o1);
-                    res.metrics.scuFiltered += st1.filtered;
-                    scu::OpOptions o2;
-                    o2.keep = &keep;
-                    scu.dataCompaction(edgeFrontier, ef_n, &flags,
-                                       nodeFrontier, next_nf, o2);
-                } else {
-                    scu.dataCompaction(edgeFrontier, ef_n, &flags,
-                                       nodeFrontier, next_nf);
-                }
-            });
-        }
-        nf_n = next_nf;
+        runLevel(level, res.metrics, nullptr);
     }
 
     res.dist.assign(dist.host().begin(), dist.host().end());

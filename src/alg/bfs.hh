@@ -3,17 +3,27 @@
  * Breadth-First Search on the simulated system, following the
  * Merrill-style expand/contract structure of Section 2.1 with the
  * SCU offloads of Sections 3.3 (basic) and 4.4 (enhanced).
+ *
+ * The runner exposes two granularities: run() executes a complete
+ * single-device BFS, and the beginRun()/runLevel()/acceptRemote()
+ * step API lets the sharded driver (alg/sharded.cc) advance one
+ * fragment per device in lockstep, exchanging boundary discoveries
+ * between levels. run() is itself written on top of the step API, so
+ * the single-device path and a one-fragment sharded run execute the
+ * same code.
  */
 
 #ifndef SCUSIM_ALG_BFS_HH
 #define SCUSIM_ALG_BFS_HH
 
+#include <span>
 #include <vector>
 
 #include "alg/graph_buffers.hh"
 #include "alg/gpu_primitives.hh"
 #include "alg/options.hh"
 #include "graph/csr.hh"
+#include "graph/partition.hh"
 #include "harness/system.hh"
 
 namespace scusim::alg
@@ -34,7 +44,40 @@ class BfsRunner
   public:
     BfsRunner(harness::System &sys, const graph::CsrGraph &g);
 
+    /**
+     * Fragment-aware runner for device @p dev of a sharded system:
+     * @p g must be @p part's fragment CSR for that device. Ghost
+     * vertices act as a local dedup cache; discoveries that land on
+     * them are split out of the frontier and returned as boundary
+     * messages.
+     */
+    BfsRunner(harness::System &sys, DeviceId dev,
+              const graph::CsrGraph &g,
+              const graph::GraphPartition *part);
+
     BfsResult run(const AlgOptions &opt);
+
+    // --- Step API for the sharded driver -----------------------
+
+    /** Reset state and seed the source (if owned locally). */
+    void beginRun(const AlgOptions &opt);
+
+    bool frontierEmpty() const { return nf_n == 0; }
+
+    /**
+     * One expand/contract level. New frontier entries that are ghost
+     * vertices are removed and reported into @p outbox (global ids);
+     * pass nullptr outside sharded multi-device runs.
+     */
+    void runLevel(std::uint32_t level, AlgMetrics &m,
+                  std::vector<BoundaryMsg> *outbox);
+
+    /** Inject remotely discovered owned vertices at @p level. */
+    void acceptRemote(std::span<const BoundaryMsg> msgs,
+                      std::uint32_t level);
+
+    /** Scatter this fragment's inner distances into @p globalDist. */
+    void collect(std::vector<std::uint32_t> &globalDist) const;
 
   private:
     /** GPU preparation kernel: counts/indexes from the frontier. */
@@ -43,7 +86,13 @@ class BfsRunner
     /** GPU contraction status-lookup kernel; fills flags. */
     void contractLookup(std::size_t ef_n, std::uint32_t level);
 
+    /** Strip ghosts out of the new frontier into @p outbox. */
+    void splitBoundary(std::vector<BoundaryMsg> &outbox);
+
     harness::System &sys;
+    DeviceId dev = 0;
+    const graph::GraphPartition *part = nullptr;
+    const graph::Fragment *frag = nullptr;
     const graph::CsrGraph &g;
     GraphBuffers gb;
     CompactionScratch scratch;
@@ -55,12 +104,17 @@ class BfsRunner
     Elems counts;
     Elems indexes;
     Flags flags;
+    Elems inbox; ///< staging for remote injections (sharded only)
 
     std::vector<std::uint8_t> visited; ///< functional visited set
     /** Best-effort bitmask race window (threads in flight). */
     std::size_t raceWindow;
     /** Warp/history culling hash (Merrill), per contraction pass. */
     std::vector<NodeId> cullTable;
+
+    std::size_t nf_n = 0;   ///< current frontier population
+    bool use_scu = false;
+    bool enhanced = false;
 };
 
 } // namespace scusim::alg

@@ -17,14 +17,15 @@ gpu::KernelStats
 gpuStreamKernel(harness::System &sys, const std::string &name,
                 gpu::Phase phase, std::uint64_t threads,
                 std::function<void(std::uint64_t,
-                                   gpu::ThreadRecorder &)> body)
+                                   gpu::ThreadRecorder &)> body,
+                DeviceId dev)
 {
     gpu::KernelLaunch k;
     k.name = name;
     k.phase = phase;
     k.numThreads = threads;
     k.body = std::move(body);
-    return sys.gpuDevice().launch(k);
+    return sys.gpuDevice(dev).launch(k);
 }
 
 /**
@@ -38,7 +39,8 @@ gpuScan(harness::System &sys, std::size_t n,
         CompactionScratch &scratch, const std::string &name,
         const std::function<void(std::uint64_t,
                                  gpu::ThreadRecorder &)> &load_input,
-        const std::function<std::uint32_t(std::size_t)> &value_of)
+        const std::function<std::uint32_t(std::size_t)> &value_of,
+        DeviceId dev)
 {
     // Functional exclusive scan.
     std::uint32_t running = 0;
@@ -59,7 +61,8 @@ gpuScan(harness::System &sys, std::size_t n,
             rec.store(scratch.scanned.addrOf(t), 4);
             if (t % scanBlock == scanBlock - 1 || t == n - 1)
                 rec.store(scratch.blockSums.addrOf(t / scanBlock), 4);
-        });
+        },
+        dev);
 
     // Kernel 2: scan of the per-block sums + propagation. One thread
     // per block: loads its block sum, adds the running offset and
@@ -71,14 +74,16 @@ gpuScan(harness::System &sys, std::size_t n,
             rec.load(scratch.blockSums.addrOf(t), 4);
             rec.compute(12);
             rec.store(scratch.blockSums.addrOf(t), 4);
-        });
+        },
+        dev);
 }
 
 std::size_t
 gpuCompact(harness::System &sys,
            std::span<const CompactStream> streams, const Flags &flags,
            std::size_t n, std::size_t &out_n,
-           CompactionScratch &scratch, const std::string &name)
+           CompactionScratch &scratch, const std::string &name,
+           DeviceId dev)
 {
     panic_if(streams.empty(), "gpuCompact with no streams");
     panic_if(scratch.scanned.size() < n + 1,
@@ -92,7 +97,8 @@ gpuCompact(harness::System &sys,
         },
         [&](std::size_t i) -> std::uint32_t {
             return flags[i] ? 1 : 0;
-        });
+        },
+        dev);
 
     // Scatter kernel: every flagged element copies each stream's
     // value to the packed position.
@@ -113,7 +119,8 @@ gpuCompact(harness::System &sys,
                 (*s.out)[pos] = (*s.in)[t];
                 rec.store(s.out->addrOf(pos), 4);
             }
-        });
+        },
+        dev);
 
     const std::size_t kept = scratch.scanned[n];
     out_n += kept;
@@ -123,7 +130,8 @@ gpuCompact(harness::System &sys,
 std::size_t
 gpuExpand(harness::System &sys, const Elems &counts, std::size_t n,
           std::span<const ExpandOutput> outputs,
-          CompactionScratch &scratch, const std::string &name)
+          CompactionScratch &scratch, const std::string &name,
+          DeviceId dev)
 {
     panic_if(outputs.empty(), "gpuExpand with no outputs");
     panic_if(scratch.scanned.size() < n + 1,
@@ -134,7 +142,8 @@ gpuExpand(harness::System &sys, const Elems &counts, std::size_t n,
         [&](std::uint64_t t, gpu::ThreadRecorder &rec) {
             rec.load(counts.addrOf(t), 4);
         },
-        [&](std::size_t i) -> std::uint32_t { return counts[i]; });
+        [&](std::size_t i) -> std::uint32_t { return counts[i]; },
+        dev);
 
     const std::size_t total = scratch.scanned[n];
 
@@ -172,7 +181,8 @@ gpuExpand(harness::System &sys, const Elems &counts, std::size_t n,
                 (*o.out)[t] = v;
                 rec.store(o.out->addrOf(t), 4);
             }
-        });
+        },
+        dev);
 
     return total;
 }

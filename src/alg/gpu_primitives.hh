@@ -47,7 +47,8 @@ gpu::KernelStats
 gpuStreamKernel(harness::System &sys, const std::string &name,
                 gpu::Phase phase, std::uint64_t threads,
                 std::function<void(std::uint64_t,
-                                   gpu::ThreadRecorder &)> body);
+                                   gpu::ThreadRecorder &)> body,
+                DeviceId dev = 0);
 
 /** One input/output pair of a multi-stream compaction. */
 struct CompactStream
@@ -68,7 +69,7 @@ std::size_t gpuCompact(harness::System &sys,
                        std::span<const CompactStream> streams,
                        const Flags &flags, std::size_t n,
                        std::size_t &out_n, CompactionScratch &scratch,
-                       const std::string &name);
+                       const std::string &name, DeviceId dev = 0);
 
 /** One output stream of a GPU expansion. */
 struct ExpandOutput
@@ -95,7 +96,7 @@ std::size_t gpuExpand(harness::System &sys, const Elems &counts,
                       std::size_t n,
                       std::span<const ExpandOutput> outputs,
                       CompactionScratch &scratch,
-                      const std::string &name);
+                      const std::string &name, DeviceId dev = 0);
 
 } // namespace scusim::alg
 

@@ -26,6 +26,17 @@ struct AlgOptions
     std::uint32_t ssspDelta = 0;
 };
 
+/**
+ * One boundary-vertex update crossing devices in a sharded run: a
+ * global node id plus a primitive-specific 32-bit payload (BFS level,
+ * SSSP tentative distance, PageRank contribution bits).
+ */
+struct BoundaryMsg
+{
+    NodeId node = 0;
+    std::uint32_t value = 0;
+};
+
 /** Work metrics accumulated by a run. */
 struct AlgMetrics
 {

@@ -1,0 +1,284 @@
+#include "alg/sharded.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "mem/interconnect.hh"
+
+namespace scusim::alg
+{
+
+namespace
+{
+
+/** Per-message wire size: global node id + one payload word. */
+constexpr unsigned msgBytes = 8;
+
+/**
+ * Barrier exchange: push every outbox message onto the modeled
+ * interconnect (stalling on link back-pressure), advance the
+ * simulation until everything is delivered, then sort the arrivals
+ * into per-device inboxes. No-op (and no simulated time) when no
+ * device has anything to say.
+ */
+void
+exchange(harness::System &sys, const graph::GraphPartition &part,
+         std::vector<std::vector<BoundaryMsg>> &outbox,
+         std::vector<std::vector<BoundaryMsg>> &inbox)
+{
+    const unsigned numDev = sys.deviceCount();
+    for (auto &in : inbox)
+        in.clear();
+
+    std::size_t total = 0;
+    for (const auto &out : outbox)
+        total += out.size();
+    if (total == 0)
+        return;
+
+    auto &icn = sys.interconnect();
+    auto &sim = sys.simulation();
+    for (DeviceId d = 0; d < numDev; ++d) {
+        for (const BoundaryMsg &m : outbox[d]) {
+            const DeviceId dst = part.ownerOf(m.node);
+            panic_if(dst == d,
+                     "boundary message %u addressed to its sender",
+                     m.node);
+            while (!icn.canSend(d, dst))
+                sim.step(1);
+            icn.send(mem::IcnMessage{d, dst, m.node, m.value,
+                                     msgBytes},
+                     sim.now());
+        }
+        outbox[d].clear();
+    }
+    sim.run();
+    for (DeviceId d = 0; d < numDev; ++d) {
+        for (const mem::IcnMessage &m : icn.drain(d))
+            inbox[d].push_back(BoundaryMsg{m.a, m.b});
+    }
+}
+
+/** Sum per-device work metrics into the aggregate result. */
+void
+aggregate(const std::vector<AlgMetrics> &perDev, AlgMetrics &agg,
+          std::vector<AlgMetrics> *perDeviceOut)
+{
+    for (const AlgMetrics &m : perDev) {
+        agg.gpuEdgeWork += m.gpuEdgeWork;
+        agg.rawExpanded += m.rawExpanded;
+        agg.scuFiltered += m.scuFiltered;
+    }
+    if (perDeviceOut)
+        *perDeviceOut = perDev;
+}
+
+} // namespace
+
+BfsResult
+shardedBfs(harness::System &sys, const graph::GraphPartition &part,
+           const AlgOptions &opt,
+           std::vector<AlgMetrics> *perDevice)
+{
+    const unsigned numDev = sys.deviceCount();
+    fatal_if(part.numFragments() != numDev,
+             "partition has %u fragments for %u devices",
+             part.numFragments(), numDev);
+
+    std::vector<std::unique_ptr<BfsRunner>> runners;
+    for (DeviceId d = 0; d < numDev; ++d) {
+        runners.push_back(std::make_unique<BfsRunner>(
+            sys, d, part.fragment(d).csr, &part));
+    }
+
+    BfsResult res;
+    std::vector<AlgMetrics> met(numDev);
+    std::vector<std::vector<BoundaryMsg>> outbox(numDev);
+    std::vector<std::vector<BoundaryMsg>> inbox(numDev);
+    const bool multi = numDev > 1;
+
+    for (DeviceId d = 0; d < numDev; ++d)
+        runners[d]->beginRun(opt);
+
+    auto anyFrontier = [&] {
+        for (DeviceId d = 0; d < numDev; ++d) {
+            if (!runners[d]->frontierEmpty())
+                return true;
+        }
+        return false;
+    };
+
+    std::uint32_t level = 0;
+    while (anyFrontier() && level < opt.maxIterations) {
+        ++level;
+        ++res.metrics.iterations;
+        for (DeviceId d = 0; d < numDev; ++d) {
+            if (runners[d]->frontierEmpty())
+                continue;
+            ++met[d].iterations;
+            runners[d]->runLevel(level, met[d],
+                                 multi ? &outbox[d] : nullptr);
+        }
+        if (multi) {
+            exchange(sys, part, outbox, inbox);
+            for (DeviceId d = 0; d < numDev; ++d)
+                runners[d]->acceptRemote(inbox[d], level);
+        }
+    }
+
+    res.dist.assign(part.numNodes(), infDist);
+    for (DeviceId d = 0; d < numDev; ++d)
+        runners[d]->collect(res.dist);
+    aggregate(met, res.metrics, perDevice);
+    return res;
+}
+
+SsspResult
+shardedSssp(harness::System &sys, const graph::CsrGraph &g,
+            const graph::GraphPartition &part, const AlgOptions &opt,
+            std::vector<AlgMetrics> *perDevice)
+{
+    const unsigned numDev = sys.deviceCount();
+    fatal_if(part.numFragments() != numDev,
+             "partition has %u fragments for %u devices",
+             part.numFragments(), numDev);
+
+    // Fragment-local average weights diverge between devices, so the
+    // near/far delta is fixed globally up front (same formula the
+    // plain runner applies to the whole graph).
+    AlgOptions o = opt;
+    if (o.ssspDelta == 0) {
+        double avg = 0;
+        for (auto w : g.weightArray())
+            avg += w;
+        avg = g.numEdges() ? avg / static_cast<double>(g.numEdges())
+                           : 1.0;
+        o.ssspDelta = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(avg * 4.0));
+    }
+
+    std::vector<std::unique_ptr<SsspRunner>> runners;
+    for (DeviceId d = 0; d < numDev; ++d) {
+        runners.push_back(std::make_unique<SsspRunner>(
+            sys, d, part.fragment(d).csr, &part));
+    }
+
+    SsspResult res;
+    std::vector<AlgMetrics> met(numDev);
+    std::vector<std::vector<BoundaryMsg>> outbox(numDev);
+    std::vector<std::vector<BoundaryMsg>> inbox(numDev);
+    const bool multi = numDev > 1;
+
+    for (DeviceId d = 0; d < numDev; ++d)
+        runners[d]->beginRun(o);
+
+    auto anyNear = [&] {
+        for (DeviceId d = 0; d < numDev; ++d) {
+            if (!runners[d]->nearEmpty())
+                return true;
+        }
+        return false;
+    };
+    auto allFarEmpty = [&] {
+        for (DeviceId d = 0; d < numDev; ++d) {
+            if (!runners[d]->farEmpty())
+                return false;
+        }
+        return true;
+    };
+
+    unsigned iters = 0;
+    while (iters < o.maxIterations) {
+        // ------- Near phase: drain every node frontier -----------
+        while (anyNear() && iters < o.maxIterations) {
+            ++iters;
+            ++res.metrics.iterations;
+            for (DeviceId d = 0; d < numDev; ++d) {
+                if (runners[d]->nearEmpty())
+                    continue;
+                ++met[d].iterations;
+                runners[d]->nearIteration(
+                    met[d], multi ? &outbox[d] : nullptr);
+            }
+            if (multi) {
+                exchange(sys, part, outbox, inbox);
+                for (DeviceId d = 0; d < numDev; ++d)
+                    runners[d]->acceptRemote(inbox[d]);
+            }
+        }
+
+        if (!anyNear() && allFarEmpty())
+            break;
+
+        // ------- Far phase: raise the threshold and re-split -----
+        for (DeviceId d = 0; d < numDev; ++d)
+            runners[d]->advanceThreshold();
+        if (allFarEmpty())
+            continue;
+        for (DeviceId d = 0; d < numDev; ++d) {
+            if (!runners[d]->farEmpty())
+                runners[d]->farPhase(met[d]);
+        }
+    }
+
+    res.dist.assign(part.numNodes(), infDist);
+    for (DeviceId d = 0; d < numDev; ++d)
+        runners[d]->collect(res.dist);
+    aggregate(met, res.metrics, perDevice);
+    return res;
+}
+
+PrResult
+shardedPr(harness::System &sys, const graph::GraphPartition &part,
+          const AlgOptions &opt, std::vector<AlgMetrics> *perDevice)
+{
+    const unsigned numDev = sys.deviceCount();
+    fatal_if(part.numFragments() != numDev,
+             "partition has %u fragments for %u devices",
+             part.numFragments(), numDev);
+
+    std::vector<std::unique_ptr<PageRankRunner>> runners;
+    for (DeviceId d = 0; d < numDev; ++d) {
+        runners.push_back(std::make_unique<PageRankRunner>(
+            sys, d, part.fragment(d).csr, &part));
+    }
+
+    PrResult res;
+    std::vector<AlgMetrics> met(numDev);
+    std::vector<std::vector<BoundaryMsg>> outbox(numDev);
+    std::vector<std::vector<BoundaryMsg>> inbox(numDev);
+    const bool multi = numDev > 1;
+
+    for (DeviceId d = 0; d < numDev; ++d)
+        runners[d]->beginRun(opt);
+
+    for (unsigned it = 0; it < opt.prMaxIterations; ++it) {
+        ++res.metrics.iterations;
+        for (DeviceId d = 0; d < numDev; ++d) {
+            ++met[d].iterations;
+            runners[d]->iterate(met[d],
+                                multi ? &outbox[d] : nullptr);
+        }
+        if (multi) {
+            exchange(sys, part, outbox, inbox);
+            for (DeviceId d = 0; d < numDev; ++d)
+                runners[d]->acceptRemote(inbox[d]);
+        }
+        float max_delta = 0.0f;
+        for (DeviceId d = 0; d < numDev; ++d)
+            max_delta = std::max(max_delta, runners[d]->dampen());
+        if (max_delta < static_cast<float>(opt.prEpsilon)) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    res.ranks.assign(part.numNodes(), 0.0f);
+    for (DeviceId d = 0; d < numDev; ++d)
+        runners[d]->collect(res.ranks);
+    aggregate(met, res.metrics, perDevice);
+    return res;
+}
+
+} // namespace scusim::alg

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sharded multi-device drivers for the three graph primitives. Each
+ * driver partitions iterations into lockstep super-steps: every
+ * device advances its fragment one step, then boundary messages are
+ * exchanged over the modeled interconnect at the barrier. With a
+ * single device the drivers execute exactly the plain runners' loop
+ * (no exchange, no ghost work), which the 1-fragment equivalence
+ * gate pins down byte-for-byte.
+ */
+
+#ifndef SCUSIM_ALG_SHARDED_HH
+#define SCUSIM_ALG_SHARDED_HH
+
+#include <vector>
+
+#include "alg/bfs.hh"
+#include "alg/options.hh"
+#include "alg/pagerank.hh"
+#include "alg/sssp.hh"
+#include "graph/csr.hh"
+#include "graph/partition.hh"
+#include "harness/system.hh"
+
+namespace scusim::alg
+{
+
+/**
+ * Sharded BFS over @p part on @p sys (one fragment per device).
+ * Results are in global ids. @p perDevice, if non-null, receives
+ * each device's work metrics (aggregate metrics land in the result).
+ */
+BfsResult shardedBfs(harness::System &sys,
+                     const graph::GraphPartition &part,
+                     const AlgOptions &opt,
+                     std::vector<AlgMetrics> *perDevice = nullptr);
+
+/**
+ * Sharded SSSP. The near/far threshold is stepped globally: the far
+ * phase starts only when every device's near frontier is drained and
+ * no boundary messages remain in flight.
+ */
+SsspResult shardedSssp(harness::System &sys,
+                       const graph::CsrGraph &g,
+                       const graph::GraphPartition &part,
+                       const AlgOptions &opt,
+                       std::vector<AlgMetrics> *perDevice = nullptr);
+
+/** Sharded PageRank; convergence is decided on the global max
+ *  rank delta reduced across devices. */
+PrResult shardedPr(harness::System &sys,
+                   const graph::GraphPartition &part,
+                   const AlgOptions &opt,
+                   std::vector<AlgMetrics> *perDevice = nullptr);
+
+} // namespace scusim::alg
+
+#endif // SCUSIM_ALG_SHARDED_HH

@@ -4,17 +4,25 @@
  * Davidson et al. near-far work delegation of Section 2.2 with the
  * SCU offloads of Sections 3.4 (basic) and 4.5 (enhanced: best-cost
  * filtering plus grouping).
+ *
+ * Like BFS, the runner is written on top of a step API
+ * (beginRun()/nearIteration()/advanceThreshold()/farPhase()) so the
+ * sharded driver can advance one fragment per device in lockstep,
+ * exchanging boundary relaxations between near iterations; run()
+ * composes the same steps into the original single-device loop.
  */
 
 #ifndef SCUSIM_ALG_SSSP_HH
 #define SCUSIM_ALG_SSSP_HH
 
+#include <span>
 #include <vector>
 
 #include "alg/graph_buffers.hh"
 #include "alg/gpu_primitives.hh"
 #include "alg/options.hh"
 #include "graph/csr.hh"
+#include "graph/partition.hh"
 #include "harness/system.hh"
 
 namespace scusim::alg
@@ -32,19 +40,63 @@ class SsspRunner
   public:
     SsspRunner(harness::System &sys, const graph::CsrGraph &g);
 
+    /**
+     * Fragment-aware runner for device @p dev of a sharded system.
+     * Ghost vertices keep a best-cost cache: a relaxation that
+     * improves a ghost is forwarded to its owner as a boundary
+     * message instead of entering the local frontier. In sharded
+     * runs the driver must pre-compute a global ssspDelta (the
+     * per-fragment average weight would diverge between devices).
+     */
+    SsspRunner(harness::System &sys, DeviceId dev,
+               const graph::CsrGraph &g,
+               const graph::GraphPartition *part);
+
     SsspResult run(const AlgOptions &opt);
+
+    // --- Step API for the sharded driver -----------------------
+
+    /** Reset state, pick delta and seed the source (if owned). */
+    void beginRun(const AlgOptions &opt);
+
+    bool nearEmpty() const { return nf_n == 0; }
+    bool farEmpty() const { return far_n == 0; }
+
+    /**
+     * One near-phase expand/contract/compact iteration. Improving
+     * relaxations that land on ghost vertices are reported into
+     * @p outbox (global id + tentative cost) instead of the local
+     * frontier; pass nullptr outside sharded multi-device runs.
+     */
+    void nearIteration(AlgMetrics &m,
+                       std::vector<BoundaryMsg> *outbox);
+
+    /** Raise the near/far threshold by delta. */
+    void advanceThreshold() { threshold += delta; }
+
+    /** Revalidate and re-split the far pile at the new threshold. */
+    void farPhase(AlgMetrics &m);
+
+    /** Inject remote relaxations against the current threshold. */
+    void acceptRemote(std::span<const BoundaryMsg> msgs);
+
+    /** Scatter this fragment's inner distances into @p globalDist. */
+    void collect(std::vector<std::uint32_t> &globalDist) const;
 
   private:
     /** GPU preparation: counts/indexes/source-distance gather. */
     void prepare(std::size_t nf_n);
 
+    /** Expansion of the current node frontier; returns ef_n. */
+    std::size_t expand(AlgMetrics &m);
+
     /**
      * GPU contraction over the current edge/weight frontier:
      * atomicMin relaxation, lookup-table deduplication and near/far
-     * flag generation.
+     * flag generation. Ghost targets divert into @p outbox.
      */
-    void contract(std::size_t ef_n, std::uint32_t threshold,
-                  AlgMetrics &m);
+    void contract(std::size_t ef_n, AlgMetrics &m,
+                  std::vector<BoundaryMsg> *outbox);
 
     /**
      * GPU far-pile revalidation: drop settled entries, split the
@@ -54,6 +106,9 @@ class SsspRunner
                       bool gpu_dedup);
 
     harness::System &sys;
+    DeviceId dev = 0;
+    const graph::GraphPartition *part = nullptr;
+    const graph::Fragment *frag = nullptr;
     const graph::CsrGraph &g;
     GraphBuffers gb;
     CompactionScratch scratch;
@@ -72,8 +127,16 @@ class SsspRunner
     Elems lookupTable;   ///< one entry per node (GPU dedup)
     Flags nearFlags;
     Flags farFlags;
+    Elems inbox; ///< staging for remote injections (sharded only)
 
     unsigned farCur = 0; ///< which far pile is current
+
+    std::size_t nf_n = 0;
+    std::size_t far_n = 0;
+    std::uint32_t delta = 0;
+    std::uint32_t threshold = 0;
+    bool use_scu = false;
+    bool enhanced = false;
 };
 
 } // namespace scusim::alg

@@ -26,6 +26,9 @@ using EdgeId = std::uint64_t;
 /** Edge weight; the paper's graphs carry small integer weights. */
 using Weight = std::uint32_t;
 
+/** Index of one simulated device in a sharded multi-device system. */
+using DeviceId = unsigned;
+
 /** Sentinel for "no node". */
 constexpr NodeId invalidNode = static_cast<NodeId>(-1);
 

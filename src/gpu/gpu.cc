@@ -21,12 +21,12 @@ Gpu::Gpu(const GpuParams &params, mem::MemSystem &mem,
 }
 
 void
-Gpu::attachTrace(trace::TraceSink &sink)
+Gpu::attachTrace(trace::TraceSink &sink, const std::string &prefix)
 {
-    traceChan = sink.channel("gpu");
+    traceChan = sink.channel(prefix + "gpu");
     for (std::size_t i = 0; i < sms.size(); ++i)
         sms[i]->setTraceChannel(
-            sink.channel("sm" + std::to_string(i)));
+            sink.channel(prefix + "sm" + std::to_string(i)));
 }
 
 void

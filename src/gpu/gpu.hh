@@ -71,9 +71,11 @@ class Gpu
 
     /**
      * Bind trace channels: "gpu" for kernel spans, one per-SM channel
-     * ("sm<i>") for issue/memory events.
+     * ("sm<i>") for issue/memory events. Multi-device systems pass a
+     * "d<k>." prefix so each device gets its own channel lane.
      */
-    void attachTrace(trace::TraceSink &sink);
+    void attachTrace(trace::TraceSink &sink,
+                     const std::string &prefix = "");
 
   private:
     /** Merge one warp's thread op lists into a SIMT stream. */

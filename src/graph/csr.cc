@@ -49,6 +49,22 @@ CsrGraph::fromEdgeList(EdgeList el, bool dedup)
 }
 
 CsrGraph
+CsrGraph::fromCsrArrays(NodeId n, std::vector<EdgeId> offsets,
+                        std::vector<NodeId> dst, std::vector<Weight> w)
+{
+    CsrGraph g;
+    g.n = n;
+    g.offsets = std::move(offsets);
+    g.dst = std::move(dst);
+    g.w = std::move(w);
+    fatal_if(g.dst.size() != g.w.size(),
+             "edge/weight array size mismatch (%zu vs %zu)",
+             g.dst.size(), g.w.size());
+    g.validate();
+    return g;
+}
+
+CsrGraph
 CsrGraph::transpose() const
 {
     EdgeList el;

@@ -56,6 +56,18 @@ class CsrGraph
      */
     static CsrGraph fromEdgeList(EdgeList el, bool dedup = false);
 
+    /**
+     * Build directly from pre-assembled CSR arrays. The partitioner
+     * uses this to carve fragments out of a parent graph without a
+     * round trip through an edge list (which could re-order equal
+     * edges and break byte-identity guarantees). The arrays must
+     * already satisfy validate(): monotone offsets, in-range
+     * destinations, sorted adjacency rows.
+     */
+    static CsrGraph fromCsrArrays(NodeId n, std::vector<EdgeId> offsets,
+                                  std::vector<NodeId> dst,
+                                  std::vector<Weight> w);
+
     NodeId numNodes() const { return n; }
     EdgeId numEdges() const { return static_cast<EdgeId>(dst.size()); }
 

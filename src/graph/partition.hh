@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic edge-cut partitioner for sharded multi-device
+ * simulation. Vertices are assigned to devices in contiguous blocks
+ * (device d owns globals [d*n/N, (d+1)*n/N)); each fragment keeps a
+ * local CSR over its inner vertices plus "outer" (ghost) copies of
+ * every non-owned destination its edges reach. Ghost rows are empty:
+ * all expansion work for a vertex happens on its owner, and frontier
+ * crossings travel as boundary messages over the interconnect.
+ *
+ * Local ID layout per fragment: [0, numInner) are inner vertices in
+ * ascending global order, [numInner, numInner+numOuter) are ghosts in
+ * ascending global order. With N=1 there are no ghosts and the
+ * fragment CSR arrays are byte-identical to the parent's.
+ */
+
+#ifndef SCUSIM_GRAPH_PARTITION_HH
+#define SCUSIM_GRAPH_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace scusim::graph
+{
+
+/** One device's share of a partitioned graph. */
+struct Fragment
+{
+    DeviceId device = 0;
+    NodeId numInner = 0; ///< vertices owned by this fragment
+    NodeId numOuter = 0; ///< ghost copies of remote destinations
+
+    /** Local CSR: numInner+numOuter rows, ghost rows empty. */
+    CsrGraph csr;
+
+    /** Local id -> global id, size numInner+numOuter. */
+    std::vector<NodeId> toGlobal;
+
+    NodeId numLocal() const { return numInner + numOuter; }
+    bool isInner(NodeId local) const { return local < numInner; }
+    NodeId globalOf(NodeId local) const { return toGlobal[local]; }
+};
+
+/**
+ * A full edge-cut partition of one graph across N devices. Build is
+ * single-threaded and purely a function of (graph, numDevices), so
+ * assignment is byte-identical across repeated runs and unaffected by
+ * SCUSIM_JOBS.
+ */
+class GraphPartition
+{
+  public:
+    static GraphPartition build(const CsrGraph &g, unsigned numDevices);
+
+    unsigned
+    numFragments() const
+    {
+        return static_cast<unsigned>(frags.size());
+    }
+    const Fragment &fragment(DeviceId d) const { return frags[d]; }
+
+    NodeId numNodes() const { return n; }
+
+    /** Owning device of a global vertex. */
+    DeviceId ownerOf(NodeId global) const { return ownerArr[global]; }
+
+    /** Inner local id of a global vertex on its owning device. */
+    NodeId
+    localOf(NodeId global) const
+    {
+        return global - blockLo[ownerArr[global]];
+    }
+
+    /**
+     * FNV-1a digest over the complete partition state (ownership,
+     * fragment CSR arrays, id maps). Used by the determinism tests:
+     * equal fingerprints mean byte-identical assignment.
+     */
+    std::uint64_t fingerprint() const;
+
+  private:
+    NodeId n = 0;
+    std::vector<Fragment> frags;
+    std::vector<DeviceId> ownerArr; ///< global -> owning device
+    std::vector<NodeId> blockLo;    ///< device -> first owned global
+};
+
+} // namespace scusim::graph
+
+#endif // SCUSIM_GRAPH_PARTITION_HH

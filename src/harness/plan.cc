@@ -70,6 +70,13 @@ runKey(const RunConfig &cfg, const graph::CsrGraph *graph)
            << cfg.guards.stallWindow << ","
            << keyNum(cfg.guards.wallSeconds);
     }
+    // Sharding changes the execution path (and, with more than one
+    // device, the system itself). Single-device non-sharded runs keep
+    // their historical keys.
+    if (cfg.deviceCount > 1)
+        os << "|dev=" << cfg.deviceCount;
+    else if (cfg.sharded)
+        os << "|sharded";
     if (graph)
         os << "|graph=" << static_cast<const void *>(graph);
     return os.str();
@@ -78,8 +85,12 @@ runKey(const RunConfig &cfg, const graph::CsrGraph *graph)
 std::string
 runLabel(const RunConfig &cfg)
 {
-    return to_string(cfg.primitive) + "/" + cfg.systemName + "/" +
-           cfg.dataset + "/" + to_string(cfg.mode);
+    std::string label = to_string(cfg.primitive) + "/" +
+                        cfg.systemName + "/" + cfg.dataset + "/" +
+                        to_string(cfg.mode);
+    if (cfg.deviceCount > 1)
+        label += "/dev" + std::to_string(cfg.deviceCount);
+    return label;
 }
 
 ExperimentPlan::ExperimentPlan()
@@ -133,6 +144,14 @@ ExperimentPlan::modesFor(
 {
     axesDeclared = true;
     modeFn = std::move(f);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::deviceCounts(std::vector<unsigned> v)
+{
+    axesDeclared = true;
+    deviceCountAxis = std::move(v);
     return *this;
 }
 
@@ -243,27 +262,30 @@ ExperimentPlan::expand() const
             for (const auto &ds : datasetAxis) {
                 for (ScuMode mode : modes) {
                     for (const auto &var : vars) {
-                        RunConfig cfg;
-                        cfg.systemName = sys;
-                        cfg.primitive = prim;
-                        cfg.dataset = ds;
-                        cfg.mode = mode;
-                        cfg.scale = scaleValue;
-                        cfg.seed = seedValue;
-                        cfg.alg = algValue;
-                        cfg.faults = faultsValue;
-                        if (!ablateVariants.empty())
-                            cfg.scuOverride = var.second;
-                        PlannedRun r;
-                        r.cfg = std::move(cfg);
-                        r.graph = graphPtr;
-                        r.key = runKey(r.cfg, r.graph);
-                        r.label = runLabel(r.cfg);
-                        if (!ablateVariants.empty() &&
-                            r.cfg.mode != ScuMode::GpuOnly)
-                            r.label += "/" + ablateAxis + "=" +
-                                       var.first;
-                        push(std::move(r));
+                        for (unsigned dc : deviceCountAxis) {
+                            RunConfig cfg;
+                            cfg.systemName = sys;
+                            cfg.primitive = prim;
+                            cfg.dataset = ds;
+                            cfg.mode = mode;
+                            cfg.scale = scaleValue;
+                            cfg.seed = seedValue;
+                            cfg.alg = algValue;
+                            cfg.faults = faultsValue;
+                            cfg.deviceCount = dc;
+                            if (!ablateVariants.empty())
+                                cfg.scuOverride = var.second;
+                            PlannedRun r;
+                            r.cfg = std::move(cfg);
+                            r.graph = graphPtr;
+                            r.key = runKey(r.cfg, r.graph);
+                            r.label = runLabel(r.cfg);
+                            if (!ablateVariants.empty() &&
+                                r.cfg.mode != ScuMode::GpuOnly)
+                                r.label += "/" + ablateAxis + "=" +
+                                           var.first;
+                            push(std::move(r));
+                        }
                     }
                 }
             }

@@ -200,6 +200,17 @@ encodeRunRecord(const RunRecord &rec)
     putU64(os, "gpuEdgeWork", r.algMetrics.gpuEdgeWork);
     putU64(os, "rawExpanded", r.algMetrics.rawExpanded);
     putU64(os, "scuFiltered", r.algMetrics.scuFiltered);
+    putU64(os, "deviceCount", r.deviceCount);
+    putU64(os, "icnMessages", r.icnMessages);
+    putU64(os, "icnBytes", r.icnBytes);
+    putU64(os, "numDeviceSlices", r.devices.size());
+    for (const DeviceMetrics &dm : r.devices) {
+        putU64(os, "devGpuEdgeWork", dm.gpuEdgeWork);
+        putU64(os, "devRawExpanded", dm.rawExpanded);
+        putU64(os, "devScuFiltered", dm.scuFiltered);
+        putU64(os, "devIterations", dm.iterations);
+        putU64(os, "devScuBusyCycles", dm.scuBusyCycles);
+    }
     putU64(os, "validated", r.validated ? 1 : 0);
     os << "end\n";
     return os.str();
@@ -266,6 +277,24 @@ decodeRunRecord(const std::string &text,
         !in.u64("rawExpanded", r.algMetrics.rawExpanded) ||
         !in.u64("scuFiltered", r.algMetrics.scuFiltered))
         return false;
+    if (!in.u64("deviceCount", u) || u == 0 || u > 1024)
+        return false;
+    r.deviceCount = static_cast<unsigned>(u);
+    if (!in.u64("icnMessages", r.icnMessages) ||
+        !in.u64("icnBytes", r.icnBytes))
+        return false;
+    std::uint64_t numSlices = 0;
+    if (!in.u64("numDeviceSlices", numSlices) || numSlices > 1024)
+        return false;
+    r.devices.resize(static_cast<std::size_t>(numSlices));
+    for (DeviceMetrics &dm : r.devices) {
+        if (!in.u64("devGpuEdgeWork", dm.gpuEdgeWork) ||
+            !in.u64("devRawExpanded", dm.rawExpanded) ||
+            !in.u64("devScuFiltered", dm.scuFiltered) ||
+            !in.u64("devIterations", dm.iterations) ||
+            !in.u64("devScuBusyCycles", dm.scuBusyCycles))
+            return false;
+    }
     if (!in.u64("validated", u) || u > 1)
         return false;
     r.validated = u != 0;

@@ -35,7 +35,7 @@ namespace scusim::harness
  * Bump whenever the serialized RunRecord layout changes; old cache
  * files are then rejected (miss) instead of misparsed.
  */
-constexpr unsigned runCacheSchemaVersion = 1;
+constexpr unsigned runCacheSchemaVersion = 2;
 
 /**
  * The cache directory from SCUSIM_CACHE_DIR, or "" when unset /

@@ -62,21 +62,66 @@ System::System(const SystemConfig &cfg)
     : cfg_(cfg), clk(cfg.gpu.freqHz), root(""),
       emodel(cfg.energy)
 {
-    memsys = std::make_unique<mem::MemSystem>(cfg.gpu.memsys, clk,
-                                              &root);
-    gpuModel = std::make_unique<gpu::Gpu>(cfg.gpu, *memsys, sim,
-                                          &root);
-    if (cfg.withScu) {
-        scuUnit = std::make_unique<scu::Scu>(cfg.scu, *memsys, sim,
-                                             as, &root);
+    const unsigned n = cfg.deviceCount ? cfg.deviceCount : 1;
+    devs.resize(n);
+    for (unsigned d = 0; d < n; ++d) {
+        Device &dev = devs[d];
+        stats::StatGroup *parent = &root;
+        if (n > 1) {
+            dev.grp = std::make_unique<stats::StatGroup>(
+                "dev" + std::to_string(d), &root);
+            parent = dev.grp.get();
+        }
+        dev.as = std::make_unique<mem::AddressSpace>();
+        dev.memsys = std::make_unique<mem::MemSystem>(cfg.gpu.memsys,
+                                                      clk, parent);
+        dev.gpuModel = std::make_unique<gpu::Gpu>(cfg.gpu, *dev.memsys,
+                                                  sim, parent);
+        if (cfg.withScu) {
+            dev.scuUnit = std::make_unique<scu::Scu>(
+                cfg.scu, *dev.memsys, sim, *dev.as, parent);
+        }
+    }
+    if (n > 1) {
+        icnLink = std::make_unique<mem::Interconnect>(cfg.icn, n, sim,
+                                                      &root);
     }
 }
 
-scu::Scu &
-System::scuDevice()
+mem::AddressSpace &
+System::addressSpace(DeviceId d)
 {
-    panic_if(!scuUnit, "system configured without an SCU");
-    return *scuUnit;
+    panic_if(d >= devs.size(), "device %u out of range", d);
+    return *devs[d].as;
+}
+
+mem::MemSystem &
+System::memory(DeviceId d)
+{
+    panic_if(d >= devs.size(), "device %u out of range", d);
+    return *devs[d].memsys;
+}
+
+gpu::Gpu &
+System::gpuDevice(DeviceId d)
+{
+    panic_if(d >= devs.size(), "device %u out of range", d);
+    return *devs[d].gpuModel;
+}
+
+scu::Scu &
+System::scuDevice(DeviceId d)
+{
+    panic_if(d >= devs.size(), "device %u out of range", d);
+    panic_if(!devs[d].scuUnit, "system configured without an SCU");
+    return *devs[d].scuUnit;
+}
+
+mem::Interconnect &
+System::interconnect()
+{
+    panic_if(!icnLink, "single-device system has no interconnect");
+    return *icnLink;
 }
 
 void
@@ -85,27 +130,35 @@ System::attachTrace()
     trace::TraceSink *sink = sim.traceSink();
     if (!sink)
         return;
-    gpuModel->attachTrace(*sink);
-    if (scuUnit)
-        scuUnit->attachTrace(*sink);
-    memsys->attachTrace(*sink);
+    const bool multi = devs.size() > 1;
+    for (std::size_t d = 0; d < devs.size(); ++d) {
+        const std::string prefix =
+            multi ? "d" + std::to_string(d) + "." : "";
+        devs[d].gpuModel->attachTrace(*sink, prefix);
+        if (devs[d].scuUnit)
+            devs[d].scuUnit->attachTrace(*sink, prefix);
+        devs[d].memsys->attachTrace(*sink, prefix);
+    }
+    if (icnLink)
+        icnLink->attachTrace(*sink);
 }
 
 energy::Activity
-System::activitySnapshot() const
+System::activitySnapshot(DeviceId d) const
 {
+    const Device &dev = devs[d];
     energy::Activity a;
-    a.threadInstrs =
-        static_cast<double>(gpuModel->totals().compaction.threadInstrs +
-                            gpuModel->totals().processing.threadInstrs);
-    a.smActiveCycles = gpuModel->smActiveCycles();
-    a.l1Accesses = gpuModel->l1Accesses();
-    a.l2Accesses = memsys->l2().numAccesses();
-    a.dramActivates = memsys->dram().numActivates();
+    a.threadInstrs = static_cast<double>(
+        dev.gpuModel->totals().compaction.threadInstrs +
+        dev.gpuModel->totals().processing.threadInstrs);
+    a.smActiveCycles = dev.gpuModel->smActiveCycles();
+    a.l1Accesses = dev.gpuModel->l1Accesses();
+    a.l2Accesses = dev.memsys->l2().numAccesses();
+    a.dramActivates = dev.memsys->dram().numActivates();
     a.dramLines =
-        memsys->dram().numReads() + memsys->dram().numWrites();
-    if (scuUnit) {
-        const auto &t = scuUnit->totals();
+        dev.memsys->dram().numReads() + dev.memsys->dram().numWrites();
+    if (dev.scuUnit) {
+        const auto &t = dev.scuUnit->totals();
         a.scuElements = static_cast<double>(t.elements);
         a.scuTxns = static_cast<double>(
             t.readTxns + t.writeTxns + t.hashReadTxns +
@@ -114,12 +167,21 @@ System::activitySnapshot() const
     return a;
 }
 
-void
-System::scuSection(const std::function<void()> &f)
+energy::Activity
+System::activitySnapshot() const
 {
-    energy::Activity before = activitySnapshot();
+    energy::Activity a;
+    for (DeviceId d = 0; d < devs.size(); ++d)
+        a += activitySnapshot(d);
+    return a;
+}
+
+void
+System::scuSection(DeviceId d, const std::function<void()> &f)
+{
+    energy::Activity before = activitySnapshot(d);
     f();
-    scuAct += activitySnapshot() - before;
+    scuAct += activitySnapshot(d) - before;
 }
 
 } // namespace scusim::harness

@@ -20,9 +20,10 @@ MemSystem::MemSystem(const MemSystemParams &params,
 }
 
 void
-MemSystem::attachTrace(trace::TraceSink &sink)
+MemSystem::attachTrace(trace::TraceSink &sink,
+                       const std::string &prefix)
 {
-    traceChan = sink.channel("memsys");
+    traceChan = sink.channel(prefix + "memsys");
 }
 
 MemResult

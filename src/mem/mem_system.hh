@@ -66,8 +66,10 @@ class MemSystem : public MemLevel
         dramModel.setFaultInjector(inj);
     }
 
-    /** Bind this component's trace channel ("memsys"). */
-    void attachTrace(trace::TraceSink &sink);
+    /** Bind this component's trace channel ("memsys",
+     *  device-prefixed on multi-device systems). */
+    void attachTrace(trace::TraceSink &sink,
+                     const std::string &prefix = "");
 
     Cache &l2() { return l2Cache; }
     Dram &dram() { return dramModel; }

@@ -73,9 +73,9 @@ Scu::resetFilterTables()
 }
 
 void
-Scu::attachTrace(trace::TraceSink &sink)
+Scu::attachTrace(trace::TraceSink &sink, const std::string &prefix)
 {
-    traceChan = sink.channel("scu");
+    traceChan = sink.channel(prefix + "scu");
 }
 
 void

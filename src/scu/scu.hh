@@ -179,8 +179,9 @@ class Scu
     /** Reset the filtering/grouping hash tables between passes. */
     void resetFilterTables();
 
-    /** Bind this unit's trace channel ("scu"). */
-    void attachTrace(trace::TraceSink &sink);
+    /** Bind this unit's trace channel ("scu", device-prefixed). */
+    void attachTrace(trace::TraceSink &sink,
+                     const std::string &prefix = "");
 
     const ScuParams &params() const { return p; }
     const ScuTotals &totals() const { return agg; }

@@ -194,7 +194,24 @@ FaultInjector::icnExtraDelay(Tick issue)
     Tick extra = 0;
     for (std::size_t i = 0; i < plan.faults.size(); ++i) {
         const FaultSpec &s = plan.faults[i];
-        if (s.kind != FaultKind::IcnDelay || spent[i] || issue < s.at)
+        if (s.kind != FaultKind::IcnDelay || s.target != 0 ||
+            spent[i] || issue < s.at)
+            continue;
+        spent[i] = true;
+        ++firedCount[static_cast<std::size_t>(s.kind)];
+        extra += s.magnitude;
+    }
+    return extra;
+}
+
+Tick
+FaultInjector::linkExtraDelay(Tick issue)
+{
+    Tick extra = 0;
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        const FaultSpec &s = plan.faults[i];
+        if (s.kind != FaultKind::IcnDelay || s.target != 1 ||
+            spent[i] || issue < s.at)
             continue;
         spent[i] = true;
         ++firedCount[static_cast<std::size_t>(s.kind)];

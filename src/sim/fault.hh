@@ -131,9 +131,18 @@ class FaultInjector
     /**
      * IcnDelay hook (MemSystem): extra interconnect latency for a
      * request issued at @p issue. Each armed fault fires exactly
-     * once, on the first crossing at or after its tick.
+     * once, on the first crossing at or after its tick. Only specs
+     * with target 0 (the GPU<->memory crossing) fire here; target 1
+     * addresses the inter-device link (linkExtraDelay).
      */
     Tick icnExtraDelay(Tick issue);
+
+    /**
+     * IcnDelay hook (Interconnect): extra delivery latency for an
+     * inter-device message sent at @p issue. Fires IcnDelay specs
+     * armed with target 1, one-shot each.
+     */
+    Tick linkExtraDelay(Tick issue);
 
     /**
      * DramRefreshStorm hook (Dram): extra ticks the addressed bank

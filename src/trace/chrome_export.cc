@@ -1,6 +1,7 @@
 #include "trace/chrome_export.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -44,7 +45,7 @@ jsonEscape(const std::string &s)
 struct Device
 {
     int pid;
-    const char *name;
+    std::string name;
 };
 
 Device
@@ -57,6 +58,23 @@ deviceFor(const std::string &channel)
     if (channel.rfind("mem", 0) == 0 || channel.rfind("dram", 0) == 0 ||
         channel.rfind("l2", 0) == 0)
         return {3, "mem"};
+    if (channel == "icn")
+        return {4, "icn"};
+    // Multi-device channels arrive prefixed "d<k>."; each simulated
+    // device gets its own pid block so its gpu/scu/mem lanes stay
+    // distinct in the viewer.
+    if (channel.size() > 2 && channel[0] == 'd') {
+        std::size_t i = 1;
+        while (i < channel.size() && channel[i] >= '0' &&
+               channel[i] <= '9')
+            ++i;
+        if (i > 1 && i < channel.size() && channel[i] == '.') {
+            const int k = std::atoi(channel.substr(1, i - 1).c_str());
+            const Device base = deviceFor(channel.substr(i + 1));
+            return {10 + 4 * k + base.pid,
+                    "d" + std::to_string(k) + "." + base.name};
+        }
+    }
     return {0, "sim"};
 }
 
@@ -96,7 +114,7 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink)
     // the channel's rank within its device in creation order (which
     // is the deterministic component wiring order).
     std::map<int, int> nextTid;
-    std::map<int, const char *> pidName;
+    std::map<int, std::string> pidName;
     std::vector<int> tids(chans.size());
     for (std::size_t i = 0; i < chans.size(); ++i) {
         const Device dev = deviceFor(chans[i]->name());
@@ -108,8 +126,8 @@ writeChromeTrace(std::ostream &os, const TraceSink &sink)
         writeEvent(os, first,
                    "\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
                        std::to_string(pid) +
-                       ", \"args\": {\"name\": \"" + std::string(name) +
-                       "\"}");
+                       ", \"args\": {\"name\": \"" +
+                       jsonEscape(name) + "\"}");
 
     for (std::size_t i = 0; i < chans.size(); ++i) {
         const Device dev = deviceFor(chans[i]->name());

@@ -38,13 +38,13 @@ statsDumpFor(const RunConfig &base)
 
 class DeterminismGate
     : public ::testing::TestWithParam<
-          std::tuple<Primitive, const char *>>
+          std::tuple<Primitive, const char *, unsigned>>
 {
 };
 
 TEST_P(DeterminismGate, RepeatedRunsDumpIdenticalStats)
 {
-    const auto [prim, system] = GetParam();
+    const auto [prim, system, devices] = GetParam();
 
     RunConfig cfg;
     cfg.systemName = system;
@@ -52,6 +52,7 @@ TEST_P(DeterminismGate, RepeatedRunsDumpIdenticalStats)
     cfg.mode = ScuMode::ScuEnhanced;
     cfg.dataset = "cond";
     cfg.scale = 0.01;
+    cfg.deviceCount = devices;
 
     const std::string first = statsDumpFor(cfg);
     const std::string second = statsDumpFor(cfg);
@@ -60,15 +61,20 @@ TEST_P(DeterminismGate, RepeatedRunsDumpIdenticalStats)
         << "stats dumps diverged between identical runs";
 }
 
+// deviceCount 2 folds the sharded path — partitioner, per-device
+// components, interconnect exchange — into the same byte-identity
+// gate the single-device stack has always had to pass.
 INSTANTIATE_TEST_SUITE_P(
     AllPrimitivesBothSystems, DeterminismGate,
     ::testing::Combine(::testing::Values(Primitive::Bfs,
                                          Primitive::Sssp,
                                          Primitive::Pr),
-                       ::testing::Values("GTX980", "TX1")),
+                       ::testing::Values("GTX980", "TX1"),
+                       ::testing::Values(1u, 2u)),
     [](const auto &info) {
         return to_string(std::get<0>(info.param)) + "_" +
-               std::get<1>(info.param);
+               std::get<1>(info.param) + "_dev" +
+               std::to_string(std::get<2>(info.param));
     });
 
 } // namespace

@@ -404,6 +404,25 @@ TEST(FaultMatrix, IcnDelayTripsTheTickBudgetAsRunaway)
     }
 }
 
+TEST(FaultMatrix, IcnDelayOnTheDeviceLinkIsRunawayToo)
+{
+    // target=1 aims the delay at the inter-device link instead of
+    // the GPU<->memory crossing: a 2-device run's first boundary
+    // exchange then schedules an arrival far past the tick budget.
+    for (const auto *sys : kSystems) {
+        RunConfig cfg = tinyConfig(sys);
+        cfg.deviceCount = 2;
+        cfg.faults.add({.kind = sim::FaultKind::IcnDelay,
+                        .at = 0,
+                        .magnitude = 1'000'000'000'000'000ULL,
+                        .target = 1});
+        cfg.guards.tickBudget = 1'000'000'000;
+        auto rec = runOne(cfg);
+        expectFailure(rec, FailureKind::Runaway);
+        EXPECT_FALSE(rec.diagnostics.empty()) << rec.error;
+    }
+}
+
 TEST(FaultMatrix, DramRefreshStormTripsTheTickBudgetAsRunaway)
 {
     for (const auto *sys : kSystems) {

@@ -236,6 +236,52 @@ TEST(ChromeExport, ProducesBalancedJsonWithStableTracks)
     EXPECT_NE(json.find("filter \\\"quoted\\\""), std::string::npos);
 }
 
+TEST(ChromeExport, MultiDeviceChannelsGetDistinctPidBlocks)
+{
+    TraceSink sink(smallRing(64));
+    // Multi-device wiring order: per-device channels ("d<k>."
+    // prefixed), then the interconnect.
+    TraceChannel *d0gpu = sink.channel("d0.gpu");
+    TraceChannel *d0scu = sink.channel("d0.scu");
+    TraceChannel *d1gpu = sink.channel("d1.gpu");
+    TraceChannel *d1mem = sink.channel("d1.memsys");
+    TraceChannel *icn = sink.channel("icn");
+
+    d0gpu->span(Category::Kernel, "bfs_iter", 0, 100);
+    d0scu->span(Category::ScuOp, "filter", 10, 50);
+    d1gpu->span(Category::Kernel, "bfs_iter", 0, 90);
+    d1mem->counter(Category::Mem, "dram_bytes", 20, 512);
+    icn->span(Category::Mem, "msg d0->d1", 100, 140, 8);
+
+    std::ostringstream os;
+    writeChromeTrace(os, sink);
+    const std::string json = os.str();
+    EXPECT_TRUE(jsonBalanced(json)) << json;
+
+    // pid scheme: device k occupies pid block 10+4k, offset by the
+    // single-device component pid (gpu=1, scu=2, mem=3); icn is 4.
+    EXPECT_NE(json.find("\"pid\": 11, \"args\": {\"name\": "
+                        "\"d0.gpu\"}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"pid\": 12, \"args\": {\"name\": "
+                        "\"d0.scu\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 15, \"args\": {\"name\": "
+                        "\"d1.gpu\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 17, \"args\": {\"name\": "
+                        "\"d1.mem\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 4, \"args\": {\"name\": "
+                        "\"icn\"}"),
+              std::string::npos);
+    // The link-message span lands on the icn pid.
+    EXPECT_NE(json.find("\"name\": \"msg d0->d1\", \"cat\": \"mem\", "
+                        "\"pid\": 4"),
+              std::string::npos);
+}
+
 TEST(Timeseries, CumulativeModeSamplesEachWindowBoundary)
 {
     stats::StatGroup g("ts_test");
@@ -394,6 +440,52 @@ TEST(TracedRuns, ExporterWritesLoadableArtifactsForARealRun)
     std::string row;
     ASSERT_TRUE(std::getline(cf, row)) << "timeseries CSV is empty";
     EXPECT_NE(row.find("filtered_nodes,"), std::string::npos);
+}
+
+TEST(TracedRuns, MultiDeviceRunExportsPerDeviceLanes)
+{
+    const std::string jsonPath =
+        ::testing::TempDir() + "/scusim_trace_multidev.json";
+
+    harness::RunConfig cfg = tinyBfs();
+    cfg.deviceCount = 2;
+    cfg.trace.enabled = true;
+    cfg.trace.mask = maskAll;
+    cfg.trace.exportPath = jsonPath;
+
+    harness::RunResult r = harness::runPrimitive(cfg);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.icnMessages, 0u);
+
+    std::ifstream jf(jsonPath);
+    ASSERT_TRUE(jf.good()) << "trace JSON was not written";
+    std::stringstream jbuf;
+    jbuf << jf.rdbuf();
+    const std::string json = jbuf.str();
+    EXPECT_TRUE(jsonBalanced(json));
+
+    // Channels are created at attach time regardless of build mode,
+    // so each device's lanes and the interconnect track must exist —
+    // on distinct pids per device.
+    EXPECT_NE(json.find("\"d0.sm0\""), std::string::npos);
+    EXPECT_NE(json.find("\"d1.sm0\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 11, \"args\": {\"name\": "
+                        "\"d0.gpu\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 15, \"args\": {\"name\": "
+                        "\"d1.gpu\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 4, \"args\": {\"name\": "
+                        "\"icn\"}"),
+              std::string::npos);
+#if SCUSIM_TRACE_ENABLED
+    // With emission compiled in, every boundary message leaves a
+    // link span on the icn track.
+    EXPECT_NE(json.find("\"name\": \"msg d0->d1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"msg d1->d0\""),
+              std::string::npos);
+#endif
 }
 
 } // namespace

@@ -23,7 +23,7 @@
  */
 
 #include <algorithm>
-#include <chrono> // simlint: allow(nondeterminism)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>

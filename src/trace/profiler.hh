@@ -21,7 +21,7 @@
 #define SCUSIM_TRACE_PROFILER_HH
 
 #include <atomic>
-#include <chrono> // simlint: allow(nondeterminism)
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -136,7 +136,7 @@ class ScopedProfiler
 
   private:
     ProfilePhase *phase;
-    std::chrono::steady_clock::time_point begin; // simlint: allow(nondeterminism)
+    std::chrono::steady_clock::time_point begin;
 };
 
 } // namespace scusim::trace

@@ -1,0 +1,926 @@
+#include "cfg.hh"
+
+#include <algorithm>
+
+namespace simlint
+{
+
+// ---------------------------------------------------------------
+// Structure layer
+// ---------------------------------------------------------------
+
+bool
+isAnyOf(const Token &t, std::initializer_list<const char *> list)
+{
+    for (const char *s : list) {
+        if (t.text == s)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+matchParenBack(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i + 1; j-- > 0;) {
+        if (toks[j].is(")"))
+            ++depth;
+        else if (toks[j].is("(") && --depth == 0)
+            return j;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+std::size_t
+matchParenFwd(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+        if (toks[j].is("("))
+            ++depth;
+        else if (toks[j].is(")") && --depth == 0)
+            return j;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+namespace
+{
+
+/** Classify the '{' at token @p i (see Span::Kind). */
+Span
+classifyBrace(const std::vector<Token> &toks, std::size_t i)
+{
+    Span s;
+    s.open = i;
+
+    // namespace Foo::Bar {  /  namespace {
+    {
+        std::size_t k = i;
+        while (k > 0 && !toks[k - 1].is("namespace") &&
+               (toks[k - 1].isIdent() || toks[k - 1].is("::")))
+            --k;
+        if (k > 0 && toks[k - 1].is("namespace")) {
+            s.kind = Span::Kind::Namespace;
+            return s;
+        }
+    }
+
+    // Function body: '...)' [qualifiers / trailing return] '{'
+    {
+        std::size_t j = i;
+        while (j > 0 &&
+               (toks[j - 1].isIdent() ||
+                toks[j - 1].kind == Token::Kind::Number ||
+                isAnyOf(toks[j - 1],
+                        {"::", "<", ">", "*", "&", "->", ","})) &&
+               !isAnyOf(toks[j - 1],
+                        {"class", "struct", "union", "enum",
+                         "namespace", "else", "do", "try",
+                         "return"}))
+            --j;
+        if (j > 0 && toks[j - 1].is(")")) {
+            std::size_t open = matchParenBack(toks, j - 1);
+            if (open != static_cast<std::size_t>(-1) && open > 0 &&
+                isAnyOf(toks[open - 1],
+                        {"if", "for", "while", "switch", "catch"})) {
+                s.kind = Span::Kind::Other;
+            } else {
+                s.kind = Span::Kind::Function;
+            }
+            return s;
+        }
+    }
+
+    // Class-like: window back to the previous ';' / '{' / '}'.
+    {
+        std::size_t w = i;
+        while (w > 0 && !isAnyOf(toks[w - 1], {";", "{", "}"}))
+            --w;
+        for (std::size_t t = w; t < i; ++t) {
+            if (isAnyOf(toks[t],
+                        {"class", "struct", "union", "enum"})) {
+                s.kind = Span::Kind::Class;
+                if (t + 1 < i && toks[t + 1].isIdent())
+                    s.name = toks[t + 1].text;
+                for (std::size_t b = t + 1; b < i; ++b) {
+                    if (toks[b].is(":")) {
+                        s.hasBaseList = true;
+                        break;
+                    }
+                }
+                return s;
+            }
+        }
+    }
+
+    s.kind = Span::Kind::Other;
+    return s;
+}
+
+} // namespace
+
+int
+Structure::enclosingFunction(std::size_t i) const
+{
+    int s = innermost[i];
+    while (s >= 0 && spans[s].kind != Span::Kind::Function)
+        s = spans[s].parent;
+    return s;
+}
+
+int
+Structure::enclosingClass(std::size_t i) const
+{
+    int s = innermost[i];
+    while (s >= 0 && spans[s].kind != Span::Kind::Class)
+        s = spans[s].parent;
+    return s;
+}
+
+Structure
+analyzeStructure(const std::vector<Token> &toks)
+{
+    Structure a;
+    a.innermost.assign(toks.size(), -1);
+    a.parenDepth.assign(toks.size(), 0);
+
+    std::vector<int> stack;
+    int paren = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.is("("))
+            ++paren;
+        a.parenDepth[i] = paren;
+        if (t.is(")") && paren > 0)
+            --paren;
+
+        if (t.is("{")) {
+            Span s = classifyBrace(toks, i);
+            s.parent = stack.empty() ? -1 : stack.back();
+            a.innermost[i] = s.parent;
+            stack.push_back(static_cast<int>(a.spans.size()));
+            a.spans.push_back(s);
+            continue;
+        }
+        if (t.is("}")) {
+            if (!stack.empty()) {
+                a.spans[stack.back()].close = i;
+                a.innermost[i] = stack.back();
+                stack.pop_back();
+            }
+            continue;
+        }
+        a.innermost[i] = stack.empty() ? -1 : stack.back();
+    }
+    // Unclosed spans (truncated file): close at EOF.
+    for (int idx : stack)
+        a.spans[idx].close = toks.empty() ? 0 : toks.size() - 1;
+    return a;
+}
+
+// ---------------------------------------------------------------
+// Symbol layer
+// ---------------------------------------------------------------
+
+const std::string SymbolTable::empty;
+
+void
+SymbolTable::collect(const std::vector<Token> &toks,
+                     std::initializer_list<const char *> types,
+                     bool companion)
+{
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].isIdent() || !isAnyOf(toks[i], types))
+            continue;
+        const std::string &type = toks[i].text;
+        std::size_t j = i + 1;
+        // Optional template argument list.
+        if (j < toks.size() && toks[j].is("<")) {
+            int depth = 0;
+            for (; j < toks.size(); ++j) {
+                if (toks[j].is("<"))
+                    ++depth;
+                else if (toks[j].is(">") && --depth == 0)
+                    break;
+            }
+            if (j >= toks.size())
+                continue;
+            ++j;
+        }
+        while (j < toks.size() &&
+               isAnyOf(toks[j], {"&", "*", "const"}))
+            ++j;
+        if (j >= toks.size() || !toks[j].isIdent())
+            continue;
+        // `Type name` where name is itself a keyword-ish token or
+        // another type mention is not a declarator we care about.
+        if (isAnyOf(toks[j], {"operator", "return"}))
+            continue;
+        SymbolInfo info;
+        info.type = type;
+        if (!companion)
+            info.declTok = j;
+        // First declaration wins; in-file beats companion.
+        auto it = syms.find(toks[j].text);
+        if (it == syms.end())
+            syms.emplace(toks[j].text, info);
+        else if (it->second.declTok == static_cast<std::size_t>(-1) &&
+                 !companion)
+            it->second = info;
+    }
+}
+
+const std::string &
+SymbolTable::typeOf(const std::string &name) const
+{
+    auto it = syms.find(name);
+    return it == syms.end() ? empty : it->second.type;
+}
+
+std::size_t
+SymbolTable::declTokOf(const std::string &name) const
+{
+    auto it = syms.find(name);
+    return it == syms.end() ? static_cast<std::size_t>(-1)
+                            : it->second.declTok;
+}
+
+// ---------------------------------------------------------------
+// CFG layer
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Recursive-descent statement parser producing basic blocks. One
+ * instance builds one function's CFG from its body token range.
+ */
+class CfgBuilder
+{
+  public:
+    CfgBuilder(const std::vector<Token> &tokens, Cfg &out)
+        : toks(tokens), cfg(out)
+    {
+    }
+
+    void
+    build()
+    {
+        cfg.entry = newBlock();
+        cfg.exit = newBlock();
+        cur = cfg.entry;
+        cfg.blockOfTok.assign(
+            cfg.bodyClose - cfg.bodyOpen + 1, -1);
+        parseCompound(cfg.bodyOpen);
+        edge(cur, cfg.exit);
+        computeDominators();
+    }
+
+  private:
+    const std::vector<Token> &toks;
+    Cfg &cfg;
+    int cur = 0;
+    std::vector<int> breakTargets;
+    std::vector<int> continueTargets;
+
+    int
+    newBlock()
+    {
+        cfg.blocks.emplace_back();
+        return static_cast<int>(cfg.blocks.size() - 1);
+    }
+
+    void
+    edge(int a, int b)
+    {
+        auto &s = cfg.blocks[a].succs;
+        if (std::find(s.begin(), s.end(), b) != s.end())
+            return;
+        s.push_back(b);
+        cfg.blocks[b].preds.push_back(a);
+    }
+
+    void
+    emit(std::size_t i)
+    {
+        cfg.blocks[cur].tokens.push_back(i);
+        if (i >= cfg.bodyOpen && i <= cfg.bodyClose)
+            cfg.blockOfTok[i - cfg.bodyOpen] = cur;
+    }
+
+    /** Emit tokens of a balanced `( ... )` group starting at @p i
+     *  (which may not be '(' — then nothing is consumed). Returns
+     *  the index just past the ')'. */
+    std::size_t
+    emitParen(std::size_t i)
+    {
+        if (i >= toks.size() || !toks[i].is("("))
+            return i;
+        std::size_t close = matchParenFwd(toks, i);
+        if (close == static_cast<std::size_t>(-1))
+            close = toks.size() - 1;
+        for (std::size_t k = i; k <= close; ++k)
+            emit(k);
+        return close + 1;
+    }
+
+    /** Emit a balanced `{ ... }` group linearly into the current
+     *  block (lambda body / brace-init inside an expression). */
+    std::size_t
+    emitBraceGroup(std::size_t i)
+    {
+        int depth = 0;
+        for (; i < toks.size(); ++i) {
+            emit(i);
+            if (toks[i].is("{"))
+                ++depth;
+            else if (toks[i].is("}") && --depth == 0)
+                return i + 1;
+        }
+        return i;
+    }
+
+    /**
+     * Default statement: emit tokens until a ';' at relative paren /
+     * bracket depth 0. Brace groups met on the way (lambdas,
+     * brace-init) are swallowed linearly. Stops before a '}' that
+     * would close the enclosing compound.
+     */
+    std::size_t
+    parseExprStatement(std::size_t i)
+    {
+        int paren = 0;
+        while (i < toks.size()) {
+            const Token &t = toks[i];
+            if (t.is("(") || t.is("["))
+                ++paren;
+            else if (t.is(")") || t.is("]"))
+                --paren;
+            else if (t.is("{") && paren <= 0) {
+                i = emitBraceGroup(i);
+                // `struct X {...};` / lambda-expr stmt: a following
+                // ';' belongs to this statement.
+                if (i < toks.size() && toks[i].is(";")) {
+                    emit(i);
+                    ++i;
+                }
+                return i;
+            } else if (t.is("{")) {
+                i = emitBraceGroup(i);
+                continue;
+            } else if (t.is("}") && paren <= 0) {
+                return i; // enclosing compound closes
+            } else if (t.is(";") && paren <= 0) {
+                emit(i);
+                return i + 1;
+            }
+            emit(i);
+            ++i;
+        }
+        return i;
+    }
+
+    /** Parse the compound statement whose '{' is at @p i. */
+    std::size_t
+    parseCompound(std::size_t i)
+    {
+        emit(i); // '{'
+        ++i;
+        while (i < toks.size() && !toks[i].is("}"))
+            i = parseStatement(i);
+        if (i < toks.size()) {
+            emit(i); // '}'
+            ++i;
+        }
+        return i;
+    }
+
+    std::size_t
+    parseStatement(std::size_t i)
+    {
+        const Token &t = toks[i];
+
+        if (t.is("{"))
+            return parseCompound(i);
+        if (t.is("if"))
+            return parseIf(i);
+        if (t.is("while"))
+            return parseWhile(i);
+        if (t.is("do"))
+            return parseDo(i);
+        if (t.is("for"))
+            return parseFor(i);
+        if (t.is("switch"))
+            return parseSwitch(i);
+        if (t.is("try"))
+            return parseTry(i);
+        if (t.is("return")) {
+            i = parseExprStatement(i);
+            edge(cur, cfg.exit);
+            cur = newBlock();
+            return i;
+        }
+        if (t.is("break") && !breakTargets.empty()) {
+            emit(i);
+            ++i;
+            if (i < toks.size() && toks[i].is(";")) {
+                emit(i);
+                ++i;
+            }
+            edge(cur, breakTargets.back());
+            cur = newBlock();
+            return i;
+        }
+        if (t.is("continue") && !continueTargets.empty()) {
+            emit(i);
+            ++i;
+            if (i < toks.size() && toks[i].is(";")) {
+                emit(i);
+                ++i;
+            }
+            edge(cur, continueTargets.back());
+            cur = newBlock();
+            return i;
+        }
+        if (t.is(";")) {
+            emit(i);
+            return i + 1;
+        }
+        return parseExprStatement(i);
+    }
+
+    /** Skip/emit tokens between a control keyword and its '('
+     *  (e.g. `if constexpr`). */
+    std::size_t
+    emitToParen(std::size_t i)
+    {
+        while (i < toks.size() && !toks[i].is("(") &&
+               !toks[i].is("{") && !toks[i].is(";")) {
+            emit(i);
+            ++i;
+        }
+        return i;
+    }
+
+    std::size_t
+    parseIf(std::size_t i)
+    {
+        emit(i); // 'if'
+        i = emitToParen(i + 1);
+        i = emitParen(i);
+        const int condEnd = cur;
+
+        const int thenB = newBlock();
+        edge(condEnd, thenB);
+        cur = thenB;
+        i = parseStatement(i);
+        const int thenEnd = cur;
+
+        if (i < toks.size() && toks[i].is("else")) {
+            emit(i);
+            ++i;
+            const int elseB = newBlock();
+            edge(condEnd, elseB);
+            cur = elseB;
+            i = parseStatement(i);
+            const int elseEnd = cur;
+            const int join = newBlock();
+            edge(thenEnd, join);
+            edge(elseEnd, join);
+            cur = join;
+        } else {
+            const int join = newBlock();
+            edge(thenEnd, join);
+            edge(condEnd, join);
+            cur = join;
+        }
+        return i;
+    }
+
+    std::size_t
+    parseWhile(std::size_t i)
+    {
+        const int header = newBlock();
+        edge(cur, header);
+        cur = header;
+        emit(i); // 'while'
+        i = emitToParen(i + 1);
+        i = emitParen(i);
+
+        const int body = newBlock();
+        const int exitB = newBlock();
+        edge(header, body);
+        edge(header, exitB);
+
+        breakTargets.push_back(exitB);
+        continueTargets.push_back(header);
+        cur = body;
+        i = parseStatement(i);
+        edge(cur, header);
+        breakTargets.pop_back();
+        continueTargets.pop_back();
+
+        cur = exitB;
+        return i;
+    }
+
+    std::size_t
+    parseDo(std::size_t i)
+    {
+        emit(i); // 'do'
+        ++i;
+        const int body = newBlock();
+        const int cond = newBlock();
+        const int exitB = newBlock();
+        edge(cur, body);
+
+        breakTargets.push_back(exitB);
+        continueTargets.push_back(cond);
+        cur = body;
+        i = parseStatement(i);
+        edge(cur, cond);
+        breakTargets.pop_back();
+        continueTargets.pop_back();
+
+        cur = cond;
+        // `while ( ... ) ;`
+        if (i < toks.size() && toks[i].is("while")) {
+            emit(i);
+            i = emitToParen(i + 1);
+            i = emitParen(i);
+            if (i < toks.size() && toks[i].is(";")) {
+                emit(i);
+                ++i;
+            }
+        }
+        edge(cond, body);
+        edge(cond, exitB);
+        cur = exitB;
+        return i;
+    }
+
+    std::size_t
+    parseFor(std::size_t i)
+    {
+        emit(i); // 'for'
+        i = emitToParen(i + 1);
+        if (i >= toks.size() || !toks[i].is("(")) {
+            // Malformed; degrade to an expression statement.
+            return parseExprStatement(i);
+        }
+        const std::size_t open = i;
+        std::size_t close = matchParenFwd(toks, open);
+        if (close == static_cast<std::size_t>(-1))
+            close = toks.size() - 1;
+
+        // Split the parenthesis content on top-level ';'.
+        std::vector<std::size_t> semis;
+        int depth = 0;
+        for (std::size_t k = open; k <= close; ++k) {
+            if (toks[k].is("(") || toks[k].is("[") || toks[k].is("{"))
+                ++depth;
+            else if (toks[k].is(")") || toks[k].is("]") ||
+                     toks[k].is("}"))
+                --depth;
+            else if (toks[k].is(";") && depth == 1)
+                semis.push_back(k);
+        }
+
+        if (semis.size() < 2) {
+            // Range-for (or macro): the whole head is the loop
+            // condition.
+            const int header = newBlock();
+            edge(cur, header);
+            cur = header;
+            for (std::size_t k = open; k <= close; ++k)
+                emit(k);
+            const int body = newBlock();
+            const int exitB = newBlock();
+            edge(header, body);
+            edge(header, exitB);
+            breakTargets.push_back(exitB);
+            continueTargets.push_back(header);
+            cur = body;
+            i = parseStatement(close + 1);
+            edge(cur, header);
+            breakTargets.pop_back();
+            continueTargets.pop_back();
+            cur = exitB;
+            return i;
+        }
+
+        // Classic for: init into the current block, condition into
+        // the header, increment into a latch block.
+        emit(open);
+        for (std::size_t k = open + 1; k <= semis[0]; ++k)
+            emit(k);
+
+        const int header = newBlock();
+        edge(cur, header);
+        cur = header;
+        for (std::size_t k = semis[0] + 1; k <= semis[1]; ++k)
+            emit(k);
+
+        const int body = newBlock();
+        const int latch = newBlock();
+        const int exitB = newBlock();
+        edge(header, body);
+        edge(header, exitB);
+
+        cur = latch;
+        for (std::size_t k = semis[1] + 1; k <= close; ++k)
+            emit(k);
+        edge(latch, header);
+
+        breakTargets.push_back(exitB);
+        continueTargets.push_back(latch);
+        cur = body;
+        i = parseStatement(close + 1);
+        edge(cur, latch);
+        breakTargets.pop_back();
+        continueTargets.pop_back();
+
+        cur = exitB;
+        return i;
+    }
+
+    std::size_t
+    parseSwitch(std::size_t i)
+    {
+        emit(i); // 'switch'
+        i = emitToParen(i + 1);
+        i = emitParen(i);
+        const int head = cur;
+        const int exitB = newBlock();
+        // A switch with no default may skip the whole body.
+        edge(head, exitB);
+
+        if (i >= toks.size() || !toks[i].is("{")) {
+            cur = exitB;
+            return i;
+        }
+
+        breakTargets.push_back(exitB);
+        emit(i); // '{'
+        ++i;
+        // Dead until the first case label.
+        cur = newBlock();
+        while (i < toks.size() && !toks[i].is("}")) {
+            if (toks[i].is("case") || toks[i].is("default")) {
+                const int caseB = newBlock();
+                edge(cur, caseB); // fallthrough
+                edge(head, caseB);
+                cur = caseB;
+                while (i < toks.size() && !toks[i].is(":")) {
+                    emit(i);
+                    ++i;
+                }
+                if (i < toks.size()) {
+                    emit(i); // ':'
+                    ++i;
+                }
+                continue;
+            }
+            i = parseStatement(i);
+        }
+        if (i < toks.size()) {
+            emit(i); // '}'
+            ++i;
+        }
+        edge(cur, exitB);
+        breakTargets.pop_back();
+        cur = exitB;
+        return i;
+    }
+
+    std::size_t
+    parseTry(std::size_t i)
+    {
+        emit(i); // 'try'
+        ++i;
+        const int preTry = cur;
+        const int tryB = newBlock();
+        edge(preTry, tryB);
+        cur = tryB;
+        if (i < toks.size() && toks[i].is("{"))
+            i = parseCompound(i);
+        const int tryEnd = cur;
+
+        const int join = newBlock();
+        edge(tryEnd, join);
+        while (i < toks.size() && toks[i].is("catch")) {
+            emit(i);
+            i = emitToParen(i + 1);
+            const int catchB = newBlock();
+            // An exception may fly out of any point of the try
+            // body; only facts established *before* the try are
+            // guaranteed in the handler.
+            edge(preTry, catchB);
+            cur = catchB;
+            i = emitParen(i);
+            if (i < toks.size() && toks[i].is("{"))
+                i = parseCompound(i);
+            edge(cur, join);
+        }
+        cur = join;
+        return i;
+    }
+
+    // -----------------------------------------------------------
+    // Dominators / post-dominators (iterative, Cooper-Harvey-
+    // Kennedy over reverse postorder).
+    // -----------------------------------------------------------
+
+    void
+    computeDominators()
+    {
+        cfg.idom = computeIdom(/*backward=*/false);
+        cfg.ipdom = computeIdom(/*backward=*/true);
+    }
+
+    std::vector<int>
+    computeIdom(bool backward)
+    {
+        const int n = static_cast<int>(cfg.blocks.size());
+        const int root = backward ? cfg.exit : cfg.entry;
+
+        // Postorder DFS from the root over succs (or preds).
+        std::vector<int> order; // postorder
+        std::vector<int> number(n, -1);
+        std::vector<int> state(n, 0);
+        std::vector<std::pair<int, std::size_t>> stack;
+        stack.push_back({root, 0});
+        state[root] = 1;
+        while (!stack.empty()) {
+            auto &[b, k] = stack.back();
+            const auto &next = backward ? cfg.blocks[b].preds
+                                        : cfg.blocks[b].succs;
+            if (k < next.size()) {
+                int s = next[k++];
+                if (state[s] == 0) {
+                    state[s] = 1;
+                    stack.push_back({s, 0});
+                }
+            } else {
+                number[b] = static_cast<int>(order.size());
+                order.push_back(b);
+                stack.pop_back();
+            }
+        }
+
+        std::vector<int> idom(n, -1);
+        idom[root] = root;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            // Reverse postorder.
+            for (std::size_t oi = order.size(); oi-- > 0;) {
+                const int b = order[oi];
+                if (b == root)
+                    continue;
+                const auto &preds = backward ? cfg.blocks[b].succs
+                                             : cfg.blocks[b].preds;
+                int newIdom = -1;
+                for (int p : preds) {
+                    if (number[p] < 0 || idom[p] < 0)
+                        continue; // unreachable or unprocessed
+                    if (newIdom < 0) {
+                        newIdom = p;
+                        continue;
+                    }
+                    // intersect(p, newIdom)
+                    int f1 = p, f2 = newIdom;
+                    while (f1 != f2) {
+                        while (number[f1] < number[f2])
+                            f1 = idom[f1];
+                        while (number[f2] < number[f1])
+                            f2 = idom[f2];
+                    }
+                    newIdom = f1;
+                }
+                if (newIdom >= 0 && idom[b] != newIdom) {
+                    idom[b] = newIdom;
+                    changed = true;
+                }
+            }
+        }
+        return idom;
+    }
+};
+
+/** Extract scope / name / signature range for the function whose
+ *  body '{' is at span.open. */
+void
+nameFunction(const std::vector<Token> &toks, const Structure &st,
+             const Span &span, Cfg &cfg)
+{
+    // Walk back over trailing qualifiers to the ')'.
+    std::size_t j = span.open;
+    while (j > 0 &&
+           (toks[j - 1].isIdent() ||
+            toks[j - 1].kind == Token::Kind::Number ||
+            isAnyOf(toks[j - 1],
+                    {"::", "<", ">", "*", "&", "->", ","})))
+        --j;
+    if (j == 0 || !toks[j - 1].is(")"))
+        return;
+    std::size_t close = j - 1;
+    std::size_t open = matchParenBack(toks, close);
+    if (open == static_cast<std::size_t>(-1) || open == 0)
+        return;
+    cfg.sigOpen = open;
+    cfg.sigClose = close;
+    // `[Scope ::]* name (`
+    if (!toks[open - 1].isIdent())
+        return;
+    cfg.fnName = toks[open - 1].text;
+    if (open >= 3 && toks[open - 2].is("::") &&
+        toks[open - 3].isIdent()) {
+        cfg.scopeName = toks[open - 3].text;
+    } else {
+        // Inline method: the enclosing class span names the scope.
+        int cls = st.enclosingClass(span.open);
+        if (cls >= 0)
+            cfg.scopeName = st.spans[cls].name;
+    }
+}
+
+} // namespace
+
+bool
+Cfg::dominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    int x = b;
+    // idom chains are acyclic except the entry's self-loop.
+    while (x >= 0 && idom[x] != x) {
+        x = idom[x];
+        if (x == a)
+            return true;
+    }
+    return x == a;
+}
+
+bool
+Cfg::postDominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    int x = b;
+    while (x >= 0 && ipdom[x] != x) {
+        x = ipdom[x];
+        if (x == a)
+            return true;
+    }
+    return x == a;
+}
+
+int
+Cfg::blockAt(std::size_t tok) const
+{
+    if (tok < bodyOpen || tok > bodyClose)
+        return -1;
+    return blockOfTok[tok - bodyOpen];
+}
+
+bool
+Cfg::isLoopHeader(int b) const
+{
+    for (int p : blocks[b].preds) {
+        if (dominates(b, p))
+            return true;
+    }
+    return false;
+}
+
+std::vector<Cfg>
+buildCfgs(const LexedFile &file, const Structure &st)
+{
+    std::vector<Cfg> out;
+    const auto &toks = file.tokens;
+    for (std::size_t si = 0; si < st.spans.size(); ++si) {
+        const Span &span = st.spans[si];
+        if (span.kind != Span::Kind::Function)
+            continue;
+        // Outermost function spans only: lambdas / local functions
+        // fold into the enclosing function's CFG.
+        if (st.enclosingFunction(span.open) >= 0)
+            continue;
+        if (span.close <= span.open)
+            continue;
+        Cfg cfg;
+        cfg.bodyOpen = span.open;
+        cfg.bodyClose = span.close;
+        nameFunction(toks, st, span, cfg);
+        CfgBuilder builder(toks, cfg);
+        builder.build();
+        out.push_back(std::move(cfg));
+    }
+    return out;
+}
+
+} // namespace simlint

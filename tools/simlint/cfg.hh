@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Structural and control-flow analysis for simlint v2.
+ *
+ * Three layers, all over the lexer's token stream (no libclang, no
+ * external deps):
+ *
+ *  1. Structure: brace spans classified as namespace / class /
+ *     function / other, with per-token innermost-span and paren-depth
+ *     maps. This is the same skeleton the v1 heuristics used; it now
+ *     lives here so the CFG builder and the rules share it.
+ *  2. Symbols: a lightweight symbol table mapping variable names to
+ *     declared type heads ("BoundedFifo", "DeviceId", ...), optionally
+ *     seeded from a companion header so member fifos declared in
+ *     `foo.hh` are visible while linting `foo.cc`.
+ *  3. CFG: per-function control-flow graphs built by a recursive
+ *     statement parser — basic blocks of token indices, branch /
+ *     loop / switch / try edges, dominators and post-dominators.
+ *
+ * The CFG is deliberately approximate where C++ is hard: lambda and
+ * brace-init bodies inside an expression are swallowed linearly into
+ * the current block (conservative for must-analyses), `goto` is
+ * treated as a plain statement, and exceptions only flow through the
+ * explicit try/catch edges. That is precise enough for the
+ * flow-sensitive rules while keeping the parser small and total: it
+ * never fails, it only degrades to coarser blocks.
+ */
+
+#ifndef SIMLINT_CFG_HH
+#define SIMLINT_CFG_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace simlint
+{
+
+// ---------------------------------------------------------------
+// Structure layer
+// ---------------------------------------------------------------
+
+/** One brace-delimited region of the file. */
+struct Span
+{
+    enum class Kind { Namespace, Class, Function, Other };
+    Kind kind = Kind::Other;
+    std::size_t open = 0;  ///< token index of '{'
+    std::size_t close = 0; ///< token index of matching '}'
+    int parent = -1;
+    bool hasBaseList = false; ///< Class: derives from something
+    std::string name;         ///< Class: the class name, if found
+};
+
+/** Brace spans + per-token maps shared by the rules and the CFG. */
+struct Structure
+{
+    std::vector<Span> spans;
+    /** Innermost enclosing span per token (-1 = file scope). */
+    std::vector<int> innermost;
+    /** Parenthesis nesting depth per token. */
+    std::vector<int> parenDepth;
+
+    /** Innermost *function* span containing token @p i, or -1. */
+    int enclosingFunction(std::size_t i) const;
+    /** Innermost *class* span containing token @p i, or -1. */
+    int enclosingClass(std::size_t i) const;
+};
+
+Structure analyzeStructure(const std::vector<Token> &toks);
+
+/** True when @p t equals any string in @p list. */
+bool isAnyOf(const Token &t, std::initializer_list<const char *> list);
+
+/** Index of the '(' matching the ')' at @p i, or npos. */
+std::size_t matchParenBack(const std::vector<Token> &toks,
+                           std::size_t i);
+
+/** Index of the ')' matching the '(' at @p i, or npos. */
+std::size_t matchParenFwd(const std::vector<Token> &toks,
+                          std::size_t i);
+
+// ---------------------------------------------------------------
+// Symbol layer
+// ---------------------------------------------------------------
+
+/**
+ * Where a variable of interest was declared and what its declared
+ * type head is ("BoundedFifo", "DeviceId", ...).
+ */
+struct SymbolInfo
+{
+    std::string type;
+    /** Token index of the declarator in its file, npos if from the
+     *  companion header (out-of-file). */
+    std::size_t declTok = static_cast<std::size_t>(-1);
+};
+
+/**
+ * Lightweight symbol table: names of variables / members / parameters
+ * declared with one of the requested type heads. Declarations match
+ * `Type [<...>] [&*const]* name`, which covers locals, members and
+ * parameters alike.
+ */
+class SymbolTable
+{
+  public:
+    /** Collect declarations of @p types from @p toks. Tokens from a
+     *  companion file record no declTok (they are out-of-file). */
+    void collect(const std::vector<Token> &toks,
+                 std::initializer_list<const char *> types,
+                 bool companion = false);
+
+    bool has(const std::string &name) const
+    {
+        return syms.count(name) != 0;
+    }
+    /** Declared type head of @p name, or "" if unknown. */
+    const std::string &typeOf(const std::string &name) const;
+    /** Declarator token index of @p name (npos if companion). */
+    std::size_t declTokOf(const std::string &name) const;
+
+  private:
+    std::map<std::string, SymbolInfo> syms;
+    static const std::string empty;
+};
+
+// ---------------------------------------------------------------
+// CFG layer
+// ---------------------------------------------------------------
+
+/** One basic block: a run of tokens with single-entry control flow
+ *  (approximately — see file header). */
+struct BasicBlock
+{
+    std::vector<std::size_t> tokens; ///< ascending token indices
+    std::vector<int> succs, preds;
+};
+
+/** Per-function control-flow graph. */
+struct Cfg
+{
+    /** Unqualified function name ("send"), empty if not derivable. */
+    std::string fnName;
+    /** Qualifying scope ("Interconnect" for Interconnect::send), or
+     *  the enclosing class name for inline methods; empty for free
+     *  functions. */
+    std::string scopeName;
+
+    std::size_t sigOpen = 0;  ///< '(' of the parameter list (or 0)
+    std::size_t sigClose = 0; ///< matching ')'
+    std::size_t bodyOpen = 0; ///< '{' of the body
+    std::size_t bodyClose = 0;
+
+    int entry = 0;
+    int exit = 0;
+    std::vector<BasicBlock> blocks;
+
+    /** Immediate dominator per block; entry maps to itself,
+     *  unreachable blocks map to -1. */
+    std::vector<int> idom;
+    /** Immediate post-dominator per block; exit maps to itself. */
+    std::vector<int> ipdom;
+
+    /** True if block @p a dominates block @p b. */
+    bool dominates(int a, int b) const;
+    /** True if block @p a post-dominates block @p b. */
+    bool postDominates(int a, int b) const;
+    /** Block containing token @p tok, or -1 when outside the body. */
+    int blockAt(std::size_t tok) const;
+    /** True if @p b is a natural-loop header (has a back edge). */
+    bool isLoopHeader(int b) const;
+
+    // Internal: token -> block map over [bodyOpen, bodyClose].
+    std::vector<int> blockOfTok;
+};
+
+/**
+ * Build one CFG per outermost function span of @p file. Lambdas and
+ * local structs nested inside a function body are folded into the
+ * enclosing function's CFG (their tokens join the block active at
+ * their position).
+ */
+std::vector<Cfg> buildCfgs(const LexedFile &file,
+                           const Structure &structure);
+
+} // namespace simlint
+
+#endif // SIMLINT_CFG_HH

@@ -1,0 +1,166 @@
+#include "dataflow.hh"
+
+#include <algorithm>
+
+namespace simlint
+{
+
+FactSet::FactSet(int numFacts, bool full)
+    : w((numFacts + 63) / 64, full ? ~std::uint64_t{0} : 0)
+{
+    if (full && numFacts % 64)
+        w.back() = (std::uint64_t{1} << (numFacts % 64)) - 1;
+}
+
+void
+FactSet::set(int f)
+{
+    w[f / 64] |= std::uint64_t{1} << (f % 64);
+}
+
+bool
+FactSet::test(int f) const
+{
+    if (w.empty())
+        return false;
+    return (w[f / 64] >> (f % 64)) & 1;
+}
+
+bool
+FactSet::intersectWith(const FactSet &o)
+{
+    bool changed = false;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        std::uint64_t v = w[i] & o.w[i];
+        if (v != w[i]) {
+            w[i] = v;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+void
+FactSet::uniteWith(const FactSet &o)
+{
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] |= o.w[i];
+}
+
+MustAnalysis::MustAnalysis(const Cfg &c, int n)
+    : cfg(c), numFacts(n), genOf(c.blocks.size()),
+      blockGen(c.blocks.size(), FactSet(n))
+{
+}
+
+void
+MustAnalysis::genAt(std::size_t tok, int f)
+{
+    int b = cfg.blockAt(tok);
+    if (b < 0)
+        return;
+    genOf[b].push_back({tok, f});
+    blockGen[b].set(f);
+}
+
+void
+ForwardMust::solve()
+{
+    const std::size_t n = cfg.blocks.size();
+    for (auto &g : genOf)
+        std::sort(g.begin(), g.end());
+
+    // Optimistic init: TOP (all facts) everywhere except the entry.
+    in.assign(n, FactSet(numFacts, true));
+    in[cfg.entry] = FactSet(numFacts);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < n; ++b) {
+            if (static_cast<int>(b) == cfg.entry)
+                continue;
+            FactSet v(numFacts, true);
+            bool any = false;
+            for (int p : cfg.blocks[b].preds) {
+                FactSet o = in[p];
+                o.uniteWith(blockGen[p]);
+                v.intersectWith(o);
+                any = true;
+            }
+            if (!any)
+                continue; // unreachable: stays TOP
+            if (!(v == in[b])) {
+                in[b] = v;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+ForwardMust::holdsBefore(std::size_t tok, int f) const
+{
+    int b = cfg.blockAt(tok);
+    if (b < 0)
+        return false;
+    if (in[b].test(f))
+        return true;
+    for (const auto &[t, g] : genOf[b]) {
+        if (t >= tok)
+            break;
+        if (g == f)
+            return true;
+    }
+    return false;
+}
+
+void
+BackwardMust::solve()
+{
+    const std::size_t n = cfg.blocks.size();
+    for (auto &g : genOf)
+        std::sort(g.begin(), g.end());
+
+    out.assign(n, FactSet(numFacts, true));
+    out[cfg.exit] = FactSet(numFacts);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < n; ++b) {
+            if (static_cast<int>(b) == cfg.exit)
+                continue;
+            FactSet v(numFacts, true);
+            bool any = false;
+            for (int s : cfg.blocks[b].succs) {
+                FactSet o = out[s];
+                o.uniteWith(blockGen[s]);
+                v.intersectWith(o);
+                any = true;
+            }
+            if (!any)
+                continue;
+            if (!(v == out[b])) {
+                out[b] = v;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+BackwardMust::holdsAfter(std::size_t tok, int f) const
+{
+    int b = cfg.blockAt(tok);
+    if (b < 0)
+        return false;
+    // A gen later in the same block satisfies every path.
+    for (const auto &[t, g] : genOf[b]) {
+        if (t > tok && g == f)
+            return true;
+    }
+    return out[b].test(f);
+}
+
+} // namespace simlint

@@ -1,0 +1,50 @@
+// simlint fixture: allow() interaction with multi-line flow-sensitive
+// findings, and stale-suppression (unused-suppression) detection.
+//
+// Flow findings anchor at the *push* line even when the reasoning
+// spans the whole function, so an allow() must sit on the push line
+// or the line directly above it — an allow() parked elsewhere in the
+// function does not apply, and any allow() that suppresses nothing
+// is itself reported. Not compiled — lexed by the self-test.
+
+#include "common/fifo.hh"
+
+struct Item
+{
+    int v;
+};
+
+void
+suppressedFlowFinding(scusim::BoundedFifo<Item> &q, Item it)
+{
+    // upstream reserve() guarantees space on this path
+    // simlint: allow(fifo-unguarded-push)
+    q.push(it);
+}
+
+void
+allowOnThePushLine(scusim::BoundedFifo<Item> &q, Item it)
+{
+    q.push(it); // simlint: allow(fifo-unguarded-push)
+}
+
+void
+staleAfterFix(scusim::BoundedFifo<Item> &q, Item it)
+{
+    if (q.full())
+        return;
+    // The guard above already satisfies the rule, so this allow()
+    // suppresses nothing and is flagged as stale.
+    // simlint: allow(fifo-unguarded-push), expect(unused-suppression)
+    q.push(it);
+}
+
+void
+allowTooFarAway(scusim::BoundedFifo<Item> &q, Item it)
+{
+    // An allow() several lines above the anchor does not apply:
+    // simlint: allow(fifo-unguarded-push), expect(unused-suppression)
+    int filler = it.v;
+    (void)filler;
+    q.push(it); // simlint: expect(fifo-unguarded-push)
+}

@@ -1,0 +1,64 @@
+// simlint fixture: device-zero-hardcode.
+//
+// Code that receives a DeviceId but indexes a per-device resource
+// with literal 0 silently reads device 0's state for every shard.
+// An explicit dominating comparison of the DeviceId against a
+// literal marks deliberate device-0 special-casing and suppresses
+// the finding. Not compiled — lexed by the self-test.
+
+struct System
+{
+    int *gpuDevice(int d);
+    int *memory(int d);
+    int *link(int src, int dst);
+};
+
+using DeviceId = int;
+
+int *
+resolveWrong(System &sys, DeviceId dev)
+{
+    return sys.gpuDevice(0); // simlint: expect(device-zero-hardcode)
+}
+
+int *
+resolveRight(System &sys, DeviceId dev)
+{
+    return sys.gpuDevice(dev);
+}
+
+int *
+multiArgWrong(System &sys, DeviceId dev)
+{
+    return sys.link(dev, 0); // simlint: expect(device-zero-hardcode)
+}
+
+int *
+specialCaseHost(System &sys, DeviceId dev)
+{
+    // Deliberate special-casing: the comparison dominates the access.
+    if (dev == 0)
+        return sys.gpuDevice(0);
+    return sys.memory(dev);
+}
+
+int *
+specialCaseNotEqual(System &sys, DeviceId dev)
+{
+    if (dev != 0)
+        return sys.memory(dev);
+    return sys.gpuDevice(0);
+}
+
+int *
+noDeviceParamIsFine(System &sys)
+{
+    // Without a DeviceId in scope there is nothing to forward.
+    return sys.gpuDevice(0);
+}
+
+int *
+nonLiteralArgIsFine(System &sys, DeviceId dev, int base)
+{
+    return sys.memory(base + 0 * dev);
+}

@@ -1,4 +1,6 @@
-// simlint fixture: fifo-unguarded-push.
+// simlint fixture: fifo-unguarded-push (flow-sensitive v2:
+// a full()/space() consult must hold on *every* path from the
+// function entry to the push — guard-dominates-push).
 // Not compiled — lexed by the self-test; every expect() below must
 // fire exactly once, nothing else may.
 
@@ -29,6 +31,66 @@ spaceGuardedProducer(scusim::BoundedFifo<Packet> &q, Packet p)
 {
     if (q.space() >= 1)
         q.push(p);
+}
+
+void
+guardAfterPushIsNoGuard(scusim::BoundedFifo<Packet> &q, Packet p)
+{
+    // The consult exists but happens too late: the push is reached
+    // first. v1 ("full() somewhere in the function") missed this.
+    q.push(p); // simlint: expect(fifo-unguarded-push)
+    if (q.full())
+        return;
+}
+
+void
+branchOnlyGuardIsNoGuard(scusim::BoundedFifo<Packet> &q, Packet p,
+                         bool noisy)
+{
+    // The consult only happens on the noisy path; the quiet path
+    // reaches the push unguarded. v1 missed this too.
+    if (noisy) {
+        bool wasFull = q.full();
+        (void)wasFull;
+    }
+    q.push(p); // simlint: expect(fifo-unguarded-push)
+}
+
+void
+bothBranchesGuard(scusim::BoundedFifo<Packet> &q, Packet p, bool a)
+{
+    // Multiple gen sites: every path consults, so the push is fine
+    // even though no single consult dominates it.
+    if (a) {
+        if (q.full())
+            return;
+    } else {
+        while (q.full())
+            q.pop();
+    }
+    q.push(p);
+}
+
+void
+drainThenPush(scusim::BoundedFifo<Packet> &q, Packet p)
+{
+    // Loop-header consult dominates the loop exit.
+    while (q.full())
+        q.pop();
+    q.push(p);
+}
+
+void
+lambdaSeesOuterGuard(scusim::BoundedFifo<Packet> &q, Packet p)
+{
+    // The push sits inside a lambda but the dominating consult is in
+    // the enclosing function: the CFG folds the lambda body into the
+    // enclosing flow, so this is clean. v1 anchored the search to the
+    // innermost brace span and false-positived here.
+    if (q.full())
+        return;
+    auto doPush = [&] { q.push(p); };
+    doPush();
 }
 
 void

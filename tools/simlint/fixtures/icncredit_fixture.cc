@@ -1,0 +1,82 @@
+// simlint fixture: icn-credit-leak.
+//
+// In a function that both inspects (front()/top()) and pops a queue,
+// every inspect must be followed by a pop on all paths to the exit —
+// otherwise the element stays queued and its flow-control credit is
+// never returned. Loop-header inspections (the scan idiom) are
+// exempt; inspect-only functions (peek accessors) are out of scope.
+// Not compiled — lexed by the self-test.
+
+#include <queue>
+
+struct Msg
+{
+    int dst;
+};
+
+struct Rx
+{
+    std::queue<Msg> q;
+    bool accept(const Msg &m);
+    void deliverLeak();
+    void deliverClean();
+    void scanIdiom(int now);
+    int drainThenPeek(int now);
+    bool peekOnly(Msg &out);
+};
+
+void
+Rx::deliverLeak()
+{
+    if (q.empty())
+        return;
+    Msg m = q.front(); // simlint: expect(icn-credit-leak)
+    if (!accept(m))
+        return; // early exit leaves m queued: credit never returned
+    q.pop();
+}
+
+void
+Rx::deliverClean()
+{
+    if (q.empty())
+        return;
+    Msg m = q.front();
+    bool ok = accept(m);
+    (void)ok;
+    q.pop();
+}
+
+void
+Rx::scanIdiom(int now)
+{
+    // front() in a loop header is the drain-scan idiom: the one
+    // inspect that doesn't pop is the loop-exit test itself.
+    while (!q.empty() && q.front().dst <= now) {
+        q.pop();
+    }
+}
+
+int
+Rx::drainThenPeek(int now)
+{
+    // Pops happen strictly *before* the inspect: from the final
+    // peek no pop is reachable, so nothing "started consuming" —
+    // this is the scheduler's drain-then-read-earliest idiom.
+    while (!q.empty() && q.front().dst < now)
+        q.pop();
+    if (q.empty())
+        return -1;
+    return q.front().dst;
+}
+
+bool
+Rx::peekOnly(Msg &out)
+{
+    // No pop anywhere in this function: a pure peek accessor, the
+    // caller owns the credit discipline.
+    if (q.empty())
+        return false;
+    out = q.front();
+    return true;
+}

@@ -1,0 +1,86 @@
+// simlint fixture: wake-not-armed.
+//
+// A Clocked component (detected here by this file defining
+// Worker::tick) that enqueues pending work outside tick() must call
+// notifyWake() on every path after the push, or the event-driven
+// scheduler may never service the work.
+// Not compiled — lexed by the self-test.
+
+#include "common/fifo.hh"
+
+struct Job
+{
+    int id;
+};
+
+struct Worker
+{
+    void tick();
+    void enqueue(Job j);
+    void enqueueArmed(Job j);
+    void enqueueBranchyArm(Job j, bool urgent);
+    void enqueueEitherPathArms(Job j, bool urgent);
+    void localScratch(Job j);
+    void notifyWake();
+    scusim::BoundedFifo<Job> inbox{8};
+};
+
+void
+Worker::tick()
+{
+    // tick() itself is exempt: the scheduler re-derives the next
+    // wake from nextWakeTick() after every delivery.
+    if (!inbox.full())
+        inbox.push(Job{0});
+}
+
+void
+Worker::enqueue(Job j)
+{
+    if (inbox.full())
+        return;
+    inbox.push(j); // simlint: expect(wake-not-armed)
+}
+
+void
+Worker::enqueueArmed(Job j)
+{
+    if (inbox.full())
+        return;
+    inbox.push(j);
+    notifyWake();
+}
+
+void
+Worker::enqueueBranchyArm(Job j, bool urgent)
+{
+    if (inbox.full())
+        return;
+    // Arming only on the urgent path leaves the quiet path asleep.
+    inbox.push(j); // simlint: expect(wake-not-armed)
+    if (urgent)
+        notifyWake();
+}
+
+void
+Worker::enqueueEitherPathArms(Job j, bool urgent)
+{
+    if (inbox.full())
+        return;
+    inbox.push(j);
+    // Both branches arm: the wake post-dominates the push.
+    if (urgent)
+        notifyWake();
+    else
+        notifyWake();
+}
+
+void
+Worker::localScratch(Job j)
+{
+    // A fifo declared inside the function is local scratch, not
+    // scheduler-visible pending work: no wake needed.
+    scusim::BoundedFifo<Job> tmp(4);
+    if (!tmp.full())
+        tmp.push(j);
+}

@@ -115,7 +115,11 @@ lex(const std::string &path, const std::string &source)
             continue;
         }
 
-        // Preprocessor directive: skip to end of (continued) line.
+        // Preprocessor directive: skip to end of (continued) line,
+        // but still honor control comments riding on it (an
+        // `#include` carrying an allow() suppression) — without
+        // this the directive would be silently dropped along with
+        // the rest of the line.
         if (c == '#' && atLineStart) {
             while (i < n) {
                 if (source[i] == '\\' && peek(1) == '\n') {
@@ -125,6 +129,15 @@ lex(const std::string &path, const std::string &source)
                 }
                 if (source[i] == '\n')
                     break;
+                if (source[i] == '/' && peek(1) == '/') {
+                    std::size_t end = source.find('\n', i);
+                    if (end == std::string::npos)
+                        end = n;
+                    parseDirectives(source.substr(i, end - i), line,
+                                    out.directives);
+                    i = end;
+                    break;
+                }
                 ++i;
             }
             continue;

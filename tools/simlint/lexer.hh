@@ -37,7 +37,9 @@ struct Token
     bool isIdent() const { return kind == Kind::Identifier; }
 };
 
-/** A `// simlint: allow(rule)` / `expect(rule)` control comment. */
+/** A control comment: `allow(rule)` suppresses a finding,
+ *  `expect(rule)` asserts one fires (self-test fixtures). Both ride
+ *  in comments carrying the tool's name followed by a colon. */
 struct Directive
 {
     enum class Kind

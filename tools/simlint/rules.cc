@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <set>
 #include <string>
+
+#include "cfg.hh"
+#include "dataflow.hh"
 
 namespace simlint
 {
@@ -12,186 +16,39 @@ namespace
 {
 
 // ---------------------------------------------------------------
-// Structural analysis: brace spans (namespace / class / function /
-// other) and per-token nesting, shared by the rules.
+// Shared context: structure + CFGs + symbol tables, built once per
+// file and handed to every rule.
 // ---------------------------------------------------------------
 
-struct Span
+struct Engine
 {
-    enum class Kind { Namespace, Class, Function, Other };
-    Kind kind = Kind::Other;
-    std::size_t open = 0;  ///< token index of '{'
-    std::size_t close = 0; ///< token index of matching '}'
-    int parent = -1;
-    bool hasBaseList = false; ///< Class: derives from something
+    const LexedFile &file;
+    Structure st;
+    std::vector<Cfg> cfgs;
+    /** BoundedFifo-typed variables/members (incl. companion header). */
+    SymbolTable fifoSyms;
+
+    explicit Engine(const LexedFile &f, const LexedFile *companion)
+        : file(f), st(analyzeStructure(f.tokens)),
+          cfgs(buildCfgs(f, st))
+    {
+        fifoSyms.collect(f.tokens, {"BoundedFifo"});
+        if (companion)
+            fifoSyms.collect(companion->tokens, {"BoundedFifo"},
+                             /*companion=*/true);
+    }
+
+    /** CFG whose body contains token @p tok, or nullptr. */
+    const Cfg *
+    cfgAt(std::size_t tok) const
+    {
+        for (const Cfg &c : cfgs) {
+            if (tok >= c.bodyOpen && tok <= c.bodyClose)
+                return &c;
+        }
+        return nullptr;
+    }
 };
-
-struct Analysis
-{
-    std::vector<Span> spans;
-    /** Innermost enclosing span per token (-1 = file scope). */
-    std::vector<int> innermost;
-    /** Parenthesis nesting depth per token. */
-    std::vector<int> parenDepth;
-};
-
-bool
-isAnyOf(const Token &t, std::initializer_list<const char *> list)
-{
-    for (const char *s : list) {
-        if (t.text == s)
-            return true;
-    }
-    return false;
-}
-
-/** Index of the '(' matching the ')' at @p i, or npos. */
-std::size_t
-matchParenBack(const std::vector<Token> &toks, std::size_t i)
-{
-    int depth = 0;
-    for (std::size_t j = i + 1; j-- > 0;) {
-        if (toks[j].is(")"))
-            ++depth;
-        else if (toks[j].is("(") && --depth == 0)
-            return j;
-    }
-    return static_cast<std::size_t>(-1);
-}
-
-/** Index of the ')' matching the '(' at @p i, or npos. */
-std::size_t
-matchParenFwd(const std::vector<Token> &toks, std::size_t i)
-{
-    int depth = 0;
-    for (std::size_t j = i; j < toks.size(); ++j) {
-        if (toks[j].is("("))
-            ++depth;
-        else if (toks[j].is(")") && --depth == 0)
-            return j;
-    }
-    return static_cast<std::size_t>(-1);
-}
-
-/** Classify the '{' at token @p i (see Span::Kind). */
-Span
-classifyBrace(const std::vector<Token> &toks, std::size_t i)
-{
-    Span s;
-    s.open = i;
-
-    // namespace Foo::Bar {  /  namespace {
-    {
-        std::size_t k = i;
-        while (k > 0 && !toks[k - 1].is("namespace") &&
-               (toks[k - 1].isIdent() || toks[k - 1].is("::")))
-            --k;
-        if (k > 0 && toks[k - 1].is("namespace")) {
-            s.kind = Span::Kind::Namespace;
-            return s;
-        }
-    }
-
-    // Function body: '...)' [qualifiers / trailing return] '{'
-    {
-        std::size_t j = i;
-        while (j > 0 &&
-               (toks[j - 1].isIdent() ||
-                toks[j - 1].kind == Token::Kind::Number ||
-                isAnyOf(toks[j - 1],
-                        {"::", "<", ">", "*", "&", "->", ","})) &&
-               !isAnyOf(toks[j - 1],
-                        {"class", "struct", "union", "enum",
-                         "namespace", "else", "do", "try",
-                         "return"}))
-            --j;
-        if (j > 0 && toks[j - 1].is(")")) {
-            std::size_t open = matchParenBack(toks, j - 1);
-            if (open != static_cast<std::size_t>(-1) && open > 0 &&
-                isAnyOf(toks[open - 1],
-                        {"if", "for", "while", "switch", "catch"})) {
-                s.kind = Span::Kind::Other;
-            } else {
-                s.kind = Span::Kind::Function;
-            }
-            return s;
-        }
-    }
-
-    // Class-like: window back to the previous ';' / '{' / '}'.
-    {
-        std::size_t w = i;
-        while (w > 0 && !isAnyOf(toks[w - 1], {";", "{", "}"}))
-            --w;
-        for (std::size_t t = w; t < i; ++t) {
-            if (isAnyOf(toks[t], {"class", "struct", "union",
-                                  "enum"})) {
-                s.kind = Span::Kind::Class;
-                for (std::size_t b = t + 1; b < i; ++b) {
-                    if (toks[b].is(":")) {
-                        s.hasBaseList = true;
-                        break;
-                    }
-                }
-                return s;
-            }
-        }
-    }
-
-    s.kind = Span::Kind::Other;
-    return s;
-}
-
-Analysis
-analyze(const std::vector<Token> &toks)
-{
-    Analysis a;
-    a.innermost.assign(toks.size(), -1);
-    a.parenDepth.assign(toks.size(), 0);
-
-    std::vector<int> stack;
-    int paren = 0;
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-        const Token &t = toks[i];
-        if (t.is("("))
-            ++paren;
-        a.parenDepth[i] = paren;
-        if (t.is(")") && paren > 0)
-            --paren;
-
-        if (t.is("{")) {
-            Span s = classifyBrace(toks, i);
-            s.parent = stack.empty() ? -1 : stack.back();
-            a.innermost[i] = s.parent;
-            stack.push_back(static_cast<int>(a.spans.size()));
-            a.spans.push_back(s);
-            continue;
-        }
-        if (t.is("}")) {
-            if (!stack.empty()) {
-                a.spans[stack.back()].close = i;
-                a.innermost[i] = stack.back();
-                stack.pop_back();
-            }
-            continue;
-        }
-        a.innermost[i] = stack.empty() ? -1 : stack.back();
-    }
-    // Unclosed spans (truncated file): close at EOF.
-    for (int idx : stack)
-        a.spans[idx].close = toks.empty() ? 0 : toks.size() - 1;
-    return a;
-}
-
-/** Innermost *function* span containing token @p i, or -1. */
-int
-enclosingFunction(const Analysis &a, std::size_t i)
-{
-    int s = a.innermost[i];
-    while (s >= 0 && a.spans[s].kind != Span::Kind::Function)
-        s = a.spans[s].parent;
-    return s;
-}
 
 /**
  * True when the identifier at @p i is a free-function call target:
@@ -217,7 +74,7 @@ isFreeCall(const std::vector<Token> &toks, std::size_t i)
  * not a call.
  */
 bool
-inClassDeclContext(const Analysis &a, std::size_t i)
+inClassDeclContext(const Structure &a, std::size_t i)
 {
     int s = a.innermost[i];
     return s >= 0 && a.spans[s].kind == Span::Kind::Class;
@@ -225,7 +82,7 @@ inClassDeclContext(const Analysis &a, std::size_t i)
 
 /**
  * Collect names of variables/members declared with the class
- * template @p tmpl: `tmpl<...> [&*const] name`.
+ * template @p tmpls: `tmpl<...> [&*const] name`.
  */
 std::set<std::string>
 templateVarNames(const std::vector<Token> &toks,
@@ -256,10 +113,6 @@ templateVarNames(const std::vector<Token> &toks,
     return names;
 }
 
-// ---------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------
-
 using FindingSink = std::vector<Finding>;
 
 void
@@ -269,47 +122,359 @@ addFinding(FindingSink &out, const LexedFile &f, int line,
     out.push_back(Finding{f.path, line, rule, std::move(msg)});
 }
 
+// ---------------------------------------------------------------
+// Flow-sensitive rules (CFG + must-dataflow)
+// ---------------------------------------------------------------
+
 /**
  * fifo-unguarded-push: BoundedFifo models hardware back-pressure;
- * push() on a full queue panics at runtime. Any function that pushes
- * must consult full() or space() first.
+ * push() on a full queue panics at runtime. v2 semantics: a
+ * full()/space() consult on the same fifo must hold on *every* path
+ * from the function entry to the push (guard-dominates-push via
+ * forward must-analysis), replacing the v1 "full()/space() appears
+ * somewhere in the enclosing function" approximation. Guards inside
+ * the surrounding function now correctly cover pushes in nested
+ * lambdas, and a guard that only exists on some paths (or only
+ * after the push) no longer counts.
  */
 void
-ruleFifoUnguardedPush(const LexedFile &f, const Analysis &a,
-                      FindingSink &out)
+ruleFifoUnguardedPush(const Engine &e, FindingSink &out)
 {
-    const auto &toks = f.tokens;
-    auto fifos = templateVarNames(toks, {"BoundedFifo"});
-    if (fifos.empty())
-        return;
-    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
-        if (!toks[i].isIdent() || !fifos.count(toks[i].text))
-            continue;
-        if (!(toks[i + 1].is(".") || toks[i + 1].is("->")))
-            continue;
-        if (!toks[i + 2].is("push") || !toks[i + 3].is("("))
-            continue;
-        int fn = enclosingFunction(a, i);
-        if (fn < 0)
-            continue;
-        const Span &span = a.spans[fn];
-        bool guarded = false;
-        for (std::size_t k = span.open; k <= span.close; ++k) {
-            if (toks[k].isIdent() &&
-                (toks[k].is("full") || toks[k].is("space"))) {
-                guarded = true;
-                break;
-            }
+    const auto &toks = e.file.tokens;
+    for (const Cfg &cfg : e.cfgs) {
+        // Map each pushed/consulted fifo name to a fact id lazily.
+        std::map<std::string, int> fact;
+        auto factOf = [&](const std::string &n) {
+            auto it = fact.find(n);
+            if (it != fact.end())
+                return it->second;
+            int id = static_cast<int>(fact.size());
+            fact.emplace(n, id);
+            return id;
+        };
+
+        struct PushSite
+        {
+            std::size_t tok;
+            std::string name;
+        };
+        std::vector<PushSite> pushes;
+        std::vector<std::pair<std::size_t, std::string>> guards;
+
+        for (std::size_t i = cfg.bodyOpen;
+             i + 3 <= cfg.bodyClose; ++i) {
+            if (!toks[i].isIdent() ||
+                !e.fifoSyms.has(toks[i].text))
+                continue;
+            if (!(toks[i + 1].is(".") || toks[i + 1].is("->")))
+                continue;
+            if (!toks[i + 3].is("("))
+                continue;
+            if (toks[i + 2].is("push"))
+                pushes.push_back({i, toks[i].text});
+            else if (toks[i + 2].is("full") ||
+                     toks[i + 2].is("space"))
+                guards.push_back({i + 2, toks[i].text});
         }
-        if (!guarded) {
-            addFinding(out, f, toks[i].line, "fifo-unguarded-push",
-                       "BoundedFifo '" + toks[i].text +
-                           "'.push() with no full()/space() "
-                           "back-pressure check in the enclosing "
-                           "function");
+        if (pushes.empty())
+            continue;
+
+        for (const auto &p : pushes)
+            factOf(p.name);
+        for (const auto &g : guards)
+            factOf(g.second);
+
+        ForwardMust fm(cfg, static_cast<int>(fact.size()));
+        for (const auto &[tok, name] : guards)
+            fm.genAt(tok, fact[name]);
+        fm.solve();
+
+        for (const auto &p : pushes) {
+            if (fm.holdsBefore(p.tok, fact[p.name]))
+                continue;
+            addFinding(out, e.file, toks[p.tok].line,
+                       "fifo-unguarded-push",
+                       "BoundedFifo '" + p.name +
+                           "'.push() is reachable without a "
+                           "full()/space() back-pressure consult on "
+                           "every path (guard must dominate the "
+                           "push)");
         }
     }
 }
+
+/**
+ * wake-not-armed: under the event-driven scheduler, a Clocked
+ * component that gains pending work outside tick() must call
+ * notifyWake(), or the scheduler may never service it (a hang the
+ * polling oracle hides). Trigger: in a file that defines T::tick(),
+ * any other member of T that pushes onto a (non-local) BoundedFifo
+ * must reach a notifyWake() on every path from the push to the
+ * function exit (backward must-analysis — the arm has to
+ * post-dominate the enqueue).
+ */
+void
+ruleWakeNotArmed(const Engine &e, FindingSink &out)
+{
+    const auto &toks = e.file.tokens;
+    std::set<std::string> clockedScopes;
+    for (const Cfg &c : e.cfgs) {
+        if (c.fnName == "tick" && !c.scopeName.empty())
+            clockedScopes.insert(c.scopeName);
+    }
+    if (clockedScopes.empty())
+        return;
+
+    for (const Cfg &cfg : e.cfgs) {
+        if (!clockedScopes.count(cfg.scopeName))
+            continue;
+        // tick() itself is re-derived by the scheduler after every
+        // delivery; constructors run before the scheduler arms.
+        if (cfg.fnName == "tick" || cfg.fnName == cfg.scopeName ||
+            cfg.fnName.empty())
+            continue;
+
+        std::vector<std::size_t> pushes;
+        std::vector<std::size_t> arms;
+        for (std::size_t i = cfg.bodyOpen;
+             i + 3 <= cfg.bodyClose; ++i) {
+            if (toks[i].isIdent() && toks[i].is("notifyWake") &&
+                i + 1 <= cfg.bodyClose && toks[i + 1].is("(")) {
+                arms.push_back(i);
+                continue;
+            }
+            if (!toks[i].isIdent() ||
+                !e.fifoSyms.has(toks[i].text))
+                continue;
+            // A fifo declared inside this very function is local
+            // scratch, not scheduler-visible pending work.
+            std::size_t decl = e.fifoSyms.declTokOf(toks[i].text);
+            if (decl != static_cast<std::size_t>(-1) &&
+                decl >= cfg.bodyOpen && decl <= cfg.bodyClose)
+                continue;
+            if ((toks[i + 1].is(".") || toks[i + 1].is("->")) &&
+                toks[i + 2].is("push") && toks[i + 3].is("("))
+                pushes.push_back(i);
+        }
+        if (pushes.empty())
+            continue;
+
+        BackwardMust bm(cfg, 1);
+        for (std::size_t a : arms)
+            bm.genAt(a, 0);
+        bm.solve();
+
+        for (std::size_t p : pushes) {
+            if (bm.holdsAfter(p, 0))
+                continue;
+            addFinding(out, e.file, toks[p].line, "wake-not-armed",
+                       "'" + cfg.scopeName + "::" + cfg.fnName +
+                           "' enqueues pending work outside tick() "
+                           "but notifyWake() does not post-dominate "
+                           "the push; the event-driven scheduler "
+                           "may never service it");
+        }
+    }
+}
+
+/**
+ * device-zero-hardcode: code that receives a DeviceId but indexes a
+ * per-device resource with literal 0 silently reads device 0's
+ * state for every shard. Flow exception: a dominating comparison of
+ * the DeviceId parameter against a literal (e.g. `if (dev == 0)`)
+ * marks deliberate device-0 special-casing.
+ */
+void
+ruleDeviceZeroHardcode(const Engine &e, FindingSink &out)
+{
+    static const std::set<std::string> accessors = {
+        "gpuDevice", "scuDevice",        "memory",
+        "addressSpace", "activitySnapshot", "scuSection",
+        "fragment",  "drain",            "link",
+        "canSend"};
+
+    const auto &toks = e.file.tokens;
+    for (const Cfg &cfg : e.cfgs) {
+        if (cfg.sigClose <= cfg.sigOpen)
+            continue;
+        // DeviceId-typed parameters of this function.
+        std::set<std::string> devParams;
+        for (std::size_t i = cfg.sigOpen + 1; i < cfg.sigClose;
+             ++i) {
+            if (!toks[i].is("DeviceId"))
+                continue;
+            std::size_t j = i + 1;
+            while (j < cfg.sigClose &&
+                   isAnyOf(toks[j], {"&", "*", "const"}))
+                ++j;
+            if (j < cfg.sigClose && toks[j].isIdent())
+                devParams.insert(toks[j].text);
+        }
+        if (devParams.empty())
+            continue;
+
+        // Fact 0: the DeviceId was explicitly compared against a
+        // literal (deliberate special-casing).
+        ForwardMust fm(cfg, 1);
+        for (std::size_t i = cfg.bodyOpen; i + 2 <= cfg.bodyClose;
+             ++i) {
+            bool cmp = false;
+            if (toks[i].isIdent() && devParams.count(toks[i].text) &&
+                (toks[i + 1].is("=") || toks[i + 1].is("!")) &&
+                toks[i + 2].is("="))
+                cmp = true;
+            if (toks[i].kind == Token::Kind::Number &&
+                toks[i + 1].is("=") && toks[i + 2].is("=") &&
+                i + 3 <= cfg.bodyClose && toks[i + 3].isIdent() &&
+                devParams.count(toks[i + 3].text))
+                cmp = true;
+            if (cmp)
+                fm.genAt(i, 0);
+        }
+        fm.solve();
+
+        for (std::size_t i = cfg.bodyOpen; i + 1 <= cfg.bodyClose;
+             ++i) {
+            if (!toks[i].isIdent() || !accessors.count(toks[i].text))
+                continue;
+            if (!toks[i + 1].is("("))
+                continue;
+            std::size_t close = matchParenFwd(toks, i + 1);
+            if (close == static_cast<std::size_t>(-1))
+                continue;
+            // A literal 0 as a complete top-level argument.
+            int depth = 0;
+            bool zeroArg = false;
+            for (std::size_t k = i + 1; k <= close && !zeroArg;
+                 ++k) {
+                if (toks[k].is("("))
+                    ++depth;
+                else if (toks[k].is(")"))
+                    --depth;
+                else if (depth == 1 && toks[k].is("0") &&
+                         (toks[k - 1].is("(") ||
+                          toks[k - 1].is(",")) &&
+                         (toks[k + 1].is(")") ||
+                          toks[k + 1].is(",")))
+                    zeroArg = true;
+            }
+            if (!zeroArg)
+                continue;
+            if (fm.holdsBefore(i, 0))
+                continue; // dominated by an explicit device check
+            addFinding(out, e.file, toks[i].line,
+                       "device-zero-hardcode",
+                       "'" + toks[i].text +
+                           "(0)' hardcodes device 0 inside code "
+                           "that receives a DeviceId; index with "
+                           "the parameter (or guard with an "
+                           "explicit device comparison)");
+        }
+    }
+}
+
+/**
+ * icn-credit-leak: queue completion paths must return the credit —
+ * once a function both inspects (front()/top()) and pops a queue, an
+ * inspect that *starts* consuming (a pop is reachable on some path)
+ * but does not finish on every path (pop does not post-dominate)
+ * leaves the element enqueued on the other paths: the message is
+ * re-delivered next tick and the link slot (its flow-control credit)
+ * is never freed. Two exemptions: a loop-header inspection
+ * (`while (!q.empty() && q.front() <= now)`) is the scan idiom, and
+ * an inspect from which no pop is reachable at all is a pure peek
+ * (e.g. reading the earliest wake tick after a drain loop) — the
+ * hazard is the may/must disagreement, not reading per se.
+ */
+/**
+ * True when some pop site in @p pops is reachable from the inspect
+ * at token @p s: later in the same block, or in any block reachable
+ * through successor edges (cycles included — re-reaching the
+ * inspect's own block makes its earlier pops reachable too).
+ */
+bool
+popMayFollow(const Cfg &cfg, const std::vector<std::size_t> &pops,
+             std::size_t s)
+{
+    int b = cfg.blockAt(s);
+    if (b < 0)
+        return false;
+    for (std::size_t p : pops) {
+        if (cfg.blockAt(p) == b && p > s)
+            return true;
+    }
+    std::vector<bool> seen(cfg.blocks.size(), false);
+    std::vector<int> stack(cfg.blocks[b].succs.begin(),
+                           cfg.blocks[b].succs.end());
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        if (seen[cur])
+            continue;
+        seen[cur] = true;
+        for (std::size_t p : pops) {
+            if (cfg.blockAt(p) == cur)
+                return true;
+        }
+        for (int nxt : cfg.blocks[cur].succs)
+            stack.push_back(nxt);
+    }
+    return false;
+}
+
+void
+ruleIcnCreditLeak(const Engine &e, FindingSink &out)
+{
+    const auto &toks = e.file.tokens;
+    for (const Cfg &cfg : e.cfgs) {
+        std::map<std::string, std::vector<std::size_t>> fronts,
+            pops;
+        for (std::size_t i = cfg.bodyOpen + 1;
+             i + 2 <= cfg.bodyClose; ++i) {
+            if (!toks[i].isIdent())
+                continue;
+            if (!(toks[i + 1].is(".") || toks[i + 1].is("->")))
+                continue;
+            if (!toks[i + 2].isIdent() ||
+                i + 3 > cfg.bodyClose || !toks[i + 3].is("("))
+                continue;
+            if (toks[i + 2].is("front") || toks[i + 2].is("top"))
+                fronts[toks[i].text].push_back(i + 2);
+            else if (toks[i + 2].is("pop"))
+                pops[toks[i].text].push_back(i + 2);
+        }
+
+        for (const auto &[name, sites] : fronts) {
+            auto pit = pops.find(name);
+            if (pit == pops.end())
+                continue; // inspect-only (peek accessors) is fine
+            BackwardMust bm(cfg, 1);
+            for (std::size_t p : pit->second)
+                bm.genAt(p, 0);
+            bm.solve();
+            for (std::size_t s : sites) {
+                int b = cfg.blockAt(s);
+                if (b >= 0 && cfg.isLoopHeader(b))
+                    continue; // scan guard in a loop condition
+                if (!popMayFollow(cfg, pit->second, s))
+                    continue; // pure peek: nothing started consuming
+                if (bm.holdsAfter(s, 0))
+                    continue;
+                addFinding(out, e.file, toks[s].line,
+                           "icn-credit-leak",
+                           "'" + name +
+                               "' is inspected here but pop() does "
+                               "not post-dominate the access: on "
+                               "some path the element stays queued "
+                               "and its credit is never returned");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Token-pattern rules (v1, ported onto the shared structure layer)
+// ---------------------------------------------------------------
 
 /**
  * nondeterminism: wall-clock and OS entropy sources make runs
@@ -317,16 +482,16 @@ ruleFifoUnguardedPush(const LexedFile &f, const Analysis &a,
  * common/rng.hh and all time through the simulated clock.
  */
 void
-ruleNondeterminism(const LexedFile &f, const Analysis &a,
-                   FindingSink &out)
+ruleNondeterminism(const Engine &e, FindingSink &out)
 {
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
+    const Structure &a = e.st;
     for (std::size_t i = 0; i < toks.size(); ++i) {
         const Token &t = toks[i];
         if (!t.isIdent())
             continue;
         if (t.is("random_device")) {
-            addFinding(out, f, t.line, "nondeterminism",
+            addFinding(out, e.file, t.line, "nondeterminism",
                        "std::random_device draws OS entropy; seed a "
                        "deterministic scusim::Rng instead");
             continue;
@@ -336,14 +501,14 @@ ruleNondeterminism(const LexedFile &f, const Analysis &a,
                     !inClassDeclContext(a, i);
         if (call && isAnyOf(t, {"rand", "srand", "rand_r",
                                 "drand48"})) {
-            addFinding(out, f, t.line, "nondeterminism",
+            addFinding(out, e.file, t.line, "nondeterminism",
                        "'" + t.text +
                            "()' is not reproducible across "
                            "platforms; use scusim::Rng");
             continue;
         }
         if (call && t.is("time")) {
-            addFinding(out, f, t.line, "nondeterminism",
+            addFinding(out, e.file, t.line, "nondeterminism",
                        "'time()' reads the wall clock; simulated "
                        "time must come from Simulation::now()");
             continue;
@@ -352,7 +517,7 @@ ruleNondeterminism(const LexedFile &f, const Analysis &a,
                         "high_resolution_clock"}) &&
             i + 2 < toks.size() && toks[i + 1].is("::") &&
             toks[i + 2].is("now")) {
-            addFinding(out, f, t.line, "nondeterminism",
+            addFinding(out, e.file, t.line, "nondeterminism",
                        "'" + t.text +
                            "::now()' reads the wall clock; results "
                            "derived from it are not reproducible");
@@ -367,11 +532,9 @@ ruleNondeterminism(const LexedFile &f, const Analysis &a,
  * containers (or sort first).
  */
 void
-ruleUnorderedIteration(const LexedFile &f, const Analysis &a,
-                       FindingSink &out)
+ruleUnorderedIteration(const Engine &e, FindingSink &out)
 {
-    (void)a;
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
     auto names = templateVarNames(
         toks, {"unordered_map", "unordered_set", "unordered_multimap",
                "unordered_multiset"});
@@ -384,7 +547,8 @@ ruleUnorderedIteration(const LexedFile &f, const Analysis &a,
             i + 3 < toks.size() &&
             (toks[i + 1].is(".") || toks[i + 1].is("->")) &&
             toks[i + 2].is("begin") && toks[i + 3].is("(")) {
-            addFinding(out, f, toks[i].line, "unordered-iteration",
+            addFinding(out, e.file, toks[i].line,
+                       "unordered-iteration",
                        "iteration over unordered container '" +
                            toks[i].text +
                            "': bucket order is unspecified and "
@@ -413,7 +577,7 @@ ruleUnorderedIteration(const LexedFile &f, const Analysis &a,
         for (std::size_t j = colon + 1; j < close; ++j) {
             if (toks[j].isIdent() && names.count(toks[j].text)) {
                 addFinding(
-                    out, f, toks[i].line, "unordered-iteration",
+                    out, e.file, toks[i].line, "unordered-iteration",
                     "range-for over unordered container '" +
                         toks[j].text +
                         "': bucket order is unspecified and feeds "
@@ -431,10 +595,10 @@ ruleUnorderedIteration(const LexedFile &f, const Analysis &a,
  * be filtered.
  */
 void
-ruleDirectOutput(const LexedFile &f, const Analysis &a,
-                 FindingSink &out)
+ruleDirectOutput(const Engine &e, FindingSink &out)
 {
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
+    const Structure &a = e.st;
     for (std::size_t i = 0; i < toks.size(); ++i) {
         const Token &t = toks[i];
         if (!t.isIdent())
@@ -447,7 +611,7 @@ ruleDirectOutput(const LexedFile &f, const Analysis &a,
                                    !toks[i - 1].is(".") &&
                                    !toks[i - 1].is("->"));
             if (qualifiedStd || bare) {
-                addFinding(out, f, t.line, "direct-output",
+                addFinding(out, e.file, t.line, "direct-output",
                            "std::" + t.text +
                                " bypasses common/logging; use "
                                "inform()/warn() or take an "
@@ -459,7 +623,7 @@ ruleDirectOutput(const LexedFile &f, const Analysis &a,
             isFreeCall(toks, i) && !inClassDeclContext(a, i) &&
             isAnyOf(t, {"printf", "fprintf", "vprintf", "vfprintf",
                         "puts", "putchar", "fputs"})) {
-            addFinding(out, f, t.line, "direct-output",
+            addFinding(out, e.file, t.line, "direct-output",
                        "'" + t.text +
                            "()' bypasses common/logging (not "
                            "levelled, not serialized across "
@@ -475,10 +639,10 @@ ruleDirectOutput(const LexedFile &f, const Analysis &a,
  * Known interface methods in derived classes must say 'override'.
  */
 void
-ruleMissingOverride(const LexedFile &f, const Analysis &a,
-                    FindingSink &out)
+ruleMissingOverride(const Engine &e, FindingSink &out)
 {
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
+    const Structure &a = e.st;
     for (std::size_t si = 0; si < a.spans.size(); ++si) {
         const Span &cls = a.spans[si];
         if (cls.kind != Span::Kind::Class || !cls.hasBaseList)
@@ -514,7 +678,7 @@ ruleMissingOverride(const LexedFile &f, const Analysis &a,
                     hasOverride = true;
             }
             if (!hasOverride) {
-                addFinding(out, f, t.line, "missing-override",
+                addFinding(out, e.file, t.line, "missing-override",
                            "'" + t.text +
                                "()' matches a simulator interface "
                                "method in a derived class but is "
@@ -531,8 +695,7 @@ ruleMissingOverride(const LexedFile &f, const Analysis &a,
  * isolation and memoization, and never shows up in stats dumps.
  */
 void
-ruleRawStatCounter(const LexedFile &f, const Analysis &a,
-                   FindingSink &out)
+ruleRawStatCounter(const Engine &e, FindingSink &out)
 {
     static const std::set<std::string> typeSet = {
         "int",      "unsigned", "long",     "short",    "float",
@@ -541,7 +704,8 @@ ruleRawStatCounter(const LexedFile &f, const Analysis &a,
         "uint32_t", "uint64_t", "intptr_t", "uintptr_t", "Tick",
         "Addr",     "NodeId",   "EdgeId",   "Weight"};
 
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
+    const Structure &a = e.st;
     for (std::size_t i = 0; i < toks.size(); ++i) {
         if (!toks[i].isIdent() || !typeSet.count(toks[i].text))
             continue;
@@ -584,7 +748,7 @@ ruleRawStatCounter(const LexedFile &f, const Analysis &a,
             continue;
         if (toks[after].is("=") || toks[after].is(";") ||
             toks[after].is("{") || toks[after].is("[")) {
-            addFinding(out, f, toks[j].line, "raw-stat-counter",
+            addFinding(out, e.file, toks[j].line, "raw-stat-counter",
                        "mutable namespace-scope counter '" +
                            toks[j].text +
                            "' bypasses the Stat registry and "
@@ -606,13 +770,13 @@ ruleRawStatCounter(const LexedFile &f, const Analysis &a,
  * the local-declaration shape this rule looks for).
  */
 void
-ruleStatRegisteredAfterStart(const LexedFile &f, const Analysis &a,
-                             FindingSink &out)
+ruleStatRegisteredAfterStart(const Engine &e, FindingSink &out)
 {
     static const std::set<std::string> statTypes = {
         "Scalar", "Formula", "Distribution", "Timeseries"};
 
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
+    const Structure &a = e.st;
     for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
         if (!toks[i].isIdent() || !statTypes.count(toks[i].text))
             continue;
@@ -628,9 +792,9 @@ ruleStatRegisteredAfterStart(const LexedFile &f, const Analysis &a,
             continue;
         if (a.parenDepth[i] != 0)
             continue;
-        if (enclosingFunction(a, i) < 0)
+        if (a.enclosingFunction(i) < 0)
             continue;
-        addFinding(out, f, toks[i].line,
+        addFinding(out, e.file, toks[i].line,
                    "stat-registered-after-start",
                    "stat '" + toks[i + 1].text +
                        "' constructed inside a function body "
@@ -648,11 +812,9 @@ ruleStatRegisteredAfterStart(const LexedFile &f, const Analysis &a,
  * classified panic/deadlock/timeout into a silently "successful" run.
  */
 void
-ruleSwallowedSimError(const LexedFile &f, const Analysis &a,
-                      FindingSink &out)
+ruleSwallowedSimError(const Engine &e, FindingSink &out)
 {
-    (void)a;
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
     for (std::size_t i = 0; i + 5 < toks.size(); ++i) {
         // catch ( . . . )  — '...' lexes as three '.' tokens.
         if (!toks[i].is("catch") || !toks[i + 1].is("(") ||
@@ -678,7 +840,8 @@ ruleSwallowedSimError(const LexedFile &f, const Analysis &a,
                 handled = true;
         }
         if (!handled) {
-            addFinding(out, f, toks[i].line, "swallowed-sim-error",
+            addFinding(out, e.file, toks[i].line,
+                       "swallowed-sim-error",
                        "catch (...) swallows SimError without "
                        "recording a FailureKind; rethrow, or catch "
                        "SimError first and classify the failure");
@@ -697,10 +860,10 @@ ruleSwallowedSimError(const LexedFile &f, const Analysis &a,
  * when idle.
  */
 void
-ruleTickEveryCycle(const LexedFile &f, const Analysis &a,
-                   FindingSink &out)
+ruleTickEveryCycle(const Engine &e, FindingSink &out)
 {
-    const auto &toks = f.tokens;
+    const auto &toks = e.file.tokens;
+    const Structure &a = e.st;
     for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
         if (!toks[i].isIdent() || toks[i].text != "nextWakeTick" ||
             !toks[i + 1].is("("))
@@ -757,7 +920,7 @@ ruleTickEveryCycle(const LexedFile &f, const Analysis &a,
                 additiveReturn = true;
         }
         if (!conditional && additiveReturn) {
-            addFinding(out, f, toks[i].line, "tick-every-cycle",
+            addFinding(out, e.file, toks[i].line, "tick-every-cycle",
                        "nextWakeTick() unconditionally returns the "
                        "next tick, degrading the event-driven "
                        "scheduler to per-tick polling of this "
@@ -776,8 +939,22 @@ ruleRegistry()
 {
     static const std::vector<RuleInfo> registry = {
         {"fifo-unguarded-push",
-         "BoundedFifo::push() without a full()/space() back-pressure "
-         "check in the enclosing function",
+         "BoundedFifo::push() not dominated by a full()/space() "
+         "back-pressure consult on the same fifo (flow-sensitive)",
+         false},
+        {"wake-not-armed",
+         "Clocked component enqueues pending work outside tick() on "
+         "a path where notifyWake() does not post-dominate the push "
+         "(event-driven scheduler may never service it)",
+         false},
+        {"device-zero-hardcode",
+         "per-device resource indexed with literal 0 inside code "
+         "that receives a DeviceId (shard reads device 0's state)",
+         false},
+        {"icn-credit-leak",
+         "queue front()/top() not post-dominated by pop() in a "
+         "function that pops: element stays queued, its flow-control "
+         "credit is never returned",
          false},
         {"nondeterminism",
          "wall-clock / OS-entropy source in simulation code "
@@ -814,42 +991,67 @@ ruleRegistry()
          "tick (no branch, no tickNever) — degrades the event-driven "
          "scheduler to per-tick polling of the component",
          false},
+        {"unused-suppression",
+         "simlint: allow(...) directive that suppresses no finding "
+         "(stale after a fix or a rule improvement; remove it)",
+         false},
     };
     return registry;
 }
 
-std::vector<Finding>
-runRules(const LexedFile &file, bool treatAsSrc)
+RuleResults
+runRules(const LexedFile &file, bool treatAsSrc,
+         const LexedFile *companion)
 {
-    Analysis a = analyze(file.tokens);
-    bool inSrc =
-        treatAsSrc || file.path.rfind("src/", 0) == 0;
+    Engine e(file, companion);
+    bool inSrc = treatAsSrc || file.path.rfind("src/", 0) == 0;
 
     std::vector<Finding> found;
-    ruleFifoUnguardedPush(file, a, found);
-    ruleNondeterminism(file, a, found);
-    ruleUnorderedIteration(file, a, found);
-    ruleMissingOverride(file, a, found);
-    ruleTickEveryCycle(file, a, found);
+    ruleFifoUnguardedPush(e, found);
+    ruleWakeNotArmed(e, found);
+    ruleDeviceZeroHardcode(e, found);
+    ruleIcnCreditLeak(e, found);
+    ruleNondeterminism(e, found);
+    ruleUnorderedIteration(e, found);
+    ruleMissingOverride(e, found);
+    ruleTickEveryCycle(e, found);
     if (inSrc) {
-        ruleDirectOutput(file, a, found);
-        ruleRawStatCounter(file, a, found);
-        ruleSwallowedSimError(file, a, found);
-        ruleStatRegisteredAfterStart(file, a, found);
+        ruleDirectOutput(e, found);
+        ruleRawStatCounter(e, found);
+        ruleSwallowedSimError(e, found);
+        ruleStatRegisteredAfterStart(e, found);
     }
 
-    std::vector<Finding> kept;
+    RuleResults res;
+    std::vector<bool> allowUsed(file.directives.size(), false);
     for (auto &fi : found) {
-        if (!file.allowed(fi.rule, fi.line))
-            kept.push_back(std::move(fi));
+        bool suppressed = false;
+        for (std::size_t d = 0; d < file.directives.size(); ++d) {
+            const Directive &dir = file.directives[d];
+            if (dir.kind != Directive::Kind::Allow ||
+                dir.rule != fi.rule)
+                continue;
+            if (dir.line == fi.line || dir.line == fi.line - 1) {
+                allowUsed[d] = true;
+                suppressed = true;
+            }
+        }
+        if (!suppressed)
+            res.findings.push_back(std::move(fi));
     }
-    std::sort(kept.begin(), kept.end(),
+    for (std::size_t d = 0; d < file.directives.size(); ++d) {
+        const Directive &dir = file.directives[d];
+        if (dir.kind == Directive::Kind::Allow && !allowUsed[d])
+            res.unusedAllows.push_back(dir);
+    }
+
+    std::sort(res.findings.begin(), res.findings.end(),
               [](const Finding &x, const Finding &y) {
                   if (x.line != y.line)
                       return x.line < y.line;
                   return x.rule < y.rule;
               });
-    return kept;
+    return res;
 }
 
 } // namespace simlint

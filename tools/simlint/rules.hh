@@ -1,10 +1,14 @@
 /**
  * @file
  * simlint rule registry. Each rule encodes one simulator-modeling
- * hazard; all of them are heuristic token-pattern matchers over the
- * lexed file (see lexer.hh). Any finding can be suppressed with a
- * `// simlint: allow(<rule>)` comment on the offending line or the
- * line directly above it.
+ * hazard. The v1 rules are heuristic token-pattern matchers; the
+ * flow-sensitive rules (fifo-unguarded-push, wake-not-armed,
+ * device-zero-hardcode, icn-credit-leak) run on per-function control
+ * flow graphs with a must-dataflow engine (see cfg.hh, dataflow.hh).
+ * Any finding can be suppressed with an `allow(<rule>)` control
+ * comment on the finding's anchor line or the line directly above
+ * it; an allow() that suppresses nothing is itself reported as
+ * `unused-suppression` so stale suppressions cannot linger.
  */
 
 #ifndef SIMLINT_RULES_HH
@@ -27,7 +31,7 @@ struct Finding
     std::string message;
 };
 
-/** Static description of a rule, for --list-rules. */
+/** Static description of a rule, for --list-rules and SARIF. */
 struct RuleInfo
 {
     std::string name;
@@ -38,13 +42,24 @@ struct RuleInfo
 /** All registered rules. */
 const std::vector<RuleInfo> &ruleRegistry();
 
+/** Everything one analysis pass produced for one file. */
+struct RuleResults
+{
+    /** Findings surviving allow() suppression, (line, rule) sorted. */
+    std::vector<Finding> findings;
+    /** Allow directives that suppressed no finding (stale). */
+    std::vector<Directive> unusedAllows;
+};
+
 /**
  * Run every applicable rule over @p file. @p treatAsSrc forces the
  * src/-scoped rules on regardless of path (fixture self-tests).
- * Findings suppressed by allow() directives are dropped here.
+ * @p companion, when given, is the lexed paired header of a .cc
+ * file; its declarations seed the symbol table so member fifos
+ * declared in the header are visible to the flow rules.
  */
-std::vector<Finding> runRules(const LexedFile &file,
-                              bool treatAsSrc = false);
+RuleResults runRules(const LexedFile &file, bool treatAsSrc = false,
+                     const LexedFile *companion = nullptr);
 
 } // namespace simlint
 

@@ -35,6 +35,10 @@ to_string(FailureKind k)
         return "runaway";
       case FailureKind::Timeout:
         return "timeout";
+      case FailureKind::Overloaded:
+        return "overloaded";
+      case FailureKind::ConnectionLost:
+        return "connection-lost";
     }
     return "?";
 }

@@ -28,7 +28,23 @@ enum class FailureKind
     Deadlock,  ///< components busy but making no progress
     Runaway,   ///< tick budget exceeded without draining
     Timeout,   ///< wall-clock budget exceeded or run cancelled
+    /** Service admission queue full; the request was shed, not run. */
+    Overloaded,
+    /** Service connection died before a reply arrived. */
+    ConnectionLost,
 };
+
+/**
+ * Transient failures depend on host load or connectivity, not on the
+ * run itself: they are retried (with backoff), and neither the
+ * in-process memo nor the persistent run cache ever stores them.
+ */
+constexpr bool
+isTransientFailure(FailureKind k)
+{
+    return k == FailureKind::Timeout || k == FailureKind::Overloaded ||
+           k == FailureKind::ConnectionLost;
+}
 
 /** Lowercase name: "panic", "invariant", "deadlock", ... */
 const char *to_string(FailureKind k);

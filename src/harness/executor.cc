@@ -1,6 +1,7 @@
 #include "harness/executor.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "graph/datasets.hh"
 #include "harness/run_cache.hh"
 #include "trace/profiler.hh"
@@ -38,6 +40,7 @@ copyOutcome(RunRecord &to, const RunRecord &from)
     to.failure = from.failure;
     to.diagnostics = from.diagnostics;
     to.attempts = from.attempts;
+    to.backoffMs = from.backoffMs;
     to.fromDiskCache = from.fromDiskCache;
 }
 
@@ -205,6 +208,27 @@ PlanResults::tryByLabel(const std::string &label) const
 }
 
 unsigned
+retryBackoffMs(std::uint64_t seed, unsigned attempt,
+               unsigned baseMs, unsigned capMs)
+{
+    if (!baseMs || !attempt)
+        return 0;
+    // Exponential growth saturating at the cap; shifting past the
+    // cap's magnitude would overflow, so clamp the exponent first.
+    std::uint64_t delay = baseMs;
+    for (unsigned i = 1; i < attempt && delay < capMs; ++i)
+        delay *= 2;
+    if (delay > capMs)
+        delay = capMs;
+    // Jitter into [delay/2, delay]: desynchronizes retry herds while
+    // staying reproducible — the generator is seeded purely from the
+    // run identity and the attempt number.
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (attempt + 1)));
+    const std::uint64_t half = delay / 2;
+    return static_cast<unsigned>(half + rng.below(delay - half + 1));
+}
+
+unsigned
 executorJobs(const ExecutorOptions &opts)
 {
     if (opts.jobs)
@@ -252,7 +276,8 @@ runPlan(const std::vector<PlannedRun> &runs,
             if (!cacheDir.empty() && !runs[i].graph) {
                 RunRecord hit;
                 if (loadCachedRun(cacheDir, runs[i].key, hit) &&
-                    hit.failure != FailureKind::Timeout) {
+                    !(hit.failure &&
+                      isTransientFailure(*hit.failure))) {
                     copyOutcome(recs[i], hit);
                     recs[i].fromDiskCache = true;
                     // Disk hits also feed the in-process memo so
@@ -309,11 +334,29 @@ runPlan(const std::vector<PlannedRun> &runs,
                     warn("run '%s' failed (%s): %s",
                          rec.run.label.c_str(),
                          to_string(e.kind()), e.what());
-                    // Only wall-clock failures are transient; a
+                    // Only transient failures are worth retrying; a
                     // deterministic fault would just fail again.
-                    if (e.kind() == FailureKind::Timeout &&
-                        rec.attempts <= opts.maxRetries)
+                    if (isTransientFailure(e.kind()) &&
+                        rec.attempts <= opts.maxRetries) {
+                        const unsigned delay = retryBackoffMs(
+                            cfg.seed, rec.attempts,
+                            opts.backoffBaseMs, opts.backoffCapMs);
+                        rec.backoffMs += delay;
+                        // Sleep in short slices so plan cancellation
+                        // is not held up by a long backoff.
+                        unsigned slept = 0;
+                        while (slept < delay &&
+                               !(opts.cancel &&
+                                 opts.cancel->load(
+                                     std::memory_order_relaxed))) {
+                            const unsigned slice =
+                                std::min(delay - slept, 50u);
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(slice));
+                            slept += slice;
+                        }
                         continue;
+                    }
                     break;
                 } catch (const std::exception &e) {
                     rec.error = e.what();
@@ -345,11 +388,12 @@ runPlan(const std::vector<PlannedRun> &runs,
                 if (j != i)
                     copyOutcome(recs[j], recs[i]);
             }
-            // Timeouts depend on host load, not on the run: serving
-            // one from the memo would make a transient failure
+            // Transient failures depend on host load, not on the
+            // run: serving one from the memo would make them
             // permanent.
             if (opts.memoize &&
-                recs[i].failure != FailureKind::Timeout)
+                !(recs[i].failure &&
+                  isTransientFailure(*recs[i].failure)))
                 memo().emplace(recs[i].run.key, recs[i]);
             // Persist freshly executed outcomes for later processes
             // (storeCachedRun itself rejects graph-backed runs and

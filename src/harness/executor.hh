@@ -37,6 +37,12 @@ struct RunRecord
     /** Execution attempts (> 1 when a Timeout was retried). */
     unsigned attempts = 0;
     /**
+     * Total milliseconds of retry backoff applied before the final
+     * attempt. Deterministic for a given (seed, attempts) pair — the
+     * delays are seed-derived, not drawn from wall-clock entropy.
+     */
+    unsigned backoffMs = 0;
+    /**
      * Served from the persistent disk cache (SCUSIM_CACHE_DIR)
      * instead of simulating. Deliberately excluded from the JSON/CSV
      * artifacts so a cache-served plan stays byte-identical to a
@@ -126,6 +132,15 @@ struct ExecutorOptions
     /** Extra attempts granted to transient (Timeout) failures. */
     unsigned maxRetries = 0;
     /**
+     * Retry backoff: attempt n waits roughly baseMs * 2^(n-1),
+     * capped at capMs, with +/-50% jitter derived deterministically
+     * from the run's seed and the attempt number (never from
+     * wall-clock entropy), so a retried plan stays reproducible.
+     * baseMs == 0 restores the historical immediate retry.
+     */
+    unsigned backoffBaseMs = 25;
+    unsigned backoffCapMs = 2000;
+    /**
      * Consult the persistent on-disk run cache when SCUSIM_CACHE_DIR
      * is set (run_cache.hh): completed records are stored keyed by
      * run key, and later processes serve matching runs from disk —
@@ -159,6 +174,18 @@ struct ExecutorOptions
 
 /** The resolved worker count runPlan() would use for @p opts. */
 unsigned executorJobs(const ExecutorOptions &opts = {});
+
+/**
+ * The delay before retry number @p attempt (1 = first retry) of a
+ * run seeded with @p seed: exponential in the attempt, capped at
+ * @p capMs, jittered into [delay/2, delay] by a generator seeded
+ * from (seed, attempt) — pure function, reproducible everywhere.
+ * The service client applies the same policy to Overloaded /
+ * ConnectionLost replies, so daemon retry traffic is as predictable
+ * as executor retries.
+ */
+unsigned retryBackoffMs(std::uint64_t seed, unsigned attempt,
+                        unsigned baseMs, unsigned capMs);
 
 /** Expand and run @p plan. */
 PlanResults runPlan(const ExperimentPlan &plan,

@@ -367,6 +367,7 @@ writeFailureReport(std::ostream &os, const PlanResults &res)
            << quoted(r.failure ? to_string(*r.failure) : "error")
            << ",\"error\":" << quoted(r.error)
            << ",\"attempts\":" << r.attempts
+           << ",\"backoffMs\":" << r.backoffMs
            << ",\"diagnostics\":" << quoted(r.diagnostics) << "}";
         first = false;
     }

@@ -1,5 +1,6 @@
 #include "harness/run_cache.hh"
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -17,6 +18,16 @@ namespace scusim::harness
 
 namespace
 {
+
+std::atomic<std::uint64_t> quarantined{0};
+
+/** Why a cache read failed to produce a record. */
+enum class DecodeOutcome
+{
+    Hit,         ///< record parsed and matched the key
+    KeyMismatch, ///< well-formed record for a different key/schema
+    Malformed,   ///< truncated or corrupt bytes: quarantine material
+};
 
 /** FNV-1a over the schema version + key: the cache file name. */
 std::uint64_t
@@ -153,13 +164,19 @@ bool
 runCacheStorable(const RunRecord &rec)
 {
     // A graph-backed run's key embeds the caller's raw graph pointer
-    // — meaningless in another process. Timeouts depend on host
-    // load, not the run (same rule as the in-process memo).
+    // — meaningless in another process. Transient failures depend on
+    // host load, not the run (same rule as the in-process memo).
     if (rec.run.graph)
         return false;
-    if (rec.failure == FailureKind::Timeout)
+    if (rec.failure && isTransientFailure(*rec.failure))
         return false;
     return true;
+}
+
+std::uint64_t
+runCacheQuarantinedCount()
+{
+    return quarantined.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -170,6 +187,7 @@ encodeRunRecord(const RunRecord &rec)
     putString(os, "key", rec.run.key);
     putU64(os, "ok", rec.ok ? 1 : 0);
     putU64(os, "attempts", rec.attempts);
+    putU64(os, "backoffMs", rec.backoffMs);
     putU64(os, "hasFailure", rec.failure.has_value() ? 1 : 0);
     putU64(os, "failure",
            rec.failure
@@ -216,40 +234,54 @@ encodeRunRecord(const RunRecord &rec)
     return os.str();
 }
 
-bool
-decodeRunRecord(const std::string &text,
-                const std::string &expectKey, RunRecord &rec)
+namespace
+{
+
+/**
+ * decodeRunRecord with the failure reason: a well-formed record for
+ * another key (hash collision) or schema is a plain miss, anything
+ * else that fails to parse is corruption the caller may quarantine.
+ */
+DecodeOutcome
+decodeRunRecordDetail(const std::string &text,
+                      const std::string &expectKey, RunRecord &rec)
 {
     FieldReader in(text);
     std::string version;
-    if (!in.line("scusim-run-cache", version) ||
-        version != std::to_string(runCacheSchemaVersion))
-        return false;
+    if (!in.line("scusim-run-cache", version))
+        return DecodeOutcome::Malformed;
+    if (version != std::to_string(runCacheSchemaVersion))
+        return DecodeOutcome::KeyMismatch;
 
     // Parse into a scratch record first so a truncated file cannot
     // leave @p rec half-filled.
     RunRecord tmp;
     std::string key;
     std::uint64_t u = 0;
-    if (!in.str("key", key) || key != expectKey)
-        return false;
+    if (!in.str("key", key))
+        return DecodeOutcome::Malformed;
+    if (key != expectKey)
+        return DecodeOutcome::KeyMismatch;
     if (!in.u64("ok", u) || u > 1)
-        return false;
+        return DecodeOutcome::Malformed;
     tmp.ok = u != 0;
     if (!in.u64("attempts", u))
-        return false;
+        return DecodeOutcome::Malformed;
     tmp.attempts = static_cast<unsigned>(u);
+    if (!in.u64("backoffMs", u))
+        return DecodeOutcome::Malformed;
+    tmp.backoffMs = static_cast<unsigned>(u);
     std::uint64_t hasFailure = 0;
     if (!in.u64("hasFailure", hasFailure) || hasFailure > 1)
-        return false;
+        return DecodeOutcome::Malformed;
     if (!in.u64("failure", u) ||
-        u > static_cast<std::uint64_t>(FailureKind::Timeout))
-        return false;
+        u > static_cast<std::uint64_t>(FailureKind::ConnectionLost))
+        return DecodeOutcome::Malformed;
     if (hasFailure)
         tmp.failure = static_cast<FailureKind>(u);
     if (!in.str("error", tmp.error) ||
         !in.str("diagnostics", tmp.diagnostics))
-        return false;
+        return DecodeOutcome::Malformed;
     RunResult &r = tmp.result;
     if (!in.u64("totalCycles", r.totalCycles) ||
         !in.dbl("seconds", r.seconds) ||
@@ -269,23 +301,23 @@ decodeRunRecord(const std::string &text,
         !in.dbl("bwUtilization", r.bwUtilization) ||
         !in.dbl("l2HitRate", r.l2HitRate) ||
         !in.dbl("dramLines", r.dramLines))
-        return false;
+        return DecodeOutcome::Malformed;
     if (!in.u64("iterations", u))
-        return false;
+        return DecodeOutcome::Malformed;
     r.algMetrics.iterations = static_cast<unsigned>(u);
     if (!in.u64("gpuEdgeWork", r.algMetrics.gpuEdgeWork) ||
         !in.u64("rawExpanded", r.algMetrics.rawExpanded) ||
         !in.u64("scuFiltered", r.algMetrics.scuFiltered))
-        return false;
+        return DecodeOutcome::Malformed;
     if (!in.u64("deviceCount", u) || u == 0 || u > 1024)
-        return false;
+        return DecodeOutcome::Malformed;
     r.deviceCount = static_cast<unsigned>(u);
     if (!in.u64("icnMessages", r.icnMessages) ||
         !in.u64("icnBytes", r.icnBytes))
-        return false;
+        return DecodeOutcome::Malformed;
     std::uint64_t numSlices = 0;
     if (!in.u64("numDeviceSlices", numSlices) || numSlices > 1024)
-        return false;
+        return DecodeOutcome::Malformed;
     r.devices.resize(static_cast<std::size_t>(numSlices));
     for (DeviceMetrics &dm : r.devices) {
         if (!in.u64("devGpuEdgeWork", dm.gpuEdgeWork) ||
@@ -293,13 +325,13 @@ decodeRunRecord(const std::string &text,
             !in.u64("devScuFiltered", dm.scuFiltered) ||
             !in.u64("devIterations", dm.iterations) ||
             !in.u64("devScuBusyCycles", dm.scuBusyCycles))
-            return false;
+            return DecodeOutcome::Malformed;
     }
     if (!in.u64("validated", u) || u > 1)
-        return false;
+        return DecodeOutcome::Malformed;
     r.validated = u != 0;
     if (!in.tok("end"))
-        return false;
+        return DecodeOutcome::Malformed;
 
     rec.result = tmp.result;
     rec.ok = tmp.ok;
@@ -307,21 +339,53 @@ decodeRunRecord(const std::string &text,
     rec.failure = tmp.failure;
     rec.diagnostics = std::move(tmp.diagnostics);
     rec.attempts = tmp.attempts;
-    return true;
+    rec.backoffMs = tmp.backoffMs;
+    return DecodeOutcome::Hit;
+}
+
+} // namespace
+
+bool
+decodeRunRecord(const std::string &text,
+                const std::string &expectKey, RunRecord &rec)
+{
+    return decodeRunRecordDetail(text, expectKey, rec) ==
+           DecodeOutcome::Hit;
 }
 
 bool
 loadCachedRun(const std::string &dir, const std::string &key,
               RunRecord &rec)
 {
-    std::ifstream in(runCachePath(dir, key), std::ios::binary);
-    if (!in)
+    const std::string path = runCachePath(dir, key);
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return false;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in.good() && !in.eof())
+            return false;
+        text = buf.str();
+    }
+    const DecodeOutcome outcome =
+        decodeRunRecordDetail(text, key, rec);
+    if (outcome == DecodeOutcome::Malformed) {
+        // Quarantine the damaged file: the slot becomes a clean miss
+        // that re-simulation can repopulate, and the evidence stays
+        // on disk for inspection instead of being reparsed (and
+        // warned about) on every future lookup. Concurrent readers
+        // may race to the same rename; losing that race is fine.
+        const std::string corrupt = path + ".corrupt";
+        if (std::rename(path.c_str(), corrupt.c_str()) == 0) {
+            quarantined.fetch_add(1, std::memory_order_relaxed);
+            warn("run cache: quarantined corrupt record '%s' -> "
+                 "'%s'", path.c_str(), corrupt.c_str());
+        }
         return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    if (!in.good() && !in.eof())
-        return false;
-    return decodeRunRecord(buf.str(), key, rec);
+    }
+    return outcome == DecodeOutcome::Hit;
 }
 
 bool

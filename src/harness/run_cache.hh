@@ -18,12 +18,16 @@
  * Writes go through a process-unique temp file and std::rename, so
  * concurrent executors never expose a torn record; any read that
  * fails to parse (truncation, corruption, stale schema) is treated
- * as a miss and the run is simply re-simulated.
+ * as a miss and the run is simply re-simulated. A malformed file is
+ * additionally *quarantined* — renamed to "<name>.corrupt" with a
+ * warning and a counter bump — so a damaged record costs one failed
+ * parse ever instead of silently reading as a miss forever.
  */
 
 #ifndef SCUSIM_HARNESS_RUN_CACHE_HH
 #define SCUSIM_HARNESS_RUN_CACHE_HH
 
+#include <cstdint>
 #include <string>
 
 #include "harness/executor.hh"
@@ -35,7 +39,7 @@ namespace scusim::harness
  * Bump whenever the serialized RunRecord layout changes; old cache
  * files are then rejected (miss) instead of misparsed.
  */
-constexpr unsigned runCacheSchemaVersion = 2;
+constexpr unsigned runCacheSchemaVersion = 3;
 
 /**
  * The cache directory from SCUSIM_CACHE_DIR, or "" when unset /
@@ -50,10 +54,19 @@ std::string runCachePath(const std::string &dir,
 /**
  * True when @p rec may be stored at all: graph-backed runs carry a
  * raw pointer in their key (meaningless across processes) and
- * Timeout failures are transient (mirrors the in-process memo
- * policy), so neither is ever written.
+ * transient failures (Timeout / Overloaded / ConnectionLost) depend
+ * on host load, not the run (mirrors the in-process memo policy), so
+ * neither is ever written.
  */
 bool runCacheStorable(const RunRecord &rec);
+
+/**
+ * Cache files quarantined (renamed to "<name>.corrupt") by this
+ * process because they existed but failed to parse. A key-mismatch
+ * read — a genuine hash collision — is a plain miss, not corruption,
+ * and is never quarantined.
+ */
+std::uint64_t runCacheQuarantinedCount();
 
 /**
  * Load the record for @p key from @p dir. On a hit, fills every

@@ -1,0 +1,316 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "harness/plan.hh"
+#include "harness/run_cache.hh"
+
+namespace scusim::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Remaining milliseconds before @p deadline; >= 0, clamped. */
+long
+remainingMs(const Clock::time_point &deadline, bool bounded)
+{
+    if (!bounded)
+        return 60'000; // poll slice when the caller set no deadline
+    // simlint: allow(nondeterminism)
+    const auto now = std::chrono::steady_clock::now();
+    const auto left = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - now);
+    return left.count() < 0 ? 0 : static_cast<long>(left.count());
+}
+
+/** RAII socket so every early return closes the fd. */
+struct Sock
+{
+    int fd = -1;
+    ~Sock()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+/**
+ * Connect to @p path within the remaining deadline. Returns false
+ * with a reason on failure.
+ */
+bool
+connectTo(Sock &s, const std::string &path,
+          const Clock::time_point &deadline, bool bounded,
+          std::string &why)
+{
+    if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        why = "invalid socket path";
+        return false;
+    }
+    s.fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (s.fd < 0) {
+        why = std::strerror(errno);
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // Unix-socket connect() either succeeds or fails immediately
+    // (the backlog is the only wait, bounded by the kernel).
+    int r;
+    do {
+        r = ::connect(s.fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr));
+    } while (r < 0 && errno == EINTR);
+    if (r != 0) {
+        why = std::strerror(errno);
+        return false;
+    }
+    if (remainingMs(deadline, bounded) == 0) {
+        why = "deadline expired";
+        return false;
+    }
+    return true;
+}
+
+/** Send all of @p bytes, poll-bounded by the deadline. */
+bool
+sendAll(int fd, const std::string &bytes,
+        const Clock::time_point &deadline, bool bounded,
+        std::string &why)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off,
+                   MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            const long left = remainingMs(deadline, bounded);
+            if (left == 0) {
+                why = "deadline expired during send";
+                return false;
+            }
+            pollfd p{fd, POLLOUT, 0};
+            ::poll(&p, 1, static_cast<int>(std::min(left, 100L)));
+            continue;
+        }
+        why = n == 0 ? "connection closed" : std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+enum class RecvStatus { Ok, Deadline, Lost };
+
+/** Receive one frame, poll-bounded by the deadline. */
+RecvStatus
+recvFrame(int fd, Frame &out, const Clock::time_point &deadline,
+          bool bounded, std::string &why)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        FrameStatus st = parseFrame(buf, out, &why);
+        if (st == FrameStatus::Ok)
+            return RecvStatus::Ok;
+        if (st == FrameStatus::Malformed) {
+            why = "malformed reply: " + why;
+            return RecvStatus::Lost;
+        }
+        const long left = remainingMs(deadline, bounded);
+        if (left == 0) {
+            why = "deadline expired awaiting reply";
+            return RecvStatus::Deadline;
+        }
+        pollfd p{fd, POLLIN, 0};
+        int pr;
+        do {
+            pr = ::poll(&p, 1,
+                        static_cast<int>(std::min(left, 250L)));
+        } while (pr < 0 && errno == EINTR);
+        if (pr <= 0)
+            continue;
+        const ssize_t n =
+            ::recv(fd, chunk, sizeof chunk, MSG_DONTWAIT);
+        if (n > 0) {
+            buf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK))
+            continue;
+        why = n == 0 ? "daemon closed the connection"
+                     : std::strerror(errno);
+        return RecvStatus::Lost;
+    }
+}
+
+/** Sleep for @p ms, but never past the deadline. */
+void
+boundedSleep(unsigned ms, const Clock::time_point &deadline,
+             bool bounded)
+{
+    long left = bounded ? remainingMs(deadline, bounded)
+                        : static_cast<long>(ms);
+    const long want = std::min<long>(static_cast<long>(ms), left);
+    if (want > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(want));
+}
+
+} // namespace
+
+harness::RunRecord
+ServiceClient::submit(const harness::RunConfig &cfg) const
+{
+    harness::RunRecord rec;
+    rec.run.cfg = cfg;
+    rec.run.key = harness::runKey(cfg);
+    rec.run.label = harness::runLabel(cfg);
+
+    const bool bounded = opts.deadlineSeconds > 0;
+    // simlint: allow(nondeterminism)
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        opts.deadlineSeconds));
+
+    auto fail = [&](FailureKind kind, const std::string &msg) {
+        rec.ok = false;
+        rec.failure = kind;
+        rec.error = msg;
+        return rec;
+    };
+
+    std::string lastWhy = "no attempt made";
+    FailureKind lastKind = FailureKind::ConnectionLost;
+    for (unsigned attempt = 0; attempt <= opts.maxRetries;
+         ++attempt) {
+        rec.attempts = attempt + 1;
+        if (attempt > 0) {
+            const unsigned delay = harness::retryBackoffMs(
+                cfg.seed, attempt, opts.backoffBaseMs,
+                opts.backoffCapMs);
+            rec.backoffMs += delay;
+            boundedSleep(delay, deadline, bounded);
+        }
+        if (bounded && remainingMs(deadline, bounded) == 0)
+            return fail(FailureKind::Timeout,
+                        "client deadline expired (last: " + lastWhy +
+                            ")");
+
+        std::string why;
+        Sock s;
+        if (!connectTo(s, opts.socketPath, deadline, bounded, why)) {
+            lastWhy = "connect: " + why;
+            lastKind = FailureKind::ConnectionLost;
+            continue;
+        }
+
+        RunRequest req;
+        req.cfg = cfg;
+        req.deadlineMs =
+            bounded ? static_cast<std::uint64_t>(
+                          remainingMs(deadline, bounded))
+                    : 0;
+        const std::string frame =
+            encodeFrame(FrameType::Submit, encodeRunRequest(req));
+        if (!sendAll(s.fd, frame, deadline, bounded, why)) {
+            lastWhy = "send: " + why;
+            lastKind = FailureKind::ConnectionLost;
+            continue;
+        }
+
+        Frame reply;
+        const RecvStatus st =
+            recvFrame(s.fd, reply, deadline, bounded, why);
+        if (st == RecvStatus::Deadline)
+            return fail(FailureKind::Timeout, why);
+        if (st == RecvStatus::Lost) {
+            lastWhy = why;
+            lastKind = FailureKind::ConnectionLost;
+            continue;
+        }
+
+        if (reply.type == FrameType::Result) {
+            // Accept only a record for *our* run key: byte-identity
+            // with a local run is the whole point of the service.
+            if (harness::decodeRunRecord(reply.payload, rec.run.key,
+                                         rec))
+                return rec;
+            lastWhy = "result failed to decode for this run key";
+            lastKind = FailureKind::ConnectionLost;
+            continue;
+        }
+        if (reply.type == FrameType::Reject) {
+            RejectInfo info;
+            if (!decodeReject(reply.payload, info))
+                return fail(FailureKind::ConnectionLost,
+                            "undecodable reject reply");
+            if (isTransientFailure(info.kind) &&
+                attempt < opts.maxRetries) {
+                lastWhy = info.message;
+                lastKind = info.kind;
+                continue;
+            }
+            return fail(info.kind, info.message);
+        }
+        return fail(FailureKind::ConnectionLost,
+                    "unexpected reply frame type");
+    }
+    return fail(lastKind, "retries exhausted: " + lastWhy);
+}
+
+bool
+ServiceClient::health(HealthInfo &out, std::string *err) const
+{
+    const bool bounded = opts.deadlineSeconds > 0;
+    // simlint: allow(nondeterminism)
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        opts.deadlineSeconds));
+    std::string why;
+    auto bail = [&](const std::string &w) {
+        if (err)
+            *err = w;
+        return false;
+    };
+    Sock s;
+    if (!connectTo(s, opts.socketPath, deadline, bounded, why))
+        return bail("connect: " + why);
+    if (!sendAll(s.fd, encodeFrame(FrameType::Health, ""), deadline,
+                 bounded, why))
+        return bail("send: " + why);
+    Frame reply;
+    if (recvFrame(s.fd, reply, deadline, bounded, why) !=
+        RecvStatus::Ok)
+        return bail(why);
+    if (reply.type != FrameType::HealthReply)
+        return bail("unexpected reply frame type");
+    if (!decodeHealth(reply.payload, out))
+        return bail("undecodable health reply");
+    return true;
+}
+
+} // namespace scusim::service

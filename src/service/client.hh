@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Supervised client of the scusimd simulation service. The contract
+ * mirrors the executor's own robustness discipline:
+ *
+ *  - every socket operation is poll-bounded by the caller's deadline,
+ *    so a dead or wedged daemon produces a typed failure, never a
+ *    hang;
+ *  - transient failures — an Overloaded shed, a connection that died
+ *    before the reply — are retried with the *same* deterministic
+ *    seed-derived exponential backoff the executor applies to
+ *    transient run failures (harness::retryBackoffMs), so client
+ *    retry traffic is reproducible;
+ *  - the remaining deadline travels with each submission and maps
+ *    onto executor-level wall supervision server-side, outside the
+ *    run key, so deadline-diverse clients share one cache entry;
+ *  - a reply is accepted only if it decodes as a RunRecord for the
+ *    locally computed run key — a confused daemon cannot hand back
+ *    the wrong run's result.
+ *
+ * Failures come back as ordinary failed RunRecords (FailureKind
+ * Overloaded / ConnectionLost / Timeout / ...), which the bench
+ * layer already renders as FAIL(kind) cells.
+ */
+
+#ifndef SCUSIM_SERVICE_CLIENT_HH
+#define SCUSIM_SERVICE_CLIENT_HH
+
+#include <string>
+
+#include "harness/executor.hh"
+#include "service/protocol.hh"
+
+namespace scusim::service
+{
+
+/** Client configuration. */
+struct ClientOptions
+{
+    /** Unix-domain socket the daemon listens on. */
+    std::string socketPath;
+    /** Extra attempts granted to Overloaded / ConnectionLost. */
+    unsigned maxRetries = 3;
+    /** Backoff policy (see harness::retryBackoffMs). */
+    unsigned backoffBaseMs = 25;
+    unsigned backoffCapMs = 2000;
+    /**
+     * Overall wall-clock deadline per submit() in seconds, covering
+     * every retry and backoff sleep. 0 means no deadline (the server
+     * still applies its own per-run wall budget).
+     */
+    double deadlineSeconds = 0;
+};
+
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(ClientOptions opts) : opts(std::move(opts)) {}
+
+    /**
+     * Submit @p cfg and block — poll-bounded, never indefinitely —
+     * for the outcome. Returns a RunRecord exactly as runPlan()
+     * would: run identity filled in, outcome fields from the
+     * daemon's encodeRunRecord bytes on success, or a typed local
+     * failure (Overloaded when shed and retries ran out,
+     * ConnectionLost when the daemon vanished, Timeout when the
+     * deadline expired first).
+     */
+    harness::RunRecord submit(const harness::RunConfig &cfg) const;
+
+    /** Probe daemon vitals. False on any connection/protocol error. */
+    bool health(HealthInfo &out, std::string *err = nullptr) const;
+
+    const ClientOptions &options() const { return opts; }
+
+  private:
+    ClientOptions opts;
+};
+
+} // namespace scusim::service
+
+#endif // SCUSIM_SERVICE_CLIENT_HH

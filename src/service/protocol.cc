@@ -1,0 +1,419 @@
+#include "service/protocol.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace scusim::service
+{
+
+namespace
+{
+
+void
+putLe32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void
+putLe16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+std::uint32_t
+getLe32(const std::string &buf, std::size_t at)
+{
+    auto b = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(buf[at + i]));
+    };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+std::uint16_t
+getLe16(const std::string &buf, std::size_t at)
+{
+    auto b = [&](std::size_t i) {
+        return static_cast<std::uint16_t>(
+            static_cast<unsigned char>(buf[at + i]));
+    };
+    return static_cast<std::uint16_t>(b(0) | (b(1) << 8));
+}
+
+bool
+knownFrameType(std::uint16_t t)
+{
+    switch (static_cast<FrameType>(t)) {
+      case FrameType::Submit:
+      case FrameType::Health:
+      case FrameType::Result:
+      case FrameType::Reject:
+      case FrameType::HealthReply:
+        return true;
+    }
+    return false;
+}
+
+void
+putField(std::ostream &os, const char *name, const std::string &v)
+{
+    os << name << ' ' << v << '\n';
+}
+
+void
+putU64(std::ostream &os, const char *name, std::uint64_t v)
+{
+    os << name << ' ' << v << '\n';
+}
+
+/** Doubles travel as IEEE-754 bit patterns (see run_cache.hh). */
+void
+putDouble(std::ostream &os, const char *name, double v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(v)));
+    os << name << " x" << buf << '\n';
+}
+
+/**
+ * Line-oriented strict reader: every field must appear, in order,
+ * with a parseable value. Payload strings never contain newlines
+ * (dataset / system names are identifiers), so "name value\n" lines
+ * suffice — no length-prefixing needed on this path.
+ */
+class FieldReader
+{
+  public:
+    explicit FieldReader(const std::string &text) : is(text) {}
+
+    bool
+    line(const char *name, std::string &value)
+    {
+        std::string got;
+        if (!(is >> got) || got != name)
+            return false;
+        if (!(is >> value))
+            return false;
+        return is.get() == '\n';
+    }
+
+    bool
+    u64(const char *name, std::uint64_t &v)
+    {
+        std::string s;
+        if (!line(name, s) || s.empty())
+            return false;
+        char *end = nullptr;
+        v = std::strtoull(s.c_str(), &end, 10);
+        return end && *end == '\0';
+    }
+
+    bool
+    dbl(const char *name, double &v)
+    {
+        std::string s;
+        if (!line(name, s) || s.size() != 17 || s[0] != 'x')
+            return false;
+        char *end = nullptr;
+        const std::uint64_t bits =
+            std::strtoull(s.c_str() + 1, &end, 16);
+        if (!end || *end != '\0')
+            return false;
+        v = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    bool
+    tok(const char *name)
+    {
+        std::string got;
+        return (is >> got) && got == name;
+    }
+
+    /** Rest of the stream, newlines included (free-text fields). */
+    std::string
+    rest()
+    {
+        std::string out;
+        std::getline(is, out, '\0');
+        return out;
+    }
+
+  private:
+    std::istringstream is;
+};
+
+} // namespace
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    std::string out;
+    out.reserve(frameHeaderBytes + payload.size());
+    putLe32(out, frameMagic);
+    putLe16(out, protocolVersion);
+    putLe16(out, static_cast<std::uint16_t>(type));
+    putLe32(out, static_cast<std::uint32_t>(payload.size()));
+    out += payload;
+    return out;
+}
+
+FrameStatus
+parseFrame(std::string &buf, Frame &out, std::string *why)
+{
+    auto malformed = [&](const char *reason) {
+        if (why)
+            *why = reason;
+        return FrameStatus::Malformed;
+    };
+    if (buf.size() < frameHeaderBytes) {
+        // Reject a bad magic as soon as the first bytes disagree —
+        // a peer speaking the wrong protocol should not be able to
+        // stall a connection slot by trickling garbage.
+        const std::size_t have = std::min<std::size_t>(4, buf.size());
+        for (std::size_t i = 0; i < have; ++i) {
+            if (static_cast<unsigned char>(buf[i]) !=
+                ((frameMagic >> (8 * i)) & 0xFF))
+                return malformed("bad magic");
+        }
+        return FrameStatus::NeedMore;
+    }
+    if (getLe32(buf, 0) != frameMagic)
+        return malformed("bad magic");
+    if (getLe16(buf, 4) != protocolVersion)
+        return malformed("unsupported protocol version");
+    const std::uint16_t type = getLe16(buf, 6);
+    if (!knownFrameType(type))
+        return malformed("unknown frame type");
+    const std::uint32_t len = getLe32(buf, 8);
+    if (len > maxFramePayload)
+        return malformed("oversized frame");
+    if (buf.size() < frameHeaderBytes + len)
+        return FrameStatus::NeedMore;
+    out.type = static_cast<FrameType>(type);
+    out.payload = buf.substr(frameHeaderBytes, len);
+    buf.erase(0, frameHeaderBytes + len);
+    return FrameStatus::Ok;
+}
+
+std::string
+encodeRunRequest(const RunRequest &req)
+{
+    std::ostringstream os;
+    os << "scusim-request " << protocolVersion << '\n';
+    const harness::RunConfig &c = req.cfg;
+    putField(os, "system", c.systemName);
+    putField(os, "primitive", harness::to_string(c.primitive));
+    putField(os, "mode", harness::to_string(c.mode));
+    putField(os, "dataset", c.dataset);
+    putDouble(os, "scale", c.scale);
+    putU64(os, "seed", c.seed);
+    putU64(os, "source", c.alg.source);
+    putU64(os, "maxIterations", c.alg.maxIterations);
+    putU64(os, "prMaxIterations", c.alg.prMaxIterations);
+    putDouble(os, "prEpsilon", c.alg.prEpsilon);
+    putU64(os, "ssspDelta", c.alg.ssspDelta);
+    putU64(os, "deviceCount", c.deviceCount);
+    putU64(os, "sharded", c.sharded ? 1 : 0);
+    putU64(os, "tickBudget", c.guards.tickBudget);
+    putU64(os, "stallWindow", c.guards.stallWindow);
+    putU64(os, "deadlineMs", req.deadlineMs);
+    os << "end\n";
+    return os.str();
+}
+
+bool
+decodeRunRequest(const std::string &text, RunRequest &req,
+                 std::string &err)
+{
+    auto fail = [&](const char *what) {
+        err = what;
+        return false;
+    };
+    FieldReader in(text);
+    std::string s;
+    if (!in.line("scusim-request", s) ||
+        s != std::to_string(protocolVersion))
+        return fail("bad request header");
+
+    RunRequest tmp;
+    harness::RunConfig &c = tmp.cfg;
+    std::uint64_t u = 0;
+    if (!in.line("system", c.systemName))
+        return fail("bad system");
+    if (!in.line("primitive", s) ||
+        !parsePrimitive(s, c.primitive))
+        return fail("bad primitive");
+    if (!in.line("mode", s) || !parseScuMode(s, c.mode))
+        return fail("bad mode");
+    if (!in.line("dataset", c.dataset))
+        return fail("bad dataset");
+    if (!in.dbl("scale", c.scale) || !(c.scale > 0) ||
+        c.scale > 1.0)
+        return fail("bad scale");
+    if (!in.u64("seed", c.seed))
+        return fail("bad seed");
+    if (!in.u64("source", u) || u > 0xFFFFFFFFull)
+        return fail("bad source");
+    c.alg.source = static_cast<NodeId>(u);
+    if (!in.u64("maxIterations", u) || u > 0xFFFFFFFFull)
+        return fail("bad maxIterations");
+    c.alg.maxIterations = static_cast<unsigned>(u);
+    if (!in.u64("prMaxIterations", u) || u > 0xFFFFFFFFull)
+        return fail("bad prMaxIterations");
+    c.alg.prMaxIterations = static_cast<unsigned>(u);
+    if (!in.dbl("prEpsilon", c.alg.prEpsilon))
+        return fail("bad prEpsilon");
+    if (!in.u64("ssspDelta", u) || u > 0xFFFFFFFFull)
+        return fail("bad ssspDelta");
+    c.alg.ssspDelta = static_cast<std::uint32_t>(u);
+    if (!in.u64("deviceCount", u) || u == 0 || u > 1024)
+        return fail("bad deviceCount");
+    c.deviceCount = static_cast<unsigned>(u);
+    if (!in.u64("sharded", u) || u > 1)
+        return fail("bad sharded");
+    c.sharded = u != 0;
+    if (!in.u64("tickBudget", c.guards.tickBudget))
+        return fail("bad tickBudget");
+    if (!in.u64("stallWindow", c.guards.stallWindow))
+        return fail("bad stallWindow");
+    if (!in.u64("deadlineMs", tmp.deadlineMs))
+        return fail("bad deadlineMs");
+    if (!in.tok("end"))
+        return fail("missing terminator");
+
+    // Keep the run's SCU mode and its algorithm-level mode in sync
+    // the way runPrimitive expects.
+    c.alg.mode = c.mode;
+    req = tmp;
+    return true;
+}
+
+std::string
+encodeReject(const RejectInfo &info)
+{
+    std::ostringstream os;
+    os << "kind " << to_string(info.kind) << '\n'
+       << info.message;
+    return os.str();
+}
+
+bool
+decodeReject(const std::string &text, RejectInfo &info)
+{
+    FieldReader in(text);
+    std::string kind;
+    if (!in.line("kind", kind))
+        return false;
+    static const FailureKind kinds[] = {
+        FailureKind::Panic,     FailureKind::Invariant,
+        FailureKind::Deadlock,  FailureKind::Runaway,
+        FailureKind::Timeout,   FailureKind::Overloaded,
+        FailureKind::ConnectionLost,
+    };
+    bool found = false;
+    for (FailureKind k : kinds) {
+        if (kind == to_string(k)) {
+            info.kind = k;
+            found = true;
+        }
+    }
+    if (!found)
+        return false;
+    info.message = in.rest();
+    return true;
+}
+
+std::string
+encodeHealth(const HealthInfo &h)
+{
+    std::ostringstream os;
+    putU64(os, "ok", h.ok);
+    putU64(os, "connections", h.connections);
+    putU64(os, "requestsAccepted", h.requestsAccepted);
+    putU64(os, "requestsCompleted", h.requestsCompleted);
+    putU64(os, "requestsFailed", h.requestsFailed);
+    putU64(os, "overloadShed", h.overloadShed);
+    putU64(os, "framesRejected", h.framesRejected);
+    putU64(os, "disconnectCancels", h.disconnectCancels);
+    putU64(os, "journalRecovered", h.journalRecovered);
+    putU64(os, "cacheQuarantined", h.cacheQuarantined);
+    putU64(os, "queueDepth", h.queueDepth);
+    putU64(os, "inFlight", h.inFlight);
+    putU64(os, "draining", h.draining);
+    os << "end\n";
+    return os.str();
+}
+
+bool
+decodeHealth(const std::string &text, HealthInfo &h)
+{
+    FieldReader in(text);
+    HealthInfo tmp;
+    if (!in.u64("ok", tmp.ok) ||
+        !in.u64("connections", tmp.connections) ||
+        !in.u64("requestsAccepted", tmp.requestsAccepted) ||
+        !in.u64("requestsCompleted", tmp.requestsCompleted) ||
+        !in.u64("requestsFailed", tmp.requestsFailed) ||
+        !in.u64("overloadShed", tmp.overloadShed) ||
+        !in.u64("framesRejected", tmp.framesRejected) ||
+        !in.u64("disconnectCancels", tmp.disconnectCancels) ||
+        !in.u64("journalRecovered", tmp.journalRecovered) ||
+        !in.u64("cacheQuarantined", tmp.cacheQuarantined) ||
+        !in.u64("queueDepth", tmp.queueDepth) ||
+        !in.u64("inFlight", tmp.inFlight) ||
+        !in.u64("draining", tmp.draining) || !in.tok("end"))
+        return false;
+    h = tmp;
+    return true;
+}
+
+bool
+parsePrimitive(const std::string &s, harness::Primitive &p)
+{
+    if (s == "BFS")
+        p = harness::Primitive::Bfs;
+    else if (s == "SSSP")
+        p = harness::Primitive::Sssp;
+    else if (s == "PR")
+        p = harness::Primitive::Pr;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseScuMode(const std::string &s, harness::ScuMode &m)
+{
+    if (s == "gpu-only")
+        m = harness::ScuMode::GpuOnly;
+    else if (s == "scu-basic")
+        m = harness::ScuMode::ScuBasic;
+    else if (s == "scu-enhanced")
+        m = harness::ScuMode::ScuEnhanced;
+    else
+        return false;
+    return true;
+}
+
+std::uint64_t
+stableHash(const std::string &s)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+} // namespace scusim::service

@@ -1,0 +1,926 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "harness/executor.hh"
+#include "harness/plan.hh"
+#include "harness/run_cache.hh"
+
+namespace scusim::service
+{
+
+namespace
+{
+
+/** Retry-on-EINTR wrapper for the few syscalls that need it. */
+template <typename Fn>
+int
+retryIntr(Fn fn)
+{
+    int r;
+    do {
+        r = fn();
+    } while (r < 0 && errno == EINTR);
+    return r;
+}
+
+} // namespace
+
+/** One accepted client connection (reads: I/O thread; writes: any). */
+struct Server::Connection
+{
+    std::uint64_t id = 0;
+    /** Guarded by wMutex: writers and the closing I/O thread race. */
+    int fd = -1;
+    std::mutex wMutex;
+    /** Bytes received but not yet framed (I/O thread only). */
+    std::string rbuf;
+    /** Requests this connection is waiting on (I/O thread only). */
+    std::vector<std::shared_ptr<Request>> pending;
+};
+
+/** One admitted plan submission. */
+struct Server::Request
+{
+    RunRequest req;
+    std::string key;
+    std::string label;
+    /** Null for journal-recovery requests (no client to answer). */
+    std::shared_ptr<Connection> conn;
+    /** Cooperative cancellation consumed by the run supervisor. */
+    std::atomic<bool> cancel{false};
+    /** Keep the journal entry on cancellation (shutdown, not drop). */
+    std::atomic<bool> keepJournal{false};
+    std::atomic<bool> done{false};
+    double wallBudget = 0;
+    std::string journalPath;
+    std::chrono::steady_clock::time_point accepted;
+};
+
+Server::Server(ServerOptions o) : opts(std::move(o))
+{
+    statsRoot = std::make_unique<stats::StatGroup>("scusimd");
+    auto addFormula = [&](const char *name, const char *desc,
+                          std::atomic<std::uint64_t> *v) {
+        formulas.push_back(std::make_unique<stats::Formula>(
+            statsRoot.get(), name, desc, [v] {
+                return static_cast<double>(
+                    v->load(std::memory_order_relaxed));
+            }));
+    };
+    addFormula("connections", "client connections accepted",
+               &statConnections);
+    addFormula("requestsAccepted", "plan submissions admitted",
+               &statAccepted);
+    addFormula("requestsCompleted", "runs finished successfully",
+               &statCompleted);
+    addFormula("requestsFailed", "runs finished with a failure",
+               &statFailed);
+    addFormula("overloadShed", "submissions shed by admission",
+               &statShed);
+    addFormula("framesRejected", "malformed frames or requests",
+               &statFramesRejected);
+    addFormula("disconnectCancels",
+               "runs cancelled because their client vanished",
+               &statDisconnectCancels);
+    addFormula("journalRecovered",
+               "journal entries re-executed after restart",
+               &statJournalRecovered);
+    addFormula("queueDepth", "submissions waiting for a worker",
+               &statQueueDepth);
+    formulas.push_back(std::make_unique<stats::Formula>(
+        statsRoot.get(), "cacheQuarantined",
+        "run-cache files quarantined as corrupt", [] {
+            return static_cast<double>(
+                harness::runCacheQuarantinedCount());
+        }));
+    latencyMs = std::make_unique<stats::Distribution>(
+        statsRoot.get(), "latencyMs",
+        "request latency accept->reply (ms)", 0, 10000, 20);
+    const Tick period = opts.statsPeriod ? opts.statsPeriod : 1;
+    queueDepthSeries = std::make_unique<stats::Timeseries>(
+        statsRoot.get(), "queueDepthSeries",
+        "admission queue depth per completed request", period,
+        [this] {
+            return static_cast<double>(
+                statQueueDepth.load(std::memory_order_relaxed));
+        },
+        stats::Timeseries::Mode::Cumulative);
+    shedSeries = std::make_unique<stats::Timeseries>(
+        statsRoot.get(), "shedSeries",
+        "overload sheds per completed request", period,
+        [this] {
+            return static_cast<double>(
+                statShed.load(std::memory_order_relaxed));
+        },
+        stats::Timeseries::Mode::Delta);
+}
+
+Server::~Server()
+{
+    if (started.load(std::memory_order_relaxed))
+        stop();
+}
+
+bool
+Server::start()
+{
+    if (opts.socketPath.empty() ||
+        opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        warn("scusimd: invalid socket path '%s'",
+             opts.socketPath.c_str());
+        return false;
+    }
+    if (!opts.journalDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.journalDir, ec);
+        if (ec) {
+            warn("scusimd: cannot create journal dir '%s': %s",
+                 opts.journalDir.c_str(), ec.message().c_str());
+            return false;
+        }
+    }
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd < 0) {
+        warn("scusimd: socket(): %s", std::strerror(errno));
+        return false;
+    }
+    ::unlink(opts.socketPath.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd, 64) != 0) {
+        warn("scusimd: cannot listen on '%s': %s",
+             opts.socketPath.c_str(), std::strerror(errno));
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    const int fl = ::fcntl(listenFd, F_GETFL);
+    ::fcntl(listenFd, F_SETFL, fl | O_NONBLOCK);
+
+    if (::pipe(wakeFd) != 0) {
+        warn("scusimd: pipe(): %s", std::strerror(errno));
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    for (int fd : wakeFd) {
+        const int f = ::fcntl(fd, F_GETFL);
+        ::fcntl(fd, F_SETFL, f | O_NONBLOCK);
+    }
+
+    recoverJournal();
+
+    stopWorkers = false;
+    draining.store(false, std::memory_order_relaxed);
+    ioRunning.store(true, std::memory_order_relaxed);
+    started.store(true, std::memory_order_relaxed);
+    const unsigned workers = opts.workers ? opts.workers : 1;
+    for (unsigned i = 0; i < workers; ++i)
+        workerThreads.emplace_back([this] { workerLoop(); });
+    ioThread = std::thread([this] { ioLoop(); });
+    inform("scusimd: serving on %s (%u workers, queue %zu)",
+           opts.socketPath.c_str(), workers, opts.maxQueueDepth);
+    return true;
+}
+
+void
+Server::requestShutdown()
+{
+    // Only async-signal-safe calls here: a SIGTERM handler invokes
+    // this directly.
+    if (wakeFd[1] >= 0) {
+        const char c = 's';
+        [[maybe_unused]] ssize_t n = ::write(wakeFd[1], &c, 1);
+    }
+}
+
+bool
+Server::running() const
+{
+    return ioRunning.load(std::memory_order_relaxed);
+}
+
+void
+Server::stop()
+{
+    if (!started.load(std::memory_order_relaxed))
+        return;
+    requestShutdown();
+    if (ioThread.joinable())
+        ioThread.join();
+    {
+        std::lock_guard<std::mutex> lock(qMutex);
+        stopWorkers = true;
+    }
+    qCv.notify_all();
+    for (auto &t : workerThreads)
+        t.join();
+    workerThreads.clear();
+    for (auto &[fd, conn] : conns) {
+        std::lock_guard<std::mutex> lock(conn->wMutex);
+        if (conn->fd >= 0) {
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+    conns.clear();
+    for (int &fd : wakeFd) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+    ::unlink(opts.socketPath.c_str());
+    started.store(false, std::memory_order_relaxed);
+
+    if (!opts.timeseriesPath.empty()) {
+        std::ofstream os(opts.timeseriesPath);
+        if (os) {
+            std::lock_guard<std::mutex> lock(statsMutex);
+            stats::writeTimeseriesCsv(
+                os, {queueDepthSeries.get(), shedSeries.get()});
+        } else {
+            warn("scusimd: cannot write timeseries '%s'",
+                 opts.timeseriesPath.c_str());
+        }
+    }
+    std::ostringstream os;
+    dumpStats(os);
+    inform("scusimd: final stats\n%s", os.str().c_str());
+}
+
+HealthInfo
+Server::healthSnapshot() const
+{
+    HealthInfo h;
+    h.ok = 1;
+    h.connections = statConnections.load(std::memory_order_relaxed);
+    h.requestsAccepted = statAccepted.load(std::memory_order_relaxed);
+    h.requestsCompleted =
+        statCompleted.load(std::memory_order_relaxed);
+    h.requestsFailed = statFailed.load(std::memory_order_relaxed);
+    h.overloadShed = statShed.load(std::memory_order_relaxed);
+    h.framesRejected =
+        statFramesRejected.load(std::memory_order_relaxed);
+    h.disconnectCancels =
+        statDisconnectCancels.load(std::memory_order_relaxed);
+    h.journalRecovered =
+        statJournalRecovered.load(std::memory_order_relaxed);
+    h.cacheQuarantined = harness::runCacheQuarantinedCount();
+    h.queueDepth = statQueueDepth.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(qMutex);
+        h.inFlight = inFlight;
+    }
+    h.draining = draining.load(std::memory_order_relaxed) ? 1 : 0;
+    return h;
+}
+
+void
+Server::dumpStats(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    statsRoot->dumpAll(os);
+}
+
+// ---------------------------------------------------------------- I/O
+
+void
+Server::ioLoop()
+{
+    // simlint: allow(nondeterminism)
+    auto drainDeadline = std::chrono::steady_clock::now();
+    bool drainArmed = false;
+
+    for (;;) {
+        std::vector<pollfd> fds;
+        fds.push_back({wakeFd[0], POLLIN, 0});
+        const bool accepting =
+            listenFd >= 0 && !draining.load(std::memory_order_relaxed);
+        if (accepting)
+            fds.push_back({listenFd, POLLIN, 0});
+        std::vector<std::shared_ptr<Connection>> polled;
+        for (auto &[fd, conn] : conns) {
+            fds.push_back({fd, POLLIN, 0});
+            polled.push_back(conn);
+        }
+
+        retryIntr([&] {
+            return ::poll(fds.data(),
+                          static_cast<nfds_t>(fds.size()), 100);
+        });
+
+        if (fds[0].revents & POLLIN) {
+            char buf[64];
+            while (::read(wakeFd[0], buf, sizeof buf) > 0) {
+            }
+            if (!draining.load(std::memory_order_relaxed)) {
+                beginDrain();
+                // simlint: allow(nondeterminism)
+                drainDeadline = std::chrono::steady_clock::now() +
+                                std::chrono::duration_cast<
+                                    std::chrono::steady_clock::duration>(
+                                    std::chrono::duration<double>(
+                                        opts.drainSeconds));
+                drainArmed = true;
+            }
+        }
+
+        std::size_t base = accepting ? 2 : 1;
+        if (accepting && (fds[1].revents & POLLIN))
+            acceptClients();
+        for (std::size_t i = 0; i < polled.size(); ++i) {
+            const short re = fds[base + i].revents;
+            if (re & (POLLIN | POLLHUP | POLLERR))
+                serviceConnection(polled[i]);
+        }
+
+        if (drainArmed) {
+            std::size_t busy;
+            {
+                std::lock_guard<std::mutex> lock(qMutex);
+                busy = inFlight + queue.size();
+            }
+            // simlint: allow(nondeterminism)
+            const auto tNow = std::chrono::steady_clock::now();
+            const bool expired = tNow >= drainDeadline;
+            if (!busy || expired) {
+                finishDrain(expired && busy);
+                break;
+            }
+        }
+    }
+    ioRunning.store(false, std::memory_order_relaxed);
+}
+
+void
+Server::acceptClients()
+{
+    for (;;) {
+        const int fd = retryIntr([&] {
+            return ::accept(listenFd, nullptr, nullptr);
+        });
+        if (fd < 0)
+            break;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        conn->id = nextConnId++;
+        conns.emplace(fd, conn);
+        statConnections.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Server::serviceConnection(const std::shared_ptr<Connection> &conn)
+{
+    // Drain all available bytes without blocking the I/O thread.
+    char buf[4096];
+    bool eof = false;
+    for (;;) {
+        int fd;
+        {
+            std::lock_guard<std::mutex> lock(conn->wMutex);
+            fd = conn->fd;
+        }
+        if (fd < 0) {
+            eof = true;
+            break;
+        }
+        const ssize_t n = retryIntr([&] {
+            return static_cast<int>(
+                ::recv(fd, buf, sizeof buf, MSG_DONTWAIT));
+        });
+        if (n > 0) {
+            conn->rbuf.append(buf, static_cast<std::size_t>(n));
+            if (conn->rbuf.size() >
+                maxFramePayload + frameHeaderBytes) {
+                statFramesRejected.fetch_add(
+                    1, std::memory_order_relaxed);
+                sendReject(conn, FailureKind::Invariant,
+                           "oversized frame buffer");
+                closeConnection(conn);
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            eof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        eof = true;
+        break;
+    }
+
+    for (;;) {
+        Frame f;
+        std::string why;
+        const FrameStatus st = parseFrame(conn->rbuf, f, &why);
+        if (st == FrameStatus::NeedMore)
+            break;
+        if (st == FrameStatus::Malformed) {
+            statFramesRejected.fetch_add(1,
+                                         std::memory_order_relaxed);
+            warn("scusimd: dropping connection %llu: %s",
+                 static_cast<unsigned long long>(conn->id),
+                 why.c_str());
+            sendReject(conn, FailureKind::Invariant,
+                       "malformed frame: " + why);
+            closeConnection(conn);
+            return;
+        }
+        dispatchFrame(conn, f);
+    }
+
+    if (eof)
+        handleDisconnect(conn);
+}
+
+void
+Server::dispatchFrame(const std::shared_ptr<Connection> &conn,
+                      const Frame &frame)
+{
+    switch (frame.type) {
+      case FrameType::Submit:
+        handleSubmit(conn, frame);
+        return;
+      case FrameType::Health:
+        sendFrame(conn, FrameType::HealthReply,
+                  encodeHealth(healthSnapshot()));
+        return;
+      case FrameType::Result:
+      case FrameType::Reject:
+      case FrameType::HealthReply:
+        // Reply types have no business arriving at the server;
+        // treat them like any other protocol violation.
+        statFramesRejected.fetch_add(1, std::memory_order_relaxed);
+        sendReject(conn, FailureKind::Invariant,
+                   "reply frame sent to server");
+        closeConnection(conn);
+        return;
+    }
+}
+
+void
+Server::handleSubmit(const std::shared_ptr<Connection> &conn,
+                     const Frame &frame)
+{
+    RunRequest req;
+    std::string err;
+    if (!decodeRunRequest(frame.payload, req, err)) {
+        // A malformed *request* in a well-formed frame: the framing
+        // is intact, so reject the request but keep the connection.
+        statFramesRejected.fetch_add(1, std::memory_order_relaxed);
+        sendReject(conn, FailureKind::Invariant,
+                   "bad request: " + err);
+        return;
+    }
+
+    if (draining.load(std::memory_order_relaxed)) {
+        statShed.fetch_add(1, std::memory_order_relaxed);
+        sendReject(conn, FailureKind::Overloaded,
+                   "daemon shutting down");
+        return;
+    }
+
+    double budget = opts.defaultWallBudget;
+    if (req.deadlineMs)
+        budget = std::min(
+            budget, static_cast<double>(req.deadlineMs) / 1000.0);
+
+    {
+        std::lock_guard<std::mutex> lock(qMutex);
+        const bool depthFull = queue.size() >= opts.maxQueueDepth;
+        const bool budgetFull =
+            opts.maxPendingWallSeconds > 0 &&
+            pendingWallSeconds + budget > opts.maxPendingWallSeconds;
+        if (depthFull || budgetFull) {
+            statShed.fetch_add(1, std::memory_order_relaxed);
+            sendReject(conn, FailureKind::Overloaded,
+                       depthFull ? "admission queue full"
+                                 : "pending wall budget exhausted");
+            return;
+        }
+    }
+
+    auto r = std::make_shared<Request>();
+    r->req = req;
+    r->key = harness::runKey(req.cfg);
+    r->label = harness::runLabel(req.cfg);
+    r->conn = conn;
+    r->wallBudget = budget;
+    // simlint: allow(nondeterminism)
+    r->accepted = std::chrono::steady_clock::now();
+
+    // Journal before admitting: from this instant a kill -9 cannot
+    // lose the request — the restarted daemon re-executes it.
+    if (!journalWrite(r)) {
+        sendReject(conn, FailureKind::Overloaded,
+                   "journal write failed");
+        return;
+    }
+
+    // Prune answered requests so long-lived connections do not
+    // accumulate bookkeeping.
+    auto &pending = conn->pending;
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [](const auto &p) {
+                                     return p->done.load(
+                                         std::memory_order_relaxed);
+                                 }),
+                  pending.end());
+    pending.push_back(r);
+
+    {
+        std::lock_guard<std::mutex> lock(qMutex);
+        queue.push_back(r);
+        pendingWallSeconds += budget;
+        statQueueDepth.store(queue.size(),
+                             std::memory_order_relaxed);
+    }
+    statAccepted.fetch_add(1, std::memory_order_relaxed);
+    qCv.notify_one();
+}
+
+void
+Server::handleDisconnect(const std::shared_ptr<Connection> &conn)
+{
+    for (const auto &r : conn->pending) {
+        if (!r->done.load(std::memory_order_relaxed)) {
+            r->cancel.store(true, std::memory_order_relaxed);
+            statDisconnectCancels.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+    conn->pending.clear();
+    closeConnection(conn);
+}
+
+void
+Server::closeConnection(const std::shared_ptr<Connection> &conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->wMutex);
+        if (conn->fd >= 0) {
+            conns.erase(conn->fd);
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+}
+
+bool
+Server::sendFrame(const std::shared_ptr<Connection> &conn,
+                  FrameType type, const std::string &payload)
+{
+    if (!conn)
+        return false;
+    const std::string bytes = encodeFrame(type, payload);
+    std::lock_guard<std::mutex> lock(conn->wMutex);
+    if (conn->fd < 0)
+        return false;
+    std::size_t off = 0;
+    // simlint: allow(nondeterminism)
+    const auto sendStart = std::chrono::steady_clock::now();
+    const auto give_up =
+        sendStart +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts.sendTimeoutSeconds));
+    while (off < bytes.size()) {
+        const ssize_t n = retryIntr([&] {
+            return static_cast<int>(
+                ::send(conn->fd, bytes.data() + off,
+                       bytes.size() - off,
+                       MSG_DONTWAIT | MSG_NOSIGNAL));
+        });
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // simlint: allow(nondeterminism)
+            if (std::chrono::steady_clock::now() >= give_up) {
+                // A peer that stopped reading must not wedge a
+                // worker: give up and let the I/O thread reap the
+                // half-closed connection.
+                ::shutdown(conn->fd, SHUT_RDWR);
+                return false;
+            }
+            pollfd p{conn->fd, POLLOUT, 0};
+            retryIntr([&] { return ::poll(&p, 1, 100); });
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+void
+Server::sendReject(const std::shared_ptr<Connection> &conn,
+                   FailureKind kind, const std::string &message)
+{
+    RejectInfo info;
+    info.kind = kind;
+    info.message = message;
+    sendFrame(conn, FrameType::Reject, encodeReject(info));
+}
+
+// ------------------------------------------------------------ workers
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Request> req;
+        {
+            std::unique_lock<std::mutex> lock(qMutex);
+            qCv.wait(lock, [this] {
+                return stopWorkers || !queue.empty();
+            });
+            if (stopWorkers)
+                return;
+            req = queue.front();
+            queue.pop_front();
+            ++inFlight;
+            statQueueDepth.store(queue.size(),
+                                 std::memory_order_relaxed);
+        }
+        executeRequest(req);
+        {
+            std::lock_guard<std::mutex> lock(qMutex);
+            --inFlight;
+            pendingWallSeconds -= req->wallBudget;
+            if (pendingWallSeconds < 0)
+                pendingWallSeconds = 0;
+        }
+    }
+}
+
+void
+Server::executeRequest(const std::shared_ptr<Request> &req)
+{
+    if (req->cancel.load(std::memory_order_relaxed)) {
+        // The client vanished (or shutdown cancelled the run) before
+        // a worker picked it up.
+        noteRequestDone(req, false, true);
+        return;
+    }
+
+    harness::PlannedRun run;
+    run.key = req->key;
+    run.label = req->label;
+    run.cfg = req->req.cfg;
+
+    harness::ExecutorOptions eo;
+    eo.jobs = 1; // the service worker pool is the parallelism
+    eo.maxRetries = opts.maxRetries;
+    eo.backoffBaseMs = opts.backoffBaseMs;
+    eo.backoffCapMs = opts.backoffCapMs;
+    eo.guards.wallSeconds = req->wallBudget;
+    eo.guards.cancel = &req->cancel;
+    eo.cancel = &req->cancel;
+
+    harness::PlanResults results =
+        harness::runPlan(std::vector<harness::PlannedRun>{run}, eo);
+    const harness::RunRecord &rec = results.records().front();
+
+    const bool cancelled =
+        req->cancel.load(std::memory_order_relaxed) && !rec.ok;
+    noteRequestDone(req, rec.ok, cancelled);
+    if (!cancelled && req->conn)
+        sendFrame(req->conn, FrameType::Result,
+                  harness::encodeRunRecord(rec));
+}
+
+void
+Server::noteRequestDone(const std::shared_ptr<Request> &req,
+                        bool ok, bool cancelled)
+{
+    req->done.store(true, std::memory_order_relaxed);
+    if (!(cancelled && req->keepJournal.load(std::memory_order_relaxed)))
+        journalRemove(req);
+    if (cancelled)
+        return;
+    if (ok)
+        statCompleted.fetch_add(1, std::memory_order_relaxed);
+    else
+        statFailed.fetch_add(1, std::memory_order_relaxed);
+    // simlint: allow(nondeterminism)
+    const auto now = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(now -
+                                                  req->accepted)
+            .count();
+    const std::uint64_t seq =
+        statDoneSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(statsMutex);
+    latencyMs->sample(ms);
+    queueDepthSeries->sampleUpTo(seq);
+    shedSeries->sampleUpTo(seq);
+}
+
+// ------------------------------------------------------------ shutdown
+
+void
+Server::beginDrain()
+{
+    draining.store(true, std::memory_order_relaxed);
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    // Shed the queue: each waiting client gets a typed Overloaded
+    // reply now, and the journal keeps the request for the next
+    // daemon instance to re-serve.
+    std::deque<std::shared_ptr<Request>> shed;
+    {
+        std::lock_guard<std::mutex> lock(qMutex);
+        shed.swap(queue);
+        statQueueDepth.store(0, std::memory_order_relaxed);
+    }
+    for (const auto &r : shed) {
+        r->keepJournal.store(true, std::memory_order_relaxed);
+        r->cancel.store(true, std::memory_order_relaxed);
+        r->done.store(true, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(qMutex);
+            pendingWallSeconds -= r->wallBudget;
+            if (pendingWallSeconds < 0)
+                pendingWallSeconds = 0;
+        }
+        statShed.fetch_add(1, std::memory_order_relaxed);
+        if (r->conn)
+            sendReject(r->conn, FailureKind::Overloaded,
+                       "daemon shutting down; request journaled");
+    }
+    inform("scusimd: draining (%zu queued shed, journal kept)",
+           shed.size());
+}
+
+void
+Server::finishDrain(bool force)
+{
+    if (force) {
+        // The drain budget expired: cancel what is still running but
+        // keep the journal entries so a restart finishes the work.
+        std::lock_guard<std::mutex> lock(qMutex);
+        warn("scusimd: drain budget expired with %zu runs in "
+             "flight; cancelling",
+             inFlight);
+    }
+    std::vector<std::shared_ptr<Connection>> all;
+    for (auto &[fd, conn] : conns)
+        all.push_back(conn);
+    for (const auto &conn : all) {
+        for (const auto &r : conn->pending) {
+            if (!r->done.load(std::memory_order_relaxed)) {
+                r->keepJournal.store(true, std::memory_order_relaxed);
+                r->cancel.store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- journal
+
+std::string
+Server::journalPathFor(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.req",
+                  static_cast<unsigned long long>(stableHash(key)));
+    return opts.journalDir + "/" + name;
+}
+
+bool
+Server::journalWrite(const std::shared_ptr<Request> &req)
+{
+    if (opts.journalDir.empty())
+        return true;
+    req->journalPath = journalPathFor(req->key);
+    std::ostringstream tmpName;
+    tmpName << req->journalPath << ".tmp." << ::getpid();
+    {
+        std::ofstream out(tmpName.str(),
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("scusimd: cannot write journal '%s'",
+                 tmpName.str().c_str());
+            return false;
+        }
+        out << "scusimd-journal " << journalSchemaVersion << '\n'
+            << encodeRunRequest(req->req);
+        if (!out.good()) {
+            out.close();
+            std::remove(tmpName.str().c_str());
+            warn("scusimd: short journal write '%s'",
+                 tmpName.str().c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmpName.str().c_str(),
+                    req->journalPath.c_str()) != 0) {
+        std::remove(tmpName.str().c_str());
+        warn("scusimd: journal rename to '%s' failed",
+             req->journalPath.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+Server::journalRemove(const std::shared_ptr<Request> &req)
+{
+    if (!req->journalPath.empty())
+        std::remove(req->journalPath.c_str());
+}
+
+void
+Server::recoverJournal()
+{
+    if (opts.journalDir.empty())
+        return;
+    std::vector<std::string> entries;
+    std::error_code ec;
+    for (const auto &e : std::filesystem::directory_iterator(
+             opts.journalDir, ec)) {
+        if (e.path().extension() == ".req")
+            entries.push_back(e.path().string());
+    }
+    if (ec)
+        return;
+    std::sort(entries.begin(), entries.end());
+    for (const std::string &path : entries) {
+        std::string text;
+        {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            text = buf.str();
+        }
+        std::istringstream is(text);
+        std::string word, ver;
+        RunRequest req;
+        std::string err = "bad journal header";
+        bool ok = (is >> word >> ver) &&
+                  word == "scusimd-journal" &&
+                  ver == std::to_string(journalSchemaVersion) &&
+                  is.get() == '\n';
+        if (ok) {
+            std::string rest;
+            std::getline(is, rest, '\0');
+            ok = decodeRunRequest(rest, req, err);
+        }
+        if (!ok) {
+            // Same quarantine discipline as the run cache: corrupt
+            // entries are renamed aside, not reparsed forever.
+            warn("scusimd: quarantining corrupt journal entry "
+                 "'%s' (%s)",
+                 path.c_str(), err.c_str());
+            std::rename(path.c_str(), (path + ".corrupt").c_str());
+            continue;
+        }
+        auto r = std::make_shared<Request>();
+        r->req = req;
+        r->key = harness::runKey(req.cfg);
+        r->label = harness::runLabel(req.cfg);
+        r->conn = nullptr; // no client: execute for the cache only
+        r->wallBudget = opts.defaultWallBudget;
+        r->journalPath = path;
+        // simlint: allow(nondeterminism)
+        r->accepted = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(qMutex);
+            queue.push_back(r);
+            pendingWallSeconds += r->wallBudget;
+            statQueueDepth.store(queue.size(),
+                                 std::memory_order_relaxed);
+        }
+        statJournalRecovered.fetch_add(1,
+                                       std::memory_order_relaxed);
+        inform("scusimd: recovered journaled request %s",
+               r->label.c_str());
+    }
+}
+
+} // namespace scusim::service

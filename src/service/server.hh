@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The scusimd resident simulation service. A long-lived server
+ * accepts plan submissions over a Unix-domain socket and multiplexes
+ * them onto the existing run tiers — the in-process memo, the
+ * interned-dataset cache and the persistent SCUSIM_CACHE_DIR run
+ * cache — so a fleet of clients shares one warm simulator instead of
+ * each process re-parsing, re-building and re-simulating.
+ *
+ * The robustness envelope is the point of this layer:
+ *
+ *  - malformed, oversized or truncated frames are rejected and the
+ *    offending connection dropped, never the daemon;
+ *  - a bounded admission queue (depth and pending-wall-budget caps)
+ *    sheds load with a typed Overloaded reply instead of queueing
+ *    without bound or hanging the client;
+ *  - every run executes under the PR 3 supervision machinery
+ *    (tick/stall/wall budgets, cancellation checkpoints), so a
+ *    runaway plan kills that run, not the server;
+ *  - a client that vanishes mid-run has its work cancelled through
+ *    the same cooperative-cancellation hooks;
+ *  - accepted-but-unfinished requests live in a schema-versioned
+ *    on-disk journal (atomic tmp+rename writes); a daemon killed at
+ *    any instant — SIGTERM drain or kill -9 — restarts, re-executes
+ *    the journal and serves the results byte-identically via the
+ *    run cache.
+ */
+
+#ifndef SCUSIM_SERVICE_SERVER_HH
+#define SCUSIM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "stats/stats.hh"
+#include "stats/timeseries.hh"
+
+namespace scusim::service
+{
+
+/** Journal entry layout version; bump on incompatible change. */
+constexpr unsigned journalSchemaVersion = 1;
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /** Unix-domain socket path (required; < 100 chars). */
+    std::string socketPath;
+    /** Worker threads executing admitted runs. */
+    unsigned workers = 2;
+    /** Admission queue bound; deeper submissions are shed. */
+    std::size_t maxQueueDepth = 64;
+    /**
+     * Cap on the summed wall budgets of queued + in-flight runs in
+     * seconds; exceeding it sheds even when the queue has slots.
+     * 0 disables the budget cap.
+     */
+    double maxPendingWallSeconds = 0;
+    /** Per-run wall-clock budget cap (client deadlines clamp to it). */
+    double defaultWallBudget = 300;
+    /** Transient-failure retries per run (executor policy). */
+    unsigned maxRetries = 1;
+    unsigned backoffBaseMs = 25;
+    unsigned backoffCapMs = 2000;
+    /** Crash journal directory; empty disables journaling. */
+    std::string journalDir;
+    /** Max seconds to wait for in-flight runs on shutdown. */
+    double drainSeconds = 30;
+    /** Seconds a reply write may block before the peer is dropped. */
+    double sendTimeoutSeconds = 10;
+    /** Timeseries window in completed requests. */
+    unsigned statsPeriod = 1;
+    /** Write the queue-depth/shed timeseries CSV here on stop(). */
+    std::string timeseriesPath;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket, recover the journal and spawn the I/O and
+     * worker threads. Returns false (after a warn) when the socket
+     * cannot be created.
+     */
+    bool start();
+
+    /**
+     * Request a graceful shutdown: stop accepting, shed the queue
+     * with journaled Overloaded replies, drain in-flight runs (up to
+     * drainSeconds). Async-signal-safe — a signal handler may call
+     * it directly.
+     */
+    void requestShutdown();
+
+    /** Block until shutdown completes; then join all threads. */
+    void stop();
+
+    /** Whether the I/O thread is still serving. */
+    bool running() const;
+
+    /** Current externally visible vitals (health probe contents). */
+    HealthInfo healthSnapshot() const;
+
+    /** Dump the scusimd stat group (counters, latency, series). */
+    void dumpStats(std::ostream &os) const;
+
+    const ServerOptions &options() const { return opts; }
+
+  private:
+    struct Connection;
+    struct Request;
+
+    void ioLoop();
+    void workerLoop();
+    void acceptClients();
+    void serviceConnection(const std::shared_ptr<Connection> &conn);
+    void dispatchFrame(const std::shared_ptr<Connection> &conn,
+                       const Frame &frame);
+    void handleSubmit(const std::shared_ptr<Connection> &conn,
+                      const Frame &frame);
+    void handleDisconnect(const std::shared_ptr<Connection> &conn);
+    void closeConnection(const std::shared_ptr<Connection> &conn);
+    bool sendFrame(const std::shared_ptr<Connection> &conn,
+                   FrameType type, const std::string &payload);
+    void sendReject(const std::shared_ptr<Connection> &conn,
+                    FailureKind kind, const std::string &message);
+    void executeRequest(const std::shared_ptr<Request> &req);
+    void beginDrain();
+    void finishDrain(bool force);
+    void recoverJournal();
+    std::string journalPathFor(const std::string &key) const;
+    bool journalWrite(const std::shared_ptr<Request> &req);
+    void journalRemove(const std::shared_ptr<Request> &req);
+    void noteRequestDone(const std::shared_ptr<Request> &req,
+                         bool ok, bool cancelled);
+
+    ServerOptions opts;
+
+    int listenFd = -1;
+    int wakeFd[2] = {-1, -1}; ///< self-pipe for shutdown signalling
+
+    std::thread ioThread;
+    std::vector<std::thread> workerThreads;
+
+    // Admission queue and in-flight accounting (qMutex).
+    mutable std::mutex qMutex;
+    std::condition_variable qCv;
+    std::deque<std::shared_ptr<Request>> queue;
+    std::size_t inFlight = 0;
+    double pendingWallSeconds = 0;
+    bool stopWorkers = false;
+
+    // Connections are owned by the I/O thread; the map itself is
+    // only ever touched there.
+    std::map<int, std::shared_ptr<Connection>> conns;
+    std::uint64_t nextConnId = 1;
+
+    std::atomic<bool> draining{false};
+    std::atomic<bool> ioRunning{false};
+    std::atomic<bool> started{false};
+
+    // Raw vitals as atomics (updated lock-free from any thread); the
+    // StatGroup view reads them through Formulas at dump time.
+    std::atomic<std::uint64_t> statConnections{0};
+    std::atomic<std::uint64_t> statAccepted{0};
+    std::atomic<std::uint64_t> statCompleted{0};
+    std::atomic<std::uint64_t> statFailed{0};
+    std::atomic<std::uint64_t> statShed{0};
+    std::atomic<std::uint64_t> statFramesRejected{0};
+    std::atomic<std::uint64_t> statDisconnectCancels{0};
+    std::atomic<std::uint64_t> statJournalRecovered{0};
+    std::atomic<std::uint64_t> statQueueDepth{0};
+    std::atomic<std::uint64_t> statDoneSeq{0};
+
+    // Latency distribution and the request-indexed timeseries
+    // (statsMutex; sampled once per completed request).
+    mutable std::mutex statsMutex;
+    std::unique_ptr<stats::StatGroup> statsRoot;
+    std::unique_ptr<stats::Distribution> latencyMs;
+    std::unique_ptr<stats::Timeseries> queueDepthSeries;
+    std::unique_ptr<stats::Timeseries> shedSeries;
+    std::vector<std::unique_ptr<stats::Formula>> formulas;
+};
+
+} // namespace scusim::service
+
+#endif // SCUSIM_SERVICE_SERVER_HH

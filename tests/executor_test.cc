@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 
@@ -166,4 +168,32 @@ TEST(Executor, DuplicateKeysShareOneExecution)
     ASSERT_EQ(res.size(), 1u);
     EXPECT_EQ(res.records()[0].run.label, "first-label");
     EXPECT_TRUE(res.byLabel("first-label").validated);
+}
+
+TEST(Backoff, DeterministicJitteredExponentialWithCap)
+{
+    // Pure function of (seed, attempt): the same inputs give the
+    // same delay on every host, so retried plans stay reproducible.
+    for (unsigned a = 1; a <= 8; ++a)
+        EXPECT_EQ(retryBackoffMs(42, a, 25, 2000),
+                  retryBackoffMs(42, a, 25, 2000));
+    // Jitter lands in [nominal/2, nominal] where nominal doubles per
+    // attempt until the cap.
+    for (unsigned a = 1; a <= 12; ++a) {
+        const unsigned nominal =
+            std::min<unsigned>(2000, 25u << (a - 1));
+        const unsigned d = retryBackoffMs(7, a, 25, 2000);
+        EXPECT_GE(d, nominal / 2) << "attempt " << a;
+        EXPECT_LE(d, nominal) << "attempt " << a;
+    }
+    // Different seeds or attempts de-synchronize retry storms: at
+    // least one delay in a small sweep must differ.
+    bool varies = false;
+    for (std::uint64_t s = 0; s < 16 && !varies; ++s)
+        varies = retryBackoffMs(s, 4, 25, 2000) !=
+                 retryBackoffMs(s + 16, 4, 25, 2000);
+    EXPECT_TRUE(varies);
+    // baseMs == 0 is the historical immediate retry.
+    EXPECT_EQ(retryBackoffMs(1, 1, 0, 2000), 0u);
+    EXPECT_EQ(retryBackoffMs(1, 5, 0, 2000), 0u);
 }

@@ -466,8 +466,12 @@ TEST(Supervision, WallClockBudgetIsTimeoutAndRetried)
                            .maxRetries = 1});
     const auto &rec = res.records().at(0);
     expectFailure(rec, FailureKind::Timeout);
-    // Timeout is the one transient kind: one retry was granted.
+    // Timeout is a transient kind: one retry was granted, and it
+    // waited exactly the deterministic seed-derived backoff the
+    // failures report surfaces.
     EXPECT_EQ(rec.attempts, 2u);
+    EXPECT_EQ(rec.backoffMs, retryBackoffMs(cfg.seed, 1, 25, 2000));
+    EXPECT_GT(rec.backoffMs, 0u);
 }
 
 TEST(Supervision, TimeoutsAreNeverMemoized)

@@ -261,6 +261,8 @@ TEST(RunCache, CorruptAndTruncatedFilesAreMissesNotErrors)
     }
     ASSERT_GT(n, 0u);
 
+    const std::uint64_t quarantinedBefore =
+        runCacheQuarantinedCount();
     clearRunMemo();
     auto warm = runPlan(plan, {});
     ASSERT_EQ(warm.failures(), 0u) << "corrupt cache broke the run";
@@ -268,6 +270,52 @@ TEST(RunCache, CorruptAndTruncatedFilesAreMissesNotErrors)
         EXPECT_FALSE(r.fromDiskCache)
             << r.run.label << " served from a corrupt file";
     EXPECT_EQ(jsonOf(cold), jsonOf(warm));
+
+    // Every damaged file was quarantined aside (counted, renamed to
+    // "<name>.corrupt"), so a damaged record costs one failed parse
+    // ever — and re-simulation wrote fresh records next to them.
+    EXPECT_EQ(runCacheQuarantinedCount() - quarantinedBefore, n);
+    std::size_t corrupt = 0, fresh = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(cache.dir)) {
+        if (e.path().extension() == ".corrupt")
+            ++corrupt;
+        else if (e.path().extension() == ".run")
+            ++fresh;
+    }
+    EXPECT_EQ(corrupt, n);
+    EXPECT_EQ(fresh, n);
+
+    // The quarantined copies are inert: a third execution is served
+    // from the fresh records, byte-identically.
+    clearRunMemo();
+    auto rewarm = runPlan(plan, {});
+    ASSERT_EQ(rewarm.failures(), 0u);
+    for (const auto &r : rewarm.records())
+        EXPECT_TRUE(r.fromDiskCache) << r.run.label;
+    EXPECT_EQ(jsonOf(cold), jsonOf(rewarm));
+}
+
+TEST(RunCache, KeyMismatchIsAMissNotCorruption)
+{
+    CacheDirGuard cache("collision");
+    // A well-formed record stored under a *different* key's file
+    // name models a hash collision: it must read as a plain miss —
+    // no quarantine, the resident file left alone.
+    const RunRecord rec = sampleRecord();
+    std::filesystem::create_directories(cache.dir);
+    const std::string victim =
+        runCachePath(cache.dir, "some|other|key");
+    {
+        std::ofstream f(victim, std::ios::binary);
+        f << encodeRunRecord(rec);
+    }
+    const std::uint64_t before = runCacheQuarantinedCount();
+    RunRecord out;
+    EXPECT_FALSE(loadCachedRun(cache.dir, "some|other|key", out));
+    EXPECT_EQ(runCacheQuarantinedCount(), before);
+    EXPECT_TRUE(std::filesystem::exists(victim))
+        << "hash-collision miss quarantined a healthy file";
 }
 
 TEST(RunCache, DirGettersAndPathShape)

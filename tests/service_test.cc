@@ -1,0 +1,737 @@
+/**
+ * @file
+ * Tests of the scusimd resident simulation service: the versioned
+ * frame protocol, and the four robustness properties the service
+ * exists to provide —
+ *
+ *  1. malformed / oversized / truncated frames are rejected
+ *     per-connection without daemon death (fuzz-style corpus);
+ *  2. a full admission queue sheds with a typed Overloaded reply the
+ *     client maps to a failure, never a hang;
+ *  3. a client that vanishes mid-run has its work cancelled through
+ *     the cooperative-cancellation hooks;
+ *  4. a daemon killed at any instant (SIGTERM drain or kill -9
+ *     mid-run) leaves a journal a restarted daemon re-executes, and
+ *     daemon-served results stay byte-identical to locally simulated
+ *     ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/executor.hh"
+#include "harness/plan.hh"
+#include "harness/run_cache.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+
+using namespace scusim;
+using namespace scusim::service;
+using scusim::harness::Primitive;
+using scusim::harness::RunConfig;
+using scusim::harness::RunRecord;
+using scusim::harness::ScuMode;
+
+namespace
+{
+
+/** Fresh scratch tree (socket, cache, journal) for one test body. */
+class ServiceDirs
+{
+  public:
+    explicit ServiceDirs(const char *name)
+        : root(::testing::TempDir() + "scusim_service_" + name)
+    {
+        std::filesystem::remove_all(root);
+        std::filesystem::create_directories(root + "/journal");
+        ::setenv("SCUSIM_CACHE_DIR", (root + "/cache").c_str(), 1);
+        harness::clearRunMemo();
+    }
+
+    ~ServiceDirs()
+    {
+        ::unsetenv("SCUSIM_CACHE_DIR");
+        std::filesystem::remove_all(root);
+        harness::clearRunMemo();
+    }
+
+    std::string socket() const { return root + "/sock"; }
+    std::string journal() const { return root + "/journal"; }
+
+    std::size_t
+    journalEntries() const
+    {
+        std::size_t n = 0;
+        for (const auto &e :
+             std::filesystem::directory_iterator(journal()))
+            if (e.path().extension() == ".req")
+                ++n;
+        return n;
+    }
+
+    const std::string root;
+};
+
+/** A run small enough to finish in milliseconds. */
+RunConfig
+tinyConfig()
+{
+    RunConfig cfg;
+    cfg.systemName = "TX1";
+    cfg.primitive = Primitive::Bfs;
+    cfg.dataset = "cond";
+    cfg.scale = 0.01;
+    cfg.mode = ScuMode::ScuEnhanced;
+    cfg.alg.mode = cfg.mode;
+    return cfg;
+}
+
+/**
+ * A run that grinds for many seconds unless cancelled: PageRank with
+ * a huge sweep count and a convergence bound it can never meet.
+ */
+RunConfig
+slowConfig(unsigned iters = 100000)
+{
+    RunConfig cfg;
+    cfg.systemName = "TX1";
+    cfg.primitive = Primitive::Pr;
+    cfg.dataset = "ca";
+    cfg.scale = 0.05;
+    cfg.alg.mode = cfg.mode;
+    cfg.alg.prMaxIterations = iters;
+    cfg.alg.prEpsilon = 0;
+    return cfg;
+}
+
+ServerOptions
+baseOptions(const ServiceDirs &dirs)
+{
+    ServerOptions o;
+    o.socketPath = dirs.socket();
+    o.journalDir = dirs.journal();
+    o.workers = 2;
+    o.drainSeconds = 0.2;
+    return o;
+}
+
+ClientOptions
+clientFor(const ServiceDirs &dirs, unsigned retries = 0)
+{
+    ClientOptions c;
+    c.socketPath = dirs.socket();
+    c.maxRetries = retries;
+    c.backoffBaseMs = 20;
+    c.backoffCapMs = 200;
+    c.deadlineSeconds = 120;
+    return c;
+}
+
+/** Poll @p pred every 10 ms for up to @p seconds. */
+bool
+waitFor(double seconds, const std::function<bool()> &pred)
+{
+    const int tries = static_cast<int>(seconds * 100);
+    for (int i = 0; i < tries; ++i) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+}
+
+/** Raw blocking connection for protocol-level poking. */
+class RawConn
+{
+  public:
+    explicit RawConn(const std::string &path)
+    {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    ~RawConn() { close(); }
+
+    void
+    close()
+    {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+
+    bool ok() const { return fd >= 0; }
+
+    bool
+    sendBytes(const std::string &bytes) const
+    {
+        return fd >= 0 &&
+               ::send(fd, bytes.data(), bytes.size(),
+                      MSG_NOSIGNAL) ==
+                   static_cast<ssize_t>(bytes.size());
+    }
+
+    /**
+     * Read until EOF or @p seconds elapse; returns the bytes seen.
+     * Used to observe Reject replies and connection drops.
+     */
+    std::string
+    drain(double seconds) const
+    {
+        std::string got;
+        char buf[4096];
+        for (int i = 0; i < static_cast<int>(seconds * 100); ++i) {
+            pollfd p{fd, POLLIN, 0};
+            if (::poll(&p, 1, 10) <= 0)
+                continue;
+            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n <= 0)
+                break;
+            got.append(buf, static_cast<std::size_t>(n));
+        }
+        return got;
+    }
+
+    /** True when the server closed its side within @p seconds. */
+    bool
+    closedBy(double seconds) const
+    {
+        char buf[256];
+        for (int i = 0; i < static_cast<int>(seconds * 100); ++i) {
+            pollfd p{fd, POLLIN, 0};
+            if (::poll(&p, 1, 10) <= 0)
+                continue;
+            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n == 0)
+                return true;
+            if (n < 0)
+                return errno != EAGAIN && errno != EWOULDBLOCK;
+        }
+        return false;
+    }
+
+    int fd = -1;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Protocol layer
+// ---------------------------------------------------------------
+
+TEST(ServiceProtocol, FrameRoundTripAndIncrementalParse)
+{
+    const std::string payload = "hello frames";
+    const std::string bytes =
+        encodeFrame(FrameType::Submit, payload);
+    ASSERT_EQ(bytes.size(), frameHeaderBytes + payload.size());
+
+    // Feed the frame one byte at a time: NeedMore until complete.
+    std::string buf;
+    Frame f;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        buf.push_back(bytes[i]);
+        EXPECT_EQ(parseFrame(buf, f), FrameStatus::NeedMore)
+            << "at byte " << i;
+    }
+    buf.push_back(bytes.back());
+    ASSERT_EQ(parseFrame(buf, f), FrameStatus::Ok);
+    EXPECT_EQ(f.type, FrameType::Submit);
+    EXPECT_EQ(f.payload, payload);
+    EXPECT_TRUE(buf.empty()) << "frame bytes not consumed";
+
+    // Two concatenated frames parse back to back.
+    buf = encodeFrame(FrameType::Health, "") +
+          encodeFrame(FrameType::Submit, "x");
+    ASSERT_EQ(parseFrame(buf, f), FrameStatus::Ok);
+    EXPECT_EQ(f.type, FrameType::Health);
+    ASSERT_EQ(parseFrame(buf, f), FrameStatus::Ok);
+    EXPECT_EQ(f.payload, "x");
+}
+
+TEST(ServiceProtocol, MalformedFramesAreRejectedNotGuessed)
+{
+    Frame f;
+    std::string why;
+
+    // Bad magic is rejected from the very first divergent byte —
+    // before a full header ever arrives.
+    std::string buf = "G";
+    EXPECT_EQ(parseFrame(buf, f, &why), FrameStatus::Malformed);
+    EXPECT_EQ(why, "bad magic");
+
+    auto mangled = [](std::size_t at, char to) {
+        std::string b = encodeFrame(FrameType::Submit, "payload");
+        b[at] = to;
+        return b;
+    };
+    buf = mangled(0, 'X'); // magic
+    EXPECT_EQ(parseFrame(buf, f, &why), FrameStatus::Malformed);
+    buf = mangled(4, 0x7F); // protocol version
+    EXPECT_EQ(parseFrame(buf, f, &why), FrameStatus::Malformed);
+    EXPECT_EQ(why, "unsupported protocol version");
+    buf = mangled(6, 0x55); // frame type
+    EXPECT_EQ(parseFrame(buf, f, &why), FrameStatus::Malformed);
+    EXPECT_EQ(why, "unknown frame type");
+    buf = mangled(11, 0x7F); // length high byte -> > maxFramePayload
+    EXPECT_EQ(parseFrame(buf, f, &why), FrameStatus::Malformed);
+    EXPECT_EQ(why, "oversized frame");
+}
+
+TEST(ServiceProtocol, RunRequestRoundTripsEveryField)
+{
+    RunRequest req;
+    req.cfg = slowConfig(123);
+    req.cfg.seed = 99;
+    req.cfg.alg.source = 7;
+    req.cfg.alg.ssspDelta = 3;
+    req.cfg.deviceCount = 2;
+    req.cfg.sharded = true;
+    req.cfg.guards.tickBudget = 1'000'000;
+    req.cfg.guards.stallWindow = 500;
+    req.deadlineMs = 45'000;
+
+    RunRequest back;
+    std::string err;
+    ASSERT_TRUE(decodeRunRequest(encodeRunRequest(req), back, err))
+        << err;
+    EXPECT_EQ(harness::runKey(back.cfg), harness::runKey(req.cfg));
+    EXPECT_EQ(back.cfg.alg.prMaxIterations, 123u);
+    EXPECT_EQ(back.cfg.alg.prEpsilon, 0.0);
+    EXPECT_EQ(back.cfg.guards.tickBudget, Tick{1'000'000});
+    EXPECT_EQ(back.cfg.guards.stallWindow, Tick{500});
+    EXPECT_EQ(back.deadlineMs, 45'000u);
+    EXPECT_EQ(back.cfg.alg.mode, back.cfg.mode);
+}
+
+TEST(ServiceProtocol, RunRequestRejectsMalformedFields)
+{
+    RunRequest req;
+    req.cfg = tinyConfig();
+    const std::string good = encodeRunRequest(req);
+
+    RunRequest back;
+    std::string err;
+    // A corpus of field-level corruptions: every one must fail with
+    // a reason, never crash or half-fill the output.
+    const std::vector<std::string> corpus = {
+        "",
+        "garbage",
+        "scusim-request 999\n" + good.substr(good.find('\n') + 1),
+        good.substr(0, good.size() - 5), // missing terminator
+        // primitive / mode / scale / deviceCount out of range:
+        [&] {
+            std::string s = good;
+            s.replace(s.find("primitive BFS"), 13, "primitive XXX");
+            return s;
+        }(),
+        [&] {
+            std::string s = good;
+            s.replace(s.find("mode scu-enhanced"), 17,
+                      "mode warp-drive!!");
+            return s;
+        }(),
+        [&] {
+            std::string s = good;
+            const auto at = s.find("deviceCount 1");
+            s.replace(at, 13, "deviceCount 0");
+            return s;
+        }(),
+    };
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_FALSE(decodeRunRequest(corpus[i], back, err))
+            << "corpus entry " << i << " decoded";
+}
+
+TEST(ServiceProtocol, RejectAndHealthRoundTrip)
+{
+    RejectInfo r;
+    r.kind = FailureKind::Overloaded;
+    r.message = "queue full\nand a second line";
+    RejectInfo back;
+    ASSERT_TRUE(decodeReject(encodeReject(r), back));
+    EXPECT_EQ(back.kind, FailureKind::Overloaded);
+    EXPECT_EQ(back.message, r.message);
+    EXPECT_TRUE(isTransientFailure(back.kind));
+
+    HealthInfo h;
+    h.requestsAccepted = 5;
+    h.overloadShed = 2;
+    h.draining = 1;
+    HealthInfo hb;
+    ASSERT_TRUE(decodeHealth(encodeHealth(h), hb));
+    EXPECT_EQ(hb.requestsAccepted, 5u);
+    EXPECT_EQ(hb.overloadShed, 2u);
+    EXPECT_EQ(hb.draining, 1u);
+    EXPECT_FALSE(decodeHealth("ok 1\n", hb));
+}
+
+// ---------------------------------------------------------------
+// Served results are byte-identical to local simulation
+// ---------------------------------------------------------------
+
+TEST(Service, ServedRunsMatchLocalSimulationByteForByte)
+{
+    ServiceDirs dirs("bytes");
+    const RunConfig cfg = tinyConfig();
+
+    // Local ground truth, outside every cache tier.
+    auto local = harness::runPlan(
+        harness::ExperimentPlan().add(cfg),
+        {.jobs = 1, .memoize = false});
+    ASSERT_EQ(local.failures(), 0u);
+    const std::string want =
+        harness::encodeRunRecord(local.records().at(0));
+
+    Server server(baseOptions(dirs));
+    ASSERT_TRUE(server.start());
+    ServiceClient client(clientFor(dirs));
+
+    const RunRecord cold = client.submit(cfg);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(harness::encodeRunRecord(cold), want);
+
+    const RunRecord warm = client.submit(cfg);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(harness::encodeRunRecord(warm), want);
+
+    const HealthInfo h = server.healthSnapshot();
+    EXPECT_EQ(h.requestsCompleted, 2u);
+    EXPECT_EQ(h.requestsFailed, 0u);
+    server.stop();
+
+    // A fresh daemon over the same cache dir serves it from disk,
+    // still byte-identical (the cross-restart warm path).
+    harness::clearRunMemo();
+    Server server2(baseOptions(dirs));
+    ASSERT_TRUE(server2.start());
+    const RunRecord rewarm = ServiceClient(clientFor(dirs)).submit(cfg);
+    ASSERT_TRUE(rewarm.ok) << rewarm.error;
+    EXPECT_EQ(harness::encodeRunRecord(rewarm), want);
+    server2.stop();
+}
+
+// ---------------------------------------------------------------
+// Property 1: malformed frames never kill the daemon
+// ---------------------------------------------------------------
+
+TEST(Service, MalformedFrameCorpusNeverKillsTheDaemon)
+{
+    ServiceDirs dirs("fuzz");
+    Server server(baseOptions(dirs));
+    ASSERT_TRUE(server.start());
+
+    // Frame-level corpus: each entry poisons its own connection and
+    // must leave the daemon serving.
+    std::string huge = encodeFrame(FrameType::Submit, "x");
+    huge[11] = 0x7F; // declared length far beyond maxFramePayload
+    const std::vector<std::string> corpus = {
+        "GET / HTTP/1.1\r\n\r\n",          // wrong protocol entirely
+        std::string(1, '\x00'),            // bad magic, single byte
+        std::string(64, '\xFF'),           // bad magic, bulk garbage
+        [] {                               // wrong protocol version
+            std::string b = encodeFrame(FrameType::Health, "");
+            b[4] = 0x7E;
+            return b;
+        }(),
+        [] {                               // unknown frame type
+            std::string b = encodeFrame(FrameType::Health, "");
+            b[6] = 0x44;
+            return b;
+        }(),
+        huge,                              // oversized declared length
+        // reply frame sent to the server:
+        encodeFrame(FrameType::Result, "i am not a server"),
+    };
+
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        RawConn conn(dirs.socket());
+        ASSERT_TRUE(conn.ok()) << "daemon gone before entry " << i;
+        ASSERT_TRUE(conn.sendBytes(corpus[i])) << "entry " << i;
+        EXPECT_TRUE(conn.closedBy(5.0))
+            << "entry " << i << " did not get the connection dropped";
+        ASSERT_TRUE(server.running())
+            << "corpus entry " << i << " killed the daemon";
+    }
+
+    // A truncated frame followed by an abrupt close: no reply owed,
+    // no crash.
+    {
+        RawConn conn(dirs.socket());
+        ASSERT_TRUE(conn.ok());
+        const std::string frame =
+            encodeFrame(FrameType::Submit,
+                        encodeRunRequest({tinyConfig(), 0}));
+        ASSERT_TRUE(conn.sendBytes(frame.substr(0, frame.size() / 2)));
+        conn.close();
+    }
+
+    // A well-formed frame whose Submit payload is garbage: typed
+    // Invariant reject, connection kept open and usable.
+    {
+        RawConn conn(dirs.socket());
+        ASSERT_TRUE(conn.ok());
+        ASSERT_TRUE(conn.sendBytes(
+            encodeFrame(FrameType::Submit, "not a run request")));
+        std::string got = conn.drain(5.0);
+        Frame f;
+        ASSERT_EQ(parseFrame(got, f), FrameStatus::Ok);
+        ASSERT_EQ(f.type, FrameType::Reject);
+        RejectInfo info;
+        ASSERT_TRUE(decodeReject(f.payload, info));
+        EXPECT_EQ(info.kind, FailureKind::Invariant);
+    }
+
+    // After the whole corpus the daemon still serves real work.
+    ASSERT_TRUE(server.running());
+    const RunRecord rec =
+        ServiceClient(clientFor(dirs)).submit(tinyConfig());
+    EXPECT_TRUE(rec.ok) << rec.error;
+    const HealthInfo h = server.healthSnapshot();
+    EXPECT_GE(h.framesRejected, corpus.size());
+    server.stop();
+}
+
+// ---------------------------------------------------------------
+// Property 2: bounded admission, typed Overloaded shed
+// ---------------------------------------------------------------
+
+TEST(Service, OverloadShedsWithTypedReplyNotAHang)
+{
+    ServiceDirs dirs("overload");
+    ServerOptions so = baseOptions(dirs);
+    so.workers = 1;
+    so.maxQueueDepth = 1;
+    Server server(so);
+    ASSERT_TRUE(server.start());
+
+    // A: occupies the single worker. B: fills the queue.
+    std::thread tA([&] {
+        ServiceClient(clientFor(dirs)).submit(slowConfig());
+    });
+    ASSERT_TRUE(waitFor(30, [&] {
+        return server.healthSnapshot().inFlight >= 1;
+    }));
+    std::thread tB([&] {
+        ServiceClient(clientFor(dirs)).submit(slowConfig(99999));
+    });
+    ASSERT_TRUE(waitFor(30, [&] {
+        return server.healthSnapshot().queueDepth >= 1;
+    }));
+
+    // C: must be shed promptly with a typed Overloaded failure.
+    ClientOptions c = clientFor(dirs);
+    c.deadlineSeconds = 30;
+    const RunRecord shed = ServiceClient(c).submit(tinyConfig());
+    ASSERT_FALSE(shed.ok);
+    ASSERT_TRUE(shed.failure.has_value());
+    EXPECT_EQ(*shed.failure, FailureKind::Overloaded);
+    EXPECT_GE(server.healthSnapshot().overloadShed, 1u);
+
+    // Shutdown sheds the queued run (typed, journaled) and
+    // force-cancels the in-flight one after the drain budget.
+    server.stop();
+    tA.join();
+    tB.join();
+    EXPECT_GE(dirs.journalEntries(), 1u)
+        << "shed/cancelled work lost from the journal";
+}
+
+// ---------------------------------------------------------------
+// Property 3: a vanished client cancels its run
+// ---------------------------------------------------------------
+
+TEST(Service, DisconnectedClientCancelsItsRun)
+{
+    ServiceDirs dirs("vanish");
+    ServerOptions so = baseOptions(dirs);
+    so.workers = 1;
+    Server server(so);
+    ASSERT_TRUE(server.start());
+
+    {
+        RawConn conn(dirs.socket());
+        ASSERT_TRUE(conn.ok());
+        ASSERT_TRUE(conn.sendBytes(encodeFrame(
+            FrameType::Submit,
+            encodeRunRequest({slowConfig(), 0}))));
+        ASSERT_TRUE(waitFor(30, [&] {
+            return server.healthSnapshot().inFlight >= 1;
+        }));
+    } // client vanishes mid-run
+
+    EXPECT_TRUE(waitFor(60, [&] {
+        return server.healthSnapshot().disconnectCancels >= 1;
+    })) << "disconnect not detected";
+    EXPECT_TRUE(waitFor(60, [&] {
+        return server.healthSnapshot().inFlight == 0;
+    })) << "run not cancelled after its client vanished";
+
+    // The worker is free again for real work.
+    const RunRecord rec =
+        ServiceClient(clientFor(dirs)).submit(tinyConfig());
+    EXPECT_TRUE(rec.ok) << rec.error;
+    server.stop();
+}
+
+// ---------------------------------------------------------------
+// Property 4: crash-safe journal, byte-identical re-serving
+// ---------------------------------------------------------------
+
+TEST(Service, JournalRecoveryReExecutesAndServesByteIdentically)
+{
+    ServiceDirs dirs("journal");
+    const RunConfig cfg = tinyConfig();
+
+    // Local ground truth.
+    auto local = harness::runPlan(
+        harness::ExperimentPlan().add(cfg),
+        {.jobs = 1, .memoize = false});
+    ASSERT_EQ(local.failures(), 0u);
+    const std::string want =
+        harness::encodeRunRecord(local.records().at(0));
+
+    // Plant a journal entry by hand — exactly what a kill -9 between
+    // accept and completion leaves behind — plus one corrupt entry
+    // that must be quarantined, not crash recovery.
+    {
+        RunRequest req{cfg, 0};
+        std::ofstream f(dirs.journal() + "/0000000000000001.req",
+                        std::ios::binary);
+        f << "scusimd-journal " << journalSchemaVersion << '\n'
+          << encodeRunRequest(req);
+    }
+    {
+        std::ofstream f(dirs.journal() + "/0000000000000002.req",
+                        std::ios::binary);
+        f << "scusimd-journal 999\ntrash\n";
+    }
+
+    harness::clearRunMemo();
+    Server server(baseOptions(dirs));
+    ASSERT_TRUE(server.start());
+    EXPECT_EQ(server.healthSnapshot().journalRecovered, 1u);
+    ASSERT_TRUE(waitFor(60, [&] {
+        const HealthInfo h = server.healthSnapshot();
+        return h.requestsCompleted + h.requestsFailed >= 1;
+    })) << "recovered request never executed";
+
+    // The journal entry is consumed; the corrupt one is quarantined.
+    EXPECT_EQ(dirs.journalEntries(), 0u);
+    EXPECT_TRUE(std::filesystem::exists(
+        dirs.journal() + "/0000000000000002.req.corrupt"));
+
+    // The re-executed result reaches clients byte-identically.
+    const RunRecord rec = ServiceClient(clientFor(dirs)).submit(cfg);
+    ASSERT_TRUE(rec.ok) << rec.error;
+    EXPECT_EQ(harness::encodeRunRecord(rec), want);
+    server.stop();
+}
+
+#ifdef SCUSIMD_BINARY
+TEST(Service, KillNineMidRunThenRestartReservesByteIdentically)
+{
+    ServiceDirs dirs("killnine");
+    const RunConfig cfg = slowConfig(12); // a few seconds of work
+
+    auto spawnDaemon = [&]() -> pid_t {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            ::execl(SCUSIMD_BINARY, "scusimd", "--socket",
+                    dirs.socket().c_str(), "--journal",
+                    dirs.journal().c_str(), "--workers", "2",
+                    "--drain", "5", static_cast<char *>(nullptr));
+            _exit(127);
+        }
+        return pid;
+    };
+
+    pid_t daemon1 = spawnDaemon();
+    ASSERT_GT(daemon1, 0);
+    ServiceClient probe(clientFor(dirs));
+    HealthInfo h;
+    ASSERT_TRUE(waitFor(30, [&] { return probe.health(h); }))
+        << "daemon 1 never came up";
+
+    // Submit from a supervised client with retries: it must survive
+    // the daemon dying under it and land on the restarted daemon.
+    ClientOptions copts = clientFor(dirs, /*retries=*/60);
+    copts.backoffBaseMs = 100;
+    copts.backoffCapMs = 500;
+    copts.deadlineSeconds = 240;
+    RunRecord got;
+    std::thread submitter(
+        [&] { got = ServiceClient(copts).submit(cfg); });
+
+    ASSERT_TRUE(waitFor(60, [&] {
+        return probe.health(h) && h.inFlight >= 1;
+    })) << "run never started on daemon 1";
+
+    // kill -9 mid-run: no drain, no journal cleanup, nothing.
+    ASSERT_EQ(::kill(daemon1, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(daemon1, &status, 0), daemon1);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_GE(dirs.journalEntries(), 1u)
+        << "kill -9 lost the accepted request";
+
+    // The restarted daemon recovers the journal, re-executes, and
+    // the retrying client completes against it.
+    pid_t daemon2 = spawnDaemon();
+    ASSERT_GT(daemon2, 0);
+    ASSERT_TRUE(waitFor(30, [&] { return probe.health(h); }))
+        << "daemon 2 never came up";
+    EXPECT_GE(h.journalRecovered, 1u);
+
+    submitter.join();
+    // On success the record carries the *daemon's* outcome fields
+    // verbatim (that is the byte-identity contract), so the client's
+    // own retry count is not asserted here — the crash is proven by
+    // the journal entry above and the recovery count below.
+    ASSERT_TRUE(got.ok) << got.error;
+
+    // Byte-identical to a local simulation of the same config.
+    harness::clearRunMemo();
+    ::unsetenv("SCUSIM_CACHE_DIR"); // local truth: no cache tier
+    auto local = harness::runPlan(
+        harness::ExperimentPlan().add(cfg),
+        {.jobs = 1, .memoize = false});
+    ::setenv("SCUSIM_CACHE_DIR", (dirs.root + "/cache").c_str(), 1);
+    ASSERT_EQ(local.failures(), 0u);
+    EXPECT_EQ(harness::encodeRunRecord(got),
+              harness::encodeRunRecord(local.records().at(0)));
+
+    // SIGTERM is a graceful exit 0, journal fully consumed.
+    ASSERT_EQ(::kill(daemon2, SIGTERM), 0);
+    ASSERT_EQ(::waitpid(daemon2, &status, 0), daemon2);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "daemon 2 did not drain cleanly";
+    EXPECT_EQ(dirs.journalEntries(), 0u);
+}
+#endif // SCUSIMD_BINARY

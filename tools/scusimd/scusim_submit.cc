@@ -1,0 +1,164 @@
+/**
+ * @file
+ * scusim-submit — command-line client of the scusimd daemon. Submits
+ * one run (or a health probe) with deadline propagation and the
+ * deterministic retry/backoff policy of the service client, prints a
+ * one-line outcome, and optionally writes the daemon's raw
+ * encodeRunRecord bytes to a file.
+ *
+ * The --out artifact is the byte-identity hook the CI service job
+ * diffs: a warm daemon-served record must equal the cold one bit for
+ * bit, whichever process simulated it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/sim_error.hh"
+#include "harness/run_cache.hh"
+#include "service/client.hh"
+
+using namespace scusim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [options]\n"
+        "  --health             probe daemon vitals and exit\n"
+        "  --system NAME        GTX980 | TX1 (default GTX980)\n"
+        "  --primitive P        BFS | SSSP | PR (default BFS)\n"
+        "  --mode M             gpu-only | scu-basic | scu-enhanced\n"
+        "  --dataset NAME       Table 5 dataset (default cond)\n"
+        "  --scale F            dataset scale factor (default 0.25)\n"
+        "  --seed N             run seed (default 1)\n"
+        "  --devices N          simulated device count (default 1)\n"
+        "  --sharded            force the sharded driver\n"
+        "  --deadline S         overall client deadline in seconds\n"
+        "  --retries N          Overloaded/ConnectionLost retries\n"
+        "  --out FILE           write the raw record bytes here\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ClientOptions copts;
+    harness::RunConfig cfg;
+    bool healthProbe = false;
+    std::string outPath;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--socket")
+            copts.socketPath = need(i);
+        else if (a == "--health")
+            healthProbe = true;
+        else if (a == "--system")
+            cfg.systemName = need(i);
+        else if (a == "--primitive") {
+            if (!service::parsePrimitive(need(i), cfg.primitive))
+                usage(argv[0]);
+        } else if (a == "--mode") {
+            if (!service::parseScuMode(need(i), cfg.mode))
+                usage(argv[0]);
+        } else if (a == "--dataset")
+            cfg.dataset = need(i);
+        else if (a == "--scale")
+            cfg.scale = std::strtod(need(i), nullptr);
+        else if (a == "--seed")
+            cfg.seed = std::strtoull(need(i), nullptr, 10);
+        else if (a == "--devices")
+            cfg.deviceCount = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 10));
+        else if (a == "--sharded")
+            cfg.sharded = true;
+        else if (a == "--deadline")
+            copts.deadlineSeconds = std::strtod(need(i), nullptr);
+        else if (a == "--retries")
+            copts.maxRetries = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 10));
+        else if (a == "--out")
+            outPath = need(i);
+        else
+            usage(argv[0]);
+    }
+    if (copts.socketPath.empty())
+        usage(argv[0]);
+    cfg.alg.mode = cfg.mode;
+
+    service::ServiceClient client(copts);
+
+    if (healthProbe) {
+        service::HealthInfo h;
+        std::string err;
+        if (!client.health(h, &err)) {
+            std::fprintf(stderr, "health probe failed: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        std::printf("ok %llu accepted %llu completed %llu failed "
+                    "%llu shed %llu framesRejected %llu "
+                    "disconnectCancels %llu journalRecovered %llu "
+                    "quarantined %llu queueDepth %llu inFlight %llu "
+                    "draining %llu\n",
+                    static_cast<unsigned long long>(h.ok),
+                    static_cast<unsigned long long>(h.requestsAccepted),
+                    static_cast<unsigned long long>(h.requestsCompleted),
+                    static_cast<unsigned long long>(h.requestsFailed),
+                    static_cast<unsigned long long>(h.overloadShed),
+                    static_cast<unsigned long long>(h.framesRejected),
+                    static_cast<unsigned long long>(
+                        h.disconnectCancels),
+                    static_cast<unsigned long long>(
+                        h.journalRecovered),
+                    static_cast<unsigned long long>(
+                        h.cacheQuarantined),
+                    static_cast<unsigned long long>(h.queueDepth),
+                    static_cast<unsigned long long>(h.inFlight),
+                    static_cast<unsigned long long>(h.draining));
+        return 0;
+    }
+
+    const harness::RunRecord rec = client.submit(cfg);
+
+    if (!outPath.empty() && rec.ok) {
+        std::ofstream os(outPath,
+                         std::ios::binary | std::ios::trunc);
+        os << harness::encodeRunRecord(rec);
+        if (!os.good()) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+    }
+
+    if (rec.ok) {
+        std::printf("%s ok cycles %llu attempts %u backoffMs %u\n",
+                    rec.run.label.c_str(),
+                    static_cast<unsigned long long>(
+                        rec.result.totalCycles),
+                    rec.attempts, rec.backoffMs);
+        return 0;
+    }
+    std::printf("%s FAIL(%s) attempts %u: %s\n",
+                rec.run.label.c_str(),
+                rec.failure ? to_string(*rec.failure) : "unknown",
+                rec.attempts, rec.error.c_str());
+    return 1;
+}

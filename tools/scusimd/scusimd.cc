@@ -1,0 +1,116 @@
+/**
+ * @file
+ * scusimd — the resident simulation service daemon. Binds a
+ * Unix-domain socket, recovers any crash journal left by a previous
+ * instance, and serves plan submissions from the shared run tiers
+ * (memo, interned datasets, SCUSIM_CACHE_DIR) until SIGTERM/SIGINT
+ * asks it to drain.
+ *
+ * Exit is graceful by construction: on the first signal the daemon
+ * stops accepting, sheds its queue with typed Overloaded replies
+ * (journal entries kept), waits up to --drain seconds for in-flight
+ * runs, then persists stats/timeseries and exits 0. A kill -9 is
+ * also safe — accepted requests live in the journal, and the next
+ * instance re-executes them into the run cache.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "service/server.hh"
+
+using scusim::service::Server;
+using scusim::service::ServerOptions;
+
+namespace
+{
+
+Server *gServer = nullptr;
+
+extern "C" void
+onSignal(int)
+{
+    if (gServer)
+        gServer->requestShutdown(); // async-signal-safe (self-pipe)
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [options]\n"
+        "  --socket PATH        Unix-domain socket to listen on\n"
+        "  --workers N          worker threads (default 2)\n"
+        "  --queue-depth N      admission queue bound (default 64)\n"
+        "  --max-pending-wall S shed when queued+running wall\n"
+        "                       budgets exceed S seconds (0 = off)\n"
+        "  --wall-budget S      per-run wall budget cap (default 300)\n"
+        "  --retries N          transient-failure retries (default 1)\n"
+        "  --journal DIR        crash journal directory\n"
+        "  --drain S            shutdown drain budget (default 30)\n"
+        "  --timeseries FILE    write stats timeseries CSV on exit\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerOptions opts;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--socket")
+            opts.socketPath = need(i);
+        else if (a == "--workers")
+            opts.workers =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (a == "--queue-depth")
+            opts.maxQueueDepth = std::strtoul(need(i), nullptr, 10);
+        else if (a == "--max-pending-wall")
+            opts.maxPendingWallSeconds = std::strtod(need(i), nullptr);
+        else if (a == "--wall-budget")
+            opts.defaultWallBudget = std::strtod(need(i), nullptr);
+        else if (a == "--retries")
+            opts.maxRetries =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (a == "--journal")
+            opts.journalDir = need(i);
+        else if (a == "--drain")
+            opts.drainSeconds = std::strtod(need(i), nullptr);
+        else if (a == "--timeseries")
+            opts.timeseriesPath = need(i);
+        else
+            usage(argv[0]);
+    }
+    if (opts.socketPath.empty())
+        usage(argv[0]);
+
+    Server server(opts);
+    gServer = &server;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    if (!server.start())
+        return 1;
+    while (server.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+    gServer = nullptr;
+    return 0;
+}

@@ -65,14 +65,39 @@ CsrGraph::fromCsrArrays(NodeId n, std::vector<EdgeId> offsets,
 }
 
 CsrGraph
+CsrGraph::viewing(NodeId n, std::span<const EdgeId> offsets,
+                  std::span<const NodeId> dst,
+                  std::span<const Weight> w, RowPager *pager)
+{
+    CsrGraph g;
+    g.n = n;
+    g.extOffsets = offsets;
+    g.extDst = dst;
+    g.extW = w;
+    g.borrowed = true;
+    g.pager = pager;
+    fatal_if(offsets.size() != static_cast<std::size_t>(n) + 1,
+             "viewing: offset span must hold n+1 entries "
+             "(%zu for %u nodes)",
+             offsets.size(), n);
+    fatal_if(dst.size() != w.size(),
+             "viewing: edge/weight span size mismatch (%zu vs %zu)",
+             dst.size(), w.size());
+    return g;
+}
+
+CsrGraph
 CsrGraph::transpose() const
 {
+    const std::span<const EdgeId> off = adjacencyOffsets();
+    const std::span<const NodeId> d = edgeArray();
+    const std::span<const Weight> ww = weightArray();
     EdgeList el;
     el.numNodes = n;
-    el.edges.reserve(dst.size());
+    el.edges.reserve(d.size());
     for (NodeId u = 0; u < n; ++u) {
-        for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e)
-            el.edges.push_back(CooEdge{dst[e], u, w[e]});
+        for (EdgeId e = off[u]; e < off[u + 1]; ++e)
+            el.edges.push_back(CooEdge{d[e], u, ww[e]});
     }
     return fromEdgeList(std::move(el));
 }
@@ -80,17 +105,19 @@ CsrGraph::transpose() const
 void
 CsrGraph::validate() const
 {
-    panic_if(offsets.size() != static_cast<std::size_t>(n) + 1,
+    const std::span<const EdgeId> off = adjacencyOffsets();
+    const std::span<const NodeId> d = edgeArray();
+    panic_if(off.size() != static_cast<std::size_t>(n) + 1,
              "offset array size mismatch");
-    panic_if(offsets.front() != 0, "offsets must start at 0");
-    panic_if(offsets.back() != numEdges(),
+    panic_if(off.front() != 0, "offsets must start at 0");
+    panic_if(off.back() != numEdges(),
              "offsets must end at numEdges");
     for (NodeId u = 0; u < n; ++u) {
-        panic_if(offsets[u] > offsets[u + 1],
+        panic_if(off[u] > off[u + 1],
                  "non-monotone offsets at node %u", u);
-        for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
-            panic_if(dst[e] >= n, "edge target out of range");
-            panic_if(e + 1 < offsets[u + 1] && dst[e] > dst[e + 1],
+        for (EdgeId e = off[u]; e < off[u + 1]; ++e) {
+            panic_if(d[e] >= n, "edge target out of range");
+            panic_if(e + 1 < off[u + 1] && d[e] > d[e + 1],
                      "adjacency of node %u not sorted", u);
         }
     }

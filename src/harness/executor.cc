@@ -273,7 +273,11 @@ runPlan(const std::vector<PlannedRun> &runs,
                     continue;
                 }
             }
-            if (!cacheDir.empty() && !runs[i].graph) {
+            // Graph-backed runs consult the disk cache only when
+            // their key carries a durable fingerprint; pointer-keyed
+            // keys are process-local and can never match on disk.
+            if (!cacheDir.empty() &&
+                (!runs[i].graph || !runs[i].graphFp.empty())) {
                 RunRecord hit;
                 if (loadCachedRun(cacheDir, runs[i].key, hit) &&
                     !(hit.failure &&
@@ -396,8 +400,8 @@ runPlan(const std::vector<PlannedRun> &runs,
                   isTransientFailure(*recs[i].failure)))
                 memo().emplace(recs[i].run.key, recs[i]);
             // Persist freshly executed outcomes for later processes
-            // (storeCachedRun itself rejects graph-backed runs and
-            // transient Timeouts).
+            // (storeCachedRun itself rejects pointer-keyed
+            // graph-backed runs and transient Timeouts).
             if (!cacheDir.empty())
                 storeCachedRun(cacheDir, recs[i]);
         }

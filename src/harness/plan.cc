@@ -42,7 +42,8 @@ appendScu(std::ostringstream &os, const scu::ScuParams &p)
 } // namespace
 
 std::string
-runKey(const RunConfig &cfg, const graph::CsrGraph *graph)
+runKey(const RunConfig &cfg, const graph::CsrGraph *graph,
+       const std::string &graphFp)
 {
     std::ostringstream os;
     os << cfg.systemName << "|" << to_string(cfg.primitive) << "|"
@@ -77,7 +78,14 @@ runKey(const RunConfig &cfg, const graph::CsrGraph *graph)
         os << "|dev=" << cfg.deviceCount;
     else if (cfg.sharded)
         os << "|sharded";
-    if (graph)
+    // A content fingerprint is a durable graph identity — the same
+    // bytes key the same run in every process, so these runs are
+    // disk-cacheable. A bare pointer only means "some ad-hoc graph in
+    // this process"; such keys must never leave the process, which is
+    // why runCacheStorable rejects them.
+    if (!graphFp.empty())
+        os << "|fp=" << graphFp;
+    else if (graph)
         os << "|graph=" << static_cast<const void *>(graph);
     return os.str();
 }
@@ -184,9 +192,11 @@ ExperimentPlan::faults(sim::FaultPlan f)
 }
 
 ExperimentPlan &
-ExperimentPlan::graph(const graph::CsrGraph *g, std::string name)
+ExperimentPlan::graph(const graph::CsrGraph *g, std::string name,
+                      std::string fp)
 {
     graphPtr = g;
+    graphFpValue = std::move(fp);
     datasetAxis = {std::move(name)};
     return *this;
 }
@@ -208,7 +218,8 @@ ExperimentPlan::add(RunConfig cfg, std::string label)
     PlannedRun r;
     r.cfg = std::move(cfg);
     r.graph = graphPtr;
-    r.key = runKey(r.cfg, r.graph);
+    r.graphFp = graphFpValue;
+    r.key = runKey(r.cfg, r.graph, r.graphFp);
     r.label = label.empty() ? runLabel(r.cfg) : std::move(label);
     extras.push_back(std::move(r));
     return *this;
@@ -236,7 +247,7 @@ ExperimentPlan::expand() const
         }
         PlannedRun r = e;
         r.cfg.faults = faultsValue;
-        r.key = runKey(r.cfg, r.graph);
+        r.key = runKey(r.cfg, r.graph, r.graphFp);
         push(std::move(r));
     };
 
@@ -278,7 +289,8 @@ ExperimentPlan::expand() const
                             PlannedRun r;
                             r.cfg = std::move(cfg);
                             r.graph = graphPtr;
-                            r.key = runKey(r.cfg, r.graph);
+                            r.graphFp = graphFpValue;
+                            r.key = runKey(r.cfg, r.graph, r.graphFp);
                             r.label = runLabel(r.cfg);
                             if (!ablateVariants.empty() &&
                                 r.cfg.mode != ScuMode::GpuOnly)

@@ -163,10 +163,11 @@ runCachePath(const std::string &dir, const std::string &key)
 bool
 runCacheStorable(const RunRecord &rec)
 {
-    // A graph-backed run's key embeds the caller's raw graph pointer
-    // — meaningless in another process. Transient failures depend on
+    // A graph-backed run is storable only when its key embeds the
+    // graph's durable content fingerprint; a raw pointer key is
+    // meaningless in another process. Transient failures depend on
     // host load, not the run (same rule as the in-process memo).
-    if (rec.run.graph)
+    if (rec.run.graph && rec.run.graphFp.empty())
         return false;
     if (rec.failure && isTransientFailure(*rec.failure))
         return false;

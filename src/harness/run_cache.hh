@@ -39,7 +39,7 @@ namespace scusim::harness
  * Bump whenever the serialized RunRecord layout changes; old cache
  * files are then rejected (miss) instead of misparsed.
  */
-constexpr unsigned runCacheSchemaVersion = 3;
+constexpr unsigned runCacheSchemaVersion = 4;
 
 /**
  * The cache directory from SCUSIM_CACHE_DIR, or "" when unset /
@@ -52,11 +52,13 @@ std::string runCachePath(const std::string &dir,
                          const std::string &key);
 
 /**
- * True when @p rec may be stored at all: graph-backed runs carry a
- * raw pointer in their key (meaningless across processes) and
- * transient failures (Timeout / Overloaded / ConnectionLost) depend
- * on host load, not the run (mirrors the in-process memo policy), so
- * neither is ever written.
+ * True when @p rec may be stored at all. Graph-backed runs are
+ * storable only when keyed by a durable content fingerprint
+ * (PlannedRun::graphFp, from the dataset store); a raw-pointer key
+ * is meaningless across processes and is never written. Transient
+ * failures (Timeout / Overloaded / ConnectionLost) depend on host
+ * load, not the run (mirrors the in-process memo policy), so they
+ * are never written either.
  */
 bool runCacheStorable(const RunRecord &rec);
 

@@ -13,6 +13,8 @@
 #include "common/logging.hh"
 #include "harness/plan.hh"
 #include "harness/run_cache.hh"
+#include "store/format.hh"
+#include "store/mapped_graph.hh"
 
 namespace scusim::service
 {
@@ -179,12 +181,39 @@ boundedSleep(unsigned ms, const Clock::time_point &deadline,
 } // namespace
 
 harness::RunRecord
-ServiceClient::submit(const harness::RunConfig &cfg) const
+ServiceClient::submit(const harness::RunConfig &cfg,
+                      const std::string &storeFile) const
 {
     harness::RunRecord rec;
     rec.run.cfg = cfg;
-    rec.run.key = harness::runKey(cfg);
-    rec.run.label = harness::runLabel(cfg);
+
+    auto bail = [&](FailureKind kind, const std::string &msg) {
+        rec.ok = false;
+        rec.failure = kind;
+        rec.error = msg;
+        return rec;
+    };
+
+    // Store-backed submission: derive the durable identity from the
+    // local header so client and daemon compute the same run key
+    // independently — the daemon re-derives it from its own read of
+    // the file, and the key-checked Result decode below catches any
+    // disagreement.
+    if (!storeFile.empty()) {
+        if (storeFile.find_first_of(" \t\r\n") != std::string::npos)
+            return bail(FailureKind::Invariant,
+                        "store file path contains whitespace, which "
+                        "the wire format cannot carry");
+        store::ScugHeader h;
+        std::string err;
+        if (!store::readStoreHeader(storeFile, h, &err))
+            return bail(FailureKind::Invariant, err);
+        rec.run.cfg.dataset = store::fingerprintLabel(h.fingerprint);
+        rec.run.graphFp = store::fingerprintHex(h.fingerprint);
+    }
+    rec.run.key =
+        harness::runKey(rec.run.cfg, nullptr, rec.run.graphFp);
+    rec.run.label = harness::runLabel(rec.run.cfg);
 
     const bool bounded = opts.deadlineSeconds > 0;
     // simlint: allow(nondeterminism)
@@ -227,7 +256,8 @@ ServiceClient::submit(const harness::RunConfig &cfg) const
         }
 
         RunRequest req;
-        req.cfg = cfg;
+        req.cfg = rec.run.cfg;
+        req.storeFile = storeFile;
         req.deadlineMs =
             bounded ? static_cast<std::uint64_t>(
                           remainingMs(deadline, bounded))

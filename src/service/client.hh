@@ -65,8 +65,16 @@ class ServiceClient
      * failure (Overloaded when shed and retries ran out,
      * ConnectionLost when the daemon vanished, Timeout when the
      * deadline expired first).
+     *
+     * A non-empty @p storeFile asks the daemon to run on that packed
+     * `.scug` dataset (a path on the daemon's filesystem) instead of
+     * synthesizing cfg.dataset. The client reads the store header
+     * locally to canonicalize the dataset label to "scug:<fp>" — the
+     * durable content fingerprint — so client and daemon agree on
+     * the run key without either trusting the other's bytes.
      */
-    harness::RunRecord submit(const harness::RunConfig &cfg) const;
+    harness::RunRecord submit(const harness::RunConfig &cfg,
+                              const std::string &storeFile = "") const;
 
     /** Probe daemon vitals. False on any connection/protocol error. */
     bool health(HealthInfo &out, std::string *err = nullptr) const;

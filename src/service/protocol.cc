@@ -226,6 +226,10 @@ encodeRunRequest(const RunRequest &req)
     putU64(os, "sharded", c.sharded ? 1 : 0);
     putU64(os, "tickBudget", c.guards.tickBudget);
     putU64(os, "stallWindow", c.guards.stallWindow);
+    // "-" marks the empty path: the strict ordered reader needs a
+    // token on every line.
+    putField(os, "storeFile",
+             req.storeFile.empty() ? "-" : req.storeFile);
     putU64(os, "deadlineMs", req.deadlineMs);
     os << "end\n";
     return os.str();
@@ -286,6 +290,9 @@ decodeRunRequest(const std::string &text, RunRequest &req,
         return fail("bad tickBudget");
     if (!in.u64("stallWindow", c.guards.stallWindow))
         return fail("bad stallWindow");
+    if (!in.line("storeFile", s))
+        return fail("bad storeFile");
+    tmp.storeFile = (s == "-") ? std::string() : s;
     if (!in.u64("deadlineMs", tmp.deadlineMs))
         return fail("bad deadlineMs");
     if (!in.tok("end"))

@@ -33,7 +33,7 @@ namespace scusim::service
 constexpr std::uint32_t frameMagic = 0x53554353;
 
 /** Bump on any incompatible frame or payload layout change. */
-constexpr std::uint16_t protocolVersion = 1;
+constexpr std::uint16_t protocolVersion = 2;
 
 /** Frame header bytes on the wire. */
 constexpr std::size_t frameHeaderBytes = 12;
@@ -96,6 +96,17 @@ struct RunRequest
     harness::RunConfig cfg;
     /** Remaining client deadline in ms; 0 = no deadline. */
     std::uint64_t deadlineMs = 0;
+    /**
+     * Optional server-side `.scug` store file to run on instead of
+     * synthesizing cfg.dataset. The path names a file on the
+     * *daemon's* filesystem (daemon and CLI share a host); it never
+     * participates in the run key — identity comes from the store
+     * file's content fingerprint, which both sides derive
+     * independently (the dataset label becomes "scug:<fp>").
+     * Whitespace in paths is not representable on this line-oriented
+     * wire and is rejected at submit time. Empty = dataset run.
+     */
+    std::string storeFile;
 };
 
 std::string encodeRunRequest(const RunRequest &req);

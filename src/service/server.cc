@@ -19,6 +19,8 @@
 #include "harness/executor.hh"
 #include "harness/plan.hh"
 #include "harness/run_cache.hh"
+#include "store/format.hh"
+#include "store/store.hh"
 
 namespace scusim::service
 {
@@ -59,6 +61,8 @@ struct Server::Request
     RunRequest req;
     std::string key;
     std::string label;
+    /** Fingerprint hex of the store file; "" for dataset runs. */
+    std::string graphFp;
     /** Null for journal-recovery requests (no client to answer). */
     std::shared_ptr<Connection> conn;
     /** Cooperative cancellation consumed by the run supervisor. */
@@ -525,8 +529,11 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
 
     auto r = std::make_shared<Request>();
     r->req = req;
-    r->key = harness::runKey(req.cfg);
-    r->label = harness::runLabel(req.cfg);
+    if (!prepareRequest(r, err)) {
+        sendReject(conn, FailureKind::Invariant,
+                   "bad store file: " + err);
+        return;
+    }
     r->conn = conn;
     r->wallBudget = budget;
     // simlint: allow(nondeterminism)
@@ -691,6 +698,25 @@ Server::executeRequest(const std::shared_ptr<Request> &req)
     run.label = req->label;
     run.cfg = req->req.cfg;
 
+    // Store-backed request: map (or reuse) the interned store file
+    // and hand the run its borrowed graph plus the durable
+    // fingerprint the key already embeds — the run cache can then
+    // store the outcome like any dataset run.
+    std::shared_ptr<store::MappedGraph> mg;
+    if (!req->req.storeFile.empty()) {
+        std::string err;
+        mg = internStore(req->req.storeFile, req->graphFp, err);
+        if (!mg) {
+            noteRequestDone(req, false, false);
+            if (req->conn)
+                sendReject(req->conn, FailureKind::Invariant,
+                           "store file: " + err);
+            return;
+        }
+        run.graph = &mg->graph();
+        run.graphFp = req->graphFp;
+    }
+
     harness::ExecutorOptions eo;
     eo.jobs = 1; // the service worker pool is the parallelism
     eo.maxRetries = opts.maxRetries;
@@ -710,6 +736,52 @@ Server::executeRequest(const std::shared_ptr<Request> &req)
     if (!cancelled && req->conn)
         sendFrame(req->conn, FrameType::Result,
                   harness::encodeRunRecord(rec));
+}
+
+bool
+Server::prepareRequest(const std::shared_ptr<Request> &req,
+                       std::string &err)
+{
+    if (!req->req.storeFile.empty()) {
+        // Re-derive identity from the daemon's own read of the
+        // header — never from the client's claimed dataset label.
+        store::ScugHeader h;
+        if (!store::readStoreHeader(req->req.storeFile, h, &err))
+            return false;
+        req->req.cfg.dataset =
+            store::fingerprintLabel(h.fingerprint);
+        req->graphFp = store::fingerprintHex(h.fingerprint);
+    }
+    req->key =
+        harness::runKey(req->req.cfg, nullptr, req->graphFp);
+    req->label = harness::runLabel(req->req.cfg);
+    return true;
+}
+
+std::shared_ptr<store::MappedGraph>
+Server::internStore(const std::string &path, const std::string &fp,
+                    std::string &err)
+{
+    // Serializing first opens under the map mutex is deliberate: two
+    // workers racing on a cold store would both pay the full
+    // fingerprint verification otherwise, and opens are rare.
+    std::lock_guard<std::mutex> lock(internMutex);
+    auto it = internedStores.find(fp);
+    if (it != internedStores.end())
+        return it->second;
+    store::OpenOptions oo;
+    oo.budgetBytes = store::storeBudget();
+    auto mg = store::MappedGraph::open(path, oo, &err);
+    if (!mg)
+        return nullptr;
+    if (store::fingerprintHex(mg->fingerprint()) != fp) {
+        err = "store file changed between admission and execution";
+        return nullptr;
+    }
+    auto sp =
+        std::shared_ptr<store::MappedGraph>(std::move(mg));
+    internedStores.emplace(fp, sp);
+    return sp;
 }
 
 void
@@ -902,8 +974,15 @@ Server::recoverJournal()
         }
         auto r = std::make_shared<Request>();
         r->req = req;
-        r->key = harness::runKey(req.cfg);
-        r->label = harness::runLabel(req.cfg);
+        if (!prepareRequest(r, err)) {
+            // A journaled store-backed request whose file vanished
+            // or rotted offline: same quarantine treatment.
+            warn("scusimd: quarantining journal entry '%s' whose "
+                 "store file is unusable (%s)",
+                 path.c_str(), err.c_str());
+            std::rename(path.c_str(), (path + ".corrupt").c_str());
+            continue;
+        }
         r->conn = nullptr; // no client: execute for the cache only
         r->wallBudget = opts.defaultWallBudget;
         r->journalPath = path;

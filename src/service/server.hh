@@ -43,12 +43,13 @@
 #include "service/protocol.hh"
 #include "stats/stats.hh"
 #include "stats/timeseries.hh"
+#include "store/mapped_graph.hh"
 
 namespace scusim::service
 {
 
 /** Journal entry layout version; bump on incompatible change. */
-constexpr unsigned journalSchemaVersion = 1;
+constexpr unsigned journalSchemaVersion = 2;
 
 /** Server configuration. */
 struct ServerOptions
@@ -140,6 +141,24 @@ class Server
     void sendReject(const std::shared_ptr<Connection> &conn,
                     FailureKind kind, const std::string &message);
     void executeRequest(const std::shared_ptr<Request> &req);
+    /**
+     * Canonicalize a request's identity (store-backed submissions
+     * get their dataset label and key re-derived from the daemon's
+     * own read of the store header) and fill key/label. False with a
+     * reason when the store file is unreadable or damaged.
+     */
+    bool prepareRequest(const std::shared_ptr<Request> &req,
+                        std::string &err);
+    /**
+     * The daemon's interned-dataset tier for store files: one shared
+     * read-only mapping per content fingerprint, held for the daemon
+     * lifetime, verified (full fingerprint check) on first open.
+     * Every worker — and, through the page cache, every other
+     * process mapping the same file — shares the bytes.
+     */
+    std::shared_ptr<store::MappedGraph>
+    internStore(const std::string &path, const std::string &fp,
+                std::string &err);
     void beginDrain();
     void finishDrain(bool force);
     void recoverJournal();
@@ -169,6 +188,12 @@ class Server
     // only ever touched there.
     std::map<int, std::shared_ptr<Connection>> conns;
     std::uint64_t nextConnId = 1;
+
+    // Interned store-file mappings, keyed by fingerprint hex
+    // (internMutex).
+    std::mutex internMutex;
+    std::map<std::string, std::shared_ptr<store::MappedGraph>>
+        internedStores;
 
     std::atomic<bool> draining{false};
     std::atomic<bool> ioRunning{false};

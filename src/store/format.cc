@@ -1,0 +1,153 @@
+#include "store/format.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace scusim::store
+{
+
+namespace
+{
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool
+fail(std::string *why, const char *what)
+{
+    if (why)
+        *why = what;
+    return false;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::string
+encodeHeader(const ScugHeader &h)
+{
+    std::string out;
+    out.reserve(scugHeaderBytes);
+    out.append(h.magic, sizeof h.magic);
+    putU32(out, h.schema);
+    putU32(out, h.flags);
+    putU64(out, h.numNodes);
+    putU64(out, h.numEdges);
+    putU64(out, h.offsetsOff);
+    putU64(out, h.offsetsBytes);
+    putU64(out, h.dstOff);
+    putU64(out, h.dstBytes);
+    putU64(out, h.weightOff);
+    putU64(out, h.weightBytes);
+    putU64(out, h.fingerprint);
+    return out;
+}
+
+bool
+decodeHeader(const void *data, std::size_t len, ScugHeader &h,
+             std::uint64_t fileBytes, std::string *why)
+{
+    if (len < scugHeaderBytes)
+        return fail(why, "file shorter than a store header");
+    const auto *p = static_cast<const unsigned char *>(data);
+    ScugHeader t;
+    std::memcpy(t.magic, p, sizeof t.magic);
+    if (std::memcmp(t.magic, scugMagic, sizeof scugMagic) != 0)
+        return fail(why, "bad magic (not a .scug store file)");
+    t.schema = getU32(p + 8);
+    if (t.schema != scugSchemaVersion)
+        return fail(why, "unsupported store schema version");
+    t.flags = getU32(p + 12);
+    t.numNodes = getU64(p + 16);
+    t.numEdges = getU64(p + 24);
+    t.offsetsOff = getU64(p + 32);
+    t.offsetsBytes = getU64(p + 40);
+    t.dstOff = getU64(p + 48);
+    t.dstBytes = getU64(p + 56);
+    t.weightOff = getU64(p + 64);
+    t.weightBytes = getU64(p + 72);
+    t.fingerprint = getU64(p + 80);
+
+    // Section geometry must be internally consistent before any
+    // pointer math trusts it: counts match section sizes, sections
+    // are page-aligned, ordered, non-overlapping and in-file.
+    if (t.offsetsBytes != (t.numNodes + 1) * sizeof(std::uint64_t))
+        return fail(why, "offset section size != (n+1)*8");
+    if (t.dstBytes != t.numEdges * sizeof(std::uint32_t))
+        return fail(why, "destination section size != m*4");
+    if (t.weightBytes != t.numEdges * sizeof(std::uint32_t))
+        return fail(why, "weight section size != m*4");
+    if (t.offsetsOff % scugPageBytes || t.dstOff % scugPageBytes ||
+        t.weightOff % scugPageBytes)
+        return fail(why, "unaligned section offset");
+    if (t.offsetsOff < scugPageBytes ||
+        t.dstOff < t.offsetsOff + t.offsetsBytes ||
+        t.weightOff < t.dstOff + t.dstBytes)
+        return fail(why, "overlapping or misordered sections");
+    if (fileBytes &&
+        (t.weightOff + t.weightBytes > fileBytes ||
+         t.dstOff + t.dstBytes > fileBytes ||
+         t.offsetsOff + t.offsetsBytes > fileBytes))
+        return fail(why, "sections extend past end of file");
+    if (t.numNodes > 0xFFFFFFFFull)
+        return fail(why, "node count exceeds NodeId range");
+
+    h = t;
+    return true;
+}
+
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+std::string
+fingerprintLabel(std::uint64_t fp)
+{
+    return "scug:" + fingerprintHex(fp);
+}
+
+} // namespace scusim::store

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * On-disk layout of the `.scug` binary CSR container — the dataset
+ * store's one file format. A fixed little-endian header names the
+ * schema, the graph's shape and the byte ranges of three page-aligned
+ * sections (row offsets, edge destinations, edge weights), plus a
+ * FNV-1a content fingerprint over the section bytes. The fingerprint
+ * is the graph's *durable identity*: it survives renames, copies and
+ * machines, so run caches and services can key results by it instead
+ * of by a process-local pointer.
+ *
+ * Layout:
+ *
+ *     [0, headerBytes)        ScugHeader, zero-padded to one page
+ *     [offsetsOff, +bytes)    (numNodes + 1) x u64 row offsets
+ *     [dstOff, +bytes)        numEdges x u32 edge destinations
+ *     [weightOff, +bytes)     numEdges x u32 edge weights
+ *
+ * Every section starts on a pageBytes boundary so a loader can mmap
+ * it directly and hand the bytes to CsrGraph::viewing without a
+ * copy. All integers are little-endian on disk; the in-memory header
+ * struct is only byte-compatible on little-endian hosts (the decode
+ * helpers do the honest conversion everywhere).
+ */
+
+#ifndef SCUSIM_STORE_FORMAT_HH
+#define SCUSIM_STORE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace scusim::store
+{
+
+/** First 8 bytes of every store file. */
+constexpr char scugMagic[8] = {'S', 'C', 'U', 'G',
+                               'C', 'S', 'R', '\n'};
+
+/** Bump on any incompatible header or section layout change. */
+constexpr std::uint32_t scugSchemaVersion = 1;
+
+/** Section alignment; also the reserved header size. */
+constexpr std::uint64_t scugPageBytes = 4096;
+
+/** Header flag: the weight section is present and meaningful. */
+constexpr std::uint32_t scugFlagWeights = 1u << 0;
+
+/**
+ * Fixed-layout header, stored little-endian in the file's first
+ * page. Field order is the wire order; do not reorder without a
+ * schema bump.
+ */
+struct ScugHeader
+{
+    char magic[8] = {};
+    std::uint32_t schema = scugSchemaVersion;
+    std::uint32_t flags = 0;
+    std::uint64_t numNodes = 0;
+    std::uint64_t numEdges = 0;
+    std::uint64_t offsetsOff = 0;   ///< row-offset section start
+    std::uint64_t offsetsBytes = 0;
+    std::uint64_t dstOff = 0;       ///< destination section start
+    std::uint64_t dstBytes = 0;
+    std::uint64_t weightOff = 0;    ///< weight section start
+    std::uint64_t weightBytes = 0;
+    /** FNV-1a over the three sections' bytes, in file order. */
+    std::uint64_t fingerprint = 0;
+};
+
+/** Serialized header size (packed little-endian wire bytes). */
+constexpr std::size_t scugHeaderBytes = 8 + 4 + 4 + 9 * 8;
+
+static_assert(scugHeaderBytes <= scugPageBytes,
+              "header must fit its reserved page");
+
+/** Round @p v up to the next pageBytes boundary. */
+constexpr std::uint64_t
+pageAlign(std::uint64_t v)
+{
+    return (v + scugPageBytes - 1) & ~(scugPageBytes - 1);
+}
+
+/** Incremental FNV-1a, seeded with the offset basis. */
+constexpr std::uint64_t fnvOffsetBasis = 0xCBF29CE484222325ull;
+
+/** Fold @p len bytes at @p data into the running hash @p h. */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t h = fnvOffsetBasis);
+
+/** Serialize @p h into exactly scugHeaderBytes wire bytes. */
+std::string encodeHeader(const ScugHeader &h);
+
+/**
+ * Parse the wire bytes at @p data (>= scugHeaderBytes of them) into
+ * @p h. Returns false with a reason in @p why on bad magic, wrong
+ * schema, or internally inconsistent section geometry (overlapping
+ * or unaligned sections, counts that do not match section sizes).
+ * @p fileBytes bounds the sections; pass 0 to skip the bounds check.
+ */
+bool decodeHeader(const void *data, std::size_t len, ScugHeader &h,
+                  std::uint64_t fileBytes, std::string *why);
+
+/** 16-hex-digit lowercase rendering of a fingerprint. */
+std::string fingerprintHex(std::uint64_t fp);
+
+/** Canonical dataset label of a store-backed graph: "scug:<hex>". */
+std::string fingerprintLabel(std::uint64_t fp);
+
+} // namespace scusim::store
+
+#endif // SCUSIM_STORE_FORMAT_HH

@@ -1,0 +1,360 @@
+#include "store/mapped_graph.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace scusim::store
+{
+
+namespace
+{
+
+/** RAII fd so every early return closes it. */
+struct Fd
+{
+    int fd = -1;
+    ~Fd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+bool
+fail(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what;
+    return false;
+}
+
+/**
+ * Fold the bytes of [off, off+len) of @p is into @p h by streaming
+ * reads — deliberately NOT through the mapping, so verifying a
+ * larger-than-RAM store never grows the resident set past one
+ * chunk.
+ */
+bool
+hashRange(std::ifstream &is, std::uint64_t off, std::uint64_t len,
+          std::uint64_t &h)
+{
+    static constexpr std::size_t chunkBytes = 1u << 20;
+    std::vector<char> chunk(std::min<std::uint64_t>(len, chunkBytes));
+    is.seekg(static_cast<std::streamoff>(off));
+    while (len) {
+        const auto want = static_cast<std::streamsize>(
+            std::min<std::uint64_t>(len, chunk.size()));
+        if (!is.read(chunk.data(), want))
+            return false;
+        h = fnv1a(chunk.data(), static_cast<std::size_t>(want), h);
+        len -= static_cast<std::uint64_t>(want);
+    }
+    return true;
+}
+
+/**
+ * Read @p count little-endian elements at file offset @p off into
+ * @p out (the heap-copy decode path).
+ */
+template <typename T>
+bool
+readSection(std::ifstream &is, std::uint64_t off,
+            std::uint64_t count, std::vector<T> &out)
+{
+    out.resize(static_cast<std::size_t>(count));
+    if (!count)
+        return true;
+    is.seekg(static_cast<std::streamoff>(off));
+    if constexpr (std::endian::native == std::endian::little) {
+        return static_cast<bool>(
+            is.read(reinterpret_cast<char *>(out.data()),
+                    static_cast<std::streamsize>(count * sizeof(T))));
+    }
+    for (auto &v : out) {
+        unsigned char buf[sizeof(T)];
+        if (!is.read(reinterpret_cast<char *>(buf), sizeof buf))
+            return false;
+        std::uint64_t raw = 0;
+        for (std::size_t b = 0; b < sizeof(T); ++b)
+            raw |= static_cast<std::uint64_t>(buf[b]) << (8 * b);
+        v = static_cast<T>(raw);
+    }
+    return true;
+}
+
+/** Align @p p down / up to the host page the kernel advises on. */
+std::uintptr_t
+pageDown(std::uintptr_t p)
+{
+    const auto page =
+        static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    return p & ~(page - 1);
+}
+
+std::uintptr_t
+pageUp(std::uintptr_t p)
+{
+    const auto page =
+        static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    return (p + page - 1) & ~(page - 1);
+}
+
+/** madvise a [lo, hi) address range, page-rounded; best-effort. */
+std::uint64_t
+advise(std::uintptr_t lo, std::uintptr_t hi, int what)
+{
+    if (hi <= lo)
+        return 0;
+    const std::uintptr_t alo = pageDown(lo);
+    const std::uintptr_t ahi = pageUp(hi);
+    ::madvise(reinterpret_cast<void *>(alo), ahi - alo, what);
+    return ahi - alo;
+}
+
+} // namespace
+
+MappedGraph::WindowPager::WindowPager(const MappedGraph &owner,
+                                      std::uint64_t budgetBytes)
+    : mg(owner), budget(budgetBytes)
+{
+    // Destinations and weights page in together: 8 bytes per edge.
+    constexpr std::uint64_t bytesPerEdge =
+        sizeof(NodeId) + sizeof(Weight);
+    edgeSpan = std::max<std::uint64_t>(budget / bytesPerEdge,
+                                       scugPageBytes / sizeof(NodeId));
+    // Start the kernel in streaming mode for the edge sections.
+    const auto base =
+        reinterpret_cast<std::uintptr_t>(mg.mapBase);
+    advise(base + mg.hdr.dstOff,
+           base + mg.hdr.dstOff + mg.hdr.dstBytes, MADV_SEQUENTIAL);
+    advise(base + mg.hdr.weightOff,
+           base + mg.hdr.weightOff + mg.hdr.weightBytes,
+           MADV_SEQUENTIAL);
+}
+
+void
+MappedGraph::WindowPager::noteRow(EdgeId begin, EdgeId end)
+{
+    if (begin >= end)
+        return;
+    if (begin >= winLo.load(std::memory_order_relaxed) &&
+        end <= winHi.load(std::memory_order_relaxed))
+        return; // resident fast path: no lock, no syscall
+    std::lock_guard<std::mutex> lock(slideMutex);
+    if (begin >= winLo.load(std::memory_order_relaxed) &&
+        end <= winHi.load(std::memory_order_relaxed))
+        return; // another thread slid the window here first
+    advanceTo(begin, end);
+}
+
+void
+MappedGraph::WindowPager::advanceTo(EdgeId firstEdge,
+                                    EdgeId lastEdge)
+{
+    const EdgeId m = mg.hdr.numEdges;
+    // Forward lookahead: the window starts at the requested row and
+    // extends edgeSpan edges toward where a CSR scan goes next. A
+    // row wider than the budget still maps in full — correctness
+    // over the advisory budget.
+    EdgeId lo = firstEdge;
+    EdgeId hi = std::min<EdgeId>(
+        m, std::max<EdgeId>(lastEdge, firstEdge + edgeSpan));
+
+    const auto base =
+        reinterpret_cast<std::uintptr_t>(mg.mapBase);
+    const EdgeId oldLo = winLo.load(std::memory_order_relaxed);
+    const EdgeId oldHi = winHi.load(std::memory_order_relaxed);
+
+    std::uint64_t drop = 0, fetch = 0;
+    for (const auto &sec :
+         {std::pair<std::uint64_t, std::uint64_t>{
+              mg.hdr.dstOff, sizeof(NodeId)},
+          {mg.hdr.weightOff, sizeof(Weight)}}) {
+        const std::uintptr_t s = base + sec.first;
+        // Drop what the old window covered and the new one does not
+        // (both halves, so backward jumps trim too).
+        if (oldHi > oldLo) {
+            if (oldLo < lo)
+                drop += advise(s + oldLo * sec.second,
+                               s + std::min(oldHi, lo) * sec.second,
+                               MADV_DONTNEED);
+            if (oldHi > hi)
+                drop += advise(s + std::max(oldLo, hi) * sec.second,
+                               s + oldHi * sec.second,
+                               MADV_DONTNEED);
+        }
+        fetch += advise(s + lo * sec.second, s + hi * sec.second,
+                        MADV_WILLNEED);
+    }
+    dropped.fetch_add(drop, std::memory_order_relaxed);
+    prefetched.fetch_add(fetch, std::memory_order_relaxed);
+    advances.fetch_add(1, std::memory_order_relaxed);
+    winLo.store(lo, std::memory_order_relaxed);
+    winHi.store(hi, std::memory_order_relaxed);
+}
+
+WindowStats
+MappedGraph::WindowPager::stats() const
+{
+    WindowStats s;
+    s.advances = advances.load(std::memory_order_relaxed);
+    s.prefetchedBytes = prefetched.load(std::memory_order_relaxed);
+    s.droppedBytes = dropped.load(std::memory_order_relaxed);
+    s.windowBytes = budget;
+    return s;
+}
+
+WindowStats
+MappedGraph::windowStats() const
+{
+    return pager ? pager->stats() : WindowStats{};
+}
+
+MappedGraph::~MappedGraph()
+{
+    // The pager may be mid-madvise on another thread only if a view
+    // outlived this object — a caller contract violation; views die
+    // with their MappedGraph.
+    pager.reset();
+    if (mapBase)
+        ::munmap(mapBase, static_cast<std::size_t>(mapBytes));
+}
+
+std::unique_ptr<MappedGraph>
+MappedGraph::open(const std::string &path, const OpenOptions &opts,
+                  std::string *err)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        fail(err, "cannot open '" + path + "'");
+        return nullptr;
+    }
+    is.seekg(0, std::ios::end);
+    const auto fileBytes =
+        static_cast<std::uint64_t>(is.tellg());
+    is.seekg(0);
+
+    char hdrBuf[scugHeaderBytes];
+    if (!is.read(hdrBuf, sizeof hdrBuf)) {
+        fail(err, "'" + path + "': truncated header");
+        return nullptr;
+    }
+    ScugHeader h;
+    std::string why;
+    if (!decodeHeader(hdrBuf, sizeof hdrBuf, h, fileBytes, &why)) {
+        fail(err, "'" + path + "': " + why);
+        return nullptr;
+    }
+
+    if (opts.verifyFingerprint) {
+        std::uint64_t fp = fnvOffsetBasis;
+        if (!hashRange(is, h.offsetsOff, h.offsetsBytes, fp) ||
+            !hashRange(is, h.dstOff, h.dstBytes, fp) ||
+            !hashRange(is, h.weightOff, h.weightBytes, fp)) {
+            fail(err, "'" + path + "': truncated sections");
+            return nullptr;
+        }
+        if (fp != h.fingerprint) {
+            fail(err, "'" + path +
+                          "': content fingerprint mismatch (file "
+                          "says " +
+                          fingerprintHex(h.fingerprint) +
+                          ", sections hash to " +
+                          fingerprintHex(fp) + ")");
+            return nullptr;
+        }
+    }
+
+    auto mg = std::unique_ptr<MappedGraph>(new MappedGraph());
+    mg->filePath = path;
+    mg->hdr = h;
+
+    // Zero-copy path: map the whole file read-only and adopt the
+    // section bytes. Only byte-compatible on little-endian hosts;
+    // elsewhere (or on any mmap failure) fall through to the heap
+    // copy.
+    bool mapped = false;
+    if (!opts.forceCopy &&
+        std::endian::native == std::endian::little) {
+        Fd f;
+        f.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (f.fd >= 0) {
+            void *base =
+                ::mmap(nullptr, static_cast<std::size_t>(fileBytes),
+                       PROT_READ, MAP_SHARED, f.fd, 0);
+            if (base != MAP_FAILED) {
+                mg->mapBase = base;
+                mg->mapBytes = fileBytes;
+                mg->mapMode = MapMode::Mmap;
+                mapped = true;
+            }
+        }
+        if (!mapped)
+            warn("store: mmap of '%s' failed, degrading to a heap "
+                 "copy", path.c_str());
+    }
+
+    if (mapped) {
+        const auto *base =
+            static_cast<const unsigned char *>(mg->mapBase);
+        const auto *off = reinterpret_cast<const EdgeId *>(
+            base + h.offsetsOff);
+        const auto *dst = reinterpret_cast<const NodeId *>(
+            base + h.dstOff);
+        const auto *w = reinterpret_cast<const Weight *>(
+            base + h.weightOff);
+        if (opts.budgetBytes && h.numEdges)
+            mg->pager = std::make_unique<WindowPager>(
+                *mg, opts.budgetBytes);
+        mg->view = graph::CsrGraph::viewing(
+            static_cast<NodeId>(h.numNodes),
+            {off, static_cast<std::size_t>(h.numNodes) + 1},
+            {dst, static_cast<std::size_t>(h.numEdges)},
+            {w, static_cast<std::size_t>(h.numEdges)},
+            mg->pager.get());
+    } else {
+        if (!readSection(is, h.offsetsOff, h.numNodes + 1,
+                         mg->heapOffsets) ||
+            !readSection(is, h.dstOff, h.numEdges, mg->heapDst) ||
+            !readSection(is, h.weightOff, h.numEdges, mg->heapW)) {
+            fail(err, "'" + path + "': truncated sections");
+            return nullptr;
+        }
+        mg->mapMode = MapMode::HeapCopy;
+        mg->view = graph::CsrGraph::viewing(
+            static_cast<NodeId>(h.numNodes), mg->heapOffsets,
+            mg->heapDst, mg->heapW, nullptr);
+    }
+    return mg;
+}
+
+bool
+readStoreHeader(const std::string &path, ScugHeader &h,
+                std::string *err)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return fail(err, "cannot open '" + path + "'");
+    is.seekg(0, std::ios::end);
+    const auto fileBytes =
+        static_cast<std::uint64_t>(is.tellg());
+    is.seekg(0);
+    char buf[scugHeaderBytes];
+    if (!is.read(buf, sizeof buf))
+        return fail(err, "'" + path + "': truncated header");
+    std::string why;
+    if (!decodeHeader(buf, sizeof buf, h, fileBytes, &why))
+        return fail(err, "'" + path + "': " + why);
+    return true;
+}
+
+} // namespace scusim::store

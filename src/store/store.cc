@@ -1,0 +1,227 @@
+#include "store/store.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include <sys/stat.h>
+
+#include "common/logging.hh"
+#include "graph/datasets.hh"
+#include "graph/loader.hh"
+#include "store/writer.hh"
+
+namespace scusim::store
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> quarantined{0};
+
+/**
+ * Quarantine a damaged store file the run-cache way: rename it to
+ * "<name>.corrupt" so the slot becomes a clean miss a repack can
+ * fill, while the evidence stays on disk. Concurrent processes may
+ * race to the same rename; losing is fine.
+ */
+void
+quarantine(const std::string &path, const std::string &why)
+{
+    const std::string corrupt = path + ".corrupt";
+    if (std::rename(path.c_str(), corrupt.c_str()) == 0) {
+        quarantined.fetch_add(1, std::memory_order_relaxed);
+        warn("store: quarantined corrupt file '%s' -> '%s' (%s)",
+             path.c_str(), corrupt.c_str(), why.c_str());
+    }
+}
+
+/** Filename-safe %.17g: '.'->'p', '-'->'m' ("0.25" -> "0p25"). */
+std::string
+scaleToken(double scale)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", scale);
+    std::string s = buf;
+    for (char &c : s) {
+        if (c == '.')
+            c = 'p';
+        else if (c == '-')
+            c = 'm';
+        else if (c == '+')
+            c = 'q';
+    }
+    return s;
+}
+
+/**
+ * Open @p path windowed by the configured budget; on damage,
+ * quarantine and report false so the caller can repack. Absent
+ * files are a plain miss (no quarantine).
+ */
+std::shared_ptr<MappedGraph>
+tryOpen(const std::string &path, bool *existedButBroken)
+{
+    if (existedButBroken)
+        *existedButBroken = false;
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return nullptr;
+    OpenOptions oo;
+    oo.budgetBytes = storeBudget();
+    std::string err;
+    auto mg = MappedGraph::open(path, oo, &err);
+    if (mg)
+        return std::shared_ptr<MappedGraph>(std::move(mg));
+    quarantine(path, err);
+    if (existedButBroken)
+        *existedButBroken = true;
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+storeDir()
+{
+    const char *d = std::getenv("SCUSIM_STORE_DIR");
+    return d ? std::string(d) : std::string();
+}
+
+std::uint64_t
+parseByteSize(const std::string &s)
+{
+    if (s.empty())
+        return 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str())
+        return 0;
+    std::uint64_t mult = 1;
+    if (*end) {
+        switch (std::tolower(static_cast<unsigned char>(*end))) {
+          case 'k':
+            mult = 1ull << 10;
+            break;
+          case 'm':
+            mult = 1ull << 20;
+            break;
+          case 'g':
+            mult = 1ull << 30;
+            break;
+          default:
+            return 0;
+        }
+        if (end[1] != '\0')
+            return 0;
+    }
+    return static_cast<std::uint64_t>(v) * mult;
+}
+
+std::uint64_t
+storeBudget()
+{
+    const char *b = std::getenv("SCUSIM_STORE_BUDGET");
+    return b ? parseByteSize(b) : 0;
+}
+
+std::string
+datasetStorePath(const std::string &dir, const std::string &name,
+                 double scale, std::uint64_t seed)
+{
+    return dir + "/" + name + "_s" + scaleToken(scale) + "_r" +
+           std::to_string(seed) + ".scug";
+}
+
+std::string
+graphFileStorePath(const std::string &dir,
+                   const std::string &srcPath)
+{
+    // Path identity, not content identity: re-hashing the source on
+    // every lookup would defeat the point. Size + mtime catch
+    // in-place edits; the packed file's fingerprint is the durable
+    // content identity downstream layers key on.
+    std::uint64_t h = fnv1a(srcPath.data(), srcPath.size());
+    struct ::stat st = {};
+    if (::stat(srcPath.c_str(), &st) == 0) {
+        h = fnv1a(&st.st_size, sizeof st.st_size, h);
+        h = fnv1a(&st.st_mtime, sizeof st.st_mtime, h);
+    }
+    return dir + "/file_" + fingerprintHex(h) + ".scug";
+}
+
+std::uint64_t
+storeQuarantinedCount()
+{
+    return quarantined.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<MappedGraph>
+openDataset(const std::string &name, double scale,
+            std::uint64_t seed)
+{
+    const std::string dir = storeDir();
+    if (dir.empty())
+        return nullptr;
+    const std::string path =
+        datasetStorePath(dir, name, scale, seed);
+    if (auto mg = tryOpen(path, nullptr))
+        return mg;
+    // Miss (or quarantined damage): build once, pack atomically,
+    // map the packed bytes. Concurrent packers write identical
+    // bytes through process-unique temp files, so the race is
+    // benign.
+    graph::CsrGraph g = graph::makeDataset(name, scale, seed);
+    const PackResult pr = writeStore(g, path);
+    if (!pr.ok) {
+        warn("store: cannot pack dataset '%s' at '%s': %s",
+             name.c_str(), path.c_str(), pr.error.c_str());
+        return nullptr;
+    }
+    auto mg = tryOpen(path, nullptr);
+    if (!mg)
+        warn("store: freshly packed '%s' failed to open",
+             path.c_str());
+    return mg;
+}
+
+std::shared_ptr<MappedGraph>
+openGraphFile(const std::string &path, bool dedup)
+{
+    const std::string dir = storeDir();
+    if (dir.empty())
+        return nullptr;
+    const std::string dst = graphFileStorePath(dir, path);
+    if (auto mg = tryOpen(dst, nullptr))
+        return mg;
+    graph::CsrGraph g = graph::loadGraphFile(path, dedup);
+    const PackResult pr = writeStore(g, dst);
+    if (!pr.ok) {
+        warn("store: cannot pack graph file '%s' at '%s': %s",
+             path.c_str(), dst.c_str(), pr.error.c_str());
+        return nullptr;
+    }
+    auto mg = tryOpen(dst, nullptr);
+    if (!mg)
+        warn("store: freshly packed '%s' failed to open",
+             dst.c_str());
+    return mg;
+}
+
+std::shared_ptr<MappedGraph>
+openStoreFile(const std::string &path)
+{
+    OpenOptions oo;
+    oo.budgetBytes = storeBudget();
+    std::string err;
+    auto mg = MappedGraph::open(path, oo, &err);
+    if (!mg) {
+        warn("store: %s", err.c_str());
+        return nullptr;
+    }
+    return std::shared_ptr<MappedGraph>(std::move(mg));
+}
+
+} // namespace scusim::store

@@ -1,0 +1,175 @@
+#include "store/writer.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "store/format.hh"
+
+namespace scusim::store
+{
+
+namespace
+{
+
+/**
+ * Serialize @p count little-endian elements of @p src into @p os
+ * while folding the exact bytes written into @p h. On little-endian
+ * hosts the element memory already is the wire format, so whole
+ * spans stream through untouched; the per-element path is the
+ * big-endian fallback.
+ */
+template <typename T>
+void
+writeSection(std::ostream &os, const T *src, std::size_t count,
+             std::uint64_t &h)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        const auto bytes = count * sizeof(T);
+        os.write(reinterpret_cast<const char *>(src),
+                 static_cast<std::streamsize>(bytes));
+        h = fnv1a(src, bytes, h);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        unsigned char buf[sizeof(T)];
+        auto v = static_cast<std::uint64_t>(src[i]);
+        for (std::size_t b = 0; b < sizeof(T); ++b)
+            buf[b] = static_cast<unsigned char>((v >> (8 * b)) &
+                                                0xFF);
+        os.write(reinterpret_cast<const char *>(buf), sizeof buf);
+        h = fnv1a(buf, sizeof buf, h);
+    }
+}
+
+/** Zero-pad @p os from @p at up to the next page boundary. */
+void
+padToPage(std::ostream &os, std::uint64_t at)
+{
+    static const char zeros[256] = {};
+    std::uint64_t want = pageAlign(at) - at;
+    while (want) {
+        const auto chunk =
+            static_cast<std::streamsize>(std::min<std::uint64_t>(
+                want, sizeof zeros));
+        os.write(zeros, chunk);
+        want -= static_cast<std::uint64_t>(chunk);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+graphFingerprint(const graph::CsrGraph &g)
+{
+    std::uint64_t h = fnvOffsetBasis;
+    if constexpr (std::endian::native == std::endian::little) {
+        const auto off = g.adjacencyOffsets();
+        const auto dst = g.edgeArray();
+        const auto w = g.weightArray();
+        h = fnv1a(off.data(), off.size_bytes(), h);
+        h = fnv1a(dst.data(), dst.size_bytes(), h);
+        h = fnv1a(w.data(), w.size_bytes(), h);
+        return h;
+    }
+    // Big-endian fallback: hash the little-endian wire rendering so
+    // the fingerprint names the same graph on every host.
+    std::ostringstream ss;
+    const auto off = g.adjacencyOffsets();
+    writeSection(ss, off.data(), off.size(), h);
+    const auto dst = g.edgeArray();
+    writeSection(ss, dst.data(), dst.size(), h);
+    const auto w = g.weightArray();
+    writeSection(ss, w.data(), w.size(), h);
+    return h;
+}
+
+PackResult
+writeStore(const graph::CsrGraph &g, const std::string &path)
+{
+    PackResult res;
+
+    ScugHeader h;
+    std::memcpy(h.magic, scugMagic, sizeof h.magic);
+    h.flags = scugFlagWeights;
+    h.numNodes = g.numNodes();
+    h.numEdges = g.numEdges();
+    h.offsetsBytes = (h.numNodes + 1) * sizeof(std::uint64_t);
+    h.dstBytes = h.numEdges * sizeof(std::uint32_t);
+    h.weightBytes = h.numEdges * sizeof(std::uint32_t);
+    h.offsetsOff = scugPageBytes;
+    h.dstOff = pageAlign(h.offsetsOff + h.offsetsBytes);
+    h.weightOff = pageAlign(h.dstOff + h.dstBytes);
+
+    std::error_code ec;
+    const auto parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::filesystem::create_directories(parent, ec);
+        if (ec) {
+            res.error = "cannot create '" + parent.string() +
+                        "': " + ec.message();
+            return res;
+        }
+    }
+
+    std::ostringstream tmpName;
+    tmpName << path << ".tmp." << ::getpid();
+    {
+        std::ofstream out(tmpName.str(),
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            res.error = "cannot write '" + tmpName.str() + "'";
+            return res;
+        }
+
+        // Sections first conceptually — the fingerprint is over
+        // their bytes — but the header leads the file, so hash while
+        // streaming and patch the header in afterwards via a second
+        // pass over the first page.
+        std::uint64_t fp = fnvOffsetBasis;
+        std::string headerPage(scugPageBytes, '\0');
+        out.write(headerPage.data(),
+                  static_cast<std::streamsize>(headerPage.size()));
+
+        const auto off = g.adjacencyOffsets();
+        writeSection(out, off.data(), off.size(), fp);
+        padToPage(out, h.offsetsOff + h.offsetsBytes);
+        const auto dst = g.edgeArray();
+        writeSection(out, dst.data(), dst.size(), fp);
+        padToPage(out, h.dstOff + h.dstBytes);
+        const auto w = g.weightArray();
+        writeSection(out, w.data(), w.size(), fp);
+
+        h.fingerprint = fp;
+        const std::string hdr = encodeHeader(h);
+        out.seekp(0);
+        out.write(hdr.data(),
+                  static_cast<std::streamsize>(hdr.size()));
+
+        if (!out.good()) {
+            out.close();
+            std::remove(tmpName.str().c_str());
+            res.error = "short write to '" + tmpName.str() + "'";
+            return res;
+        }
+        res.fileBytes = h.weightOff + h.weightBytes;
+        res.fingerprint = fp;
+    }
+
+    if (std::rename(tmpName.str().c_str(), path.c_str()) != 0) {
+        std::remove(tmpName.str().c_str());
+        res.error = "rename to '" + path + "' failed";
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace scusim::store

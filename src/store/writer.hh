@@ -1,0 +1,51 @@
+/**
+ * @file
+ * StoreWriter: packs a CsrGraph into a `.scug` container. Writes go
+ * through a process-unique temp file and std::rename (the run-cache
+ * pattern), so concurrent packers never expose a torn file and a
+ * crash mid-write leaves only a stale `.tmp.<pid>` to sweep, never a
+ * half-written store that a loader could trust. Two packers racing
+ * on the same (deterministic) graph produce identical bytes, so
+ * whoever renames last changes nothing.
+ */
+
+#ifndef SCUSIM_STORE_WRITER_HH
+#define SCUSIM_STORE_WRITER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace scusim::store
+{
+
+/** Outcome of a pack. */
+struct PackResult
+{
+    bool ok = false;
+    std::uint64_t fingerprint = 0; ///< content identity of the file
+    std::uint64_t fileBytes = 0;
+    std::string error; ///< why, when !ok
+};
+
+/**
+ * Pack @p g into @p path atomically. Existing files are replaced
+ * (rename semantics); the parent directory is created if needed.
+ * Never throws — I/O failures come back in the result, because a
+ * full disk must degrade a caller to the non-store path, not kill
+ * it.
+ */
+PackResult writeStore(const graph::CsrGraph &g,
+                      const std::string &path);
+
+/**
+ * Fingerprint @p g exactly as writeStore would record it, without
+ * touching the filesystem (the store-path key for an in-memory
+ * graph).
+ */
+std::uint64_t graphFingerprint(const graph::CsrGraph &g);
+
+} // namespace scusim::store
+
+#endif // SCUSIM_STORE_WRITER_HH

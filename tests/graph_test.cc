@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "common/rng.hh"
 #include "graph/analysis.hh"
@@ -18,6 +20,19 @@
 using namespace scusim;
 using namespace scusim::graph;
 
+namespace
+{
+
+/** Materialize a span accessor for gtest container comparison. */
+template <typename T>
+std::vector<T>
+vec(std::span<const T> s)
+{
+    return {s.begin(), s.end()};
+}
+
+} // namespace
+
 TEST(Csr, ReferenceGraphMatchesFigure2)
 {
     CsrGraph g = referenceGraph();
@@ -27,13 +42,13 @@ TEST(Csr, ReferenceGraphMatchesFigure2)
 
     // Figure 2b: AdjacencyOffsets 0 3 5 6 8 8 8 (plus final 8).
     const std::vector<EdgeId> want_off{0, 3, 5, 6, 8, 8, 8, 8};
-    EXPECT_EQ(g.adjacencyOffsets(), want_off);
+    EXPECT_EQ(vec(g.adjacencyOffsets()), want_off);
 
     // Edges: B C D | E F | F | C G ; weights 2 3 1 1 1 2 1 2.
     const std::vector<NodeId> want_dst{1, 2, 3, 4, 5, 5, 2, 6};
-    EXPECT_EQ(g.edgeArray(), want_dst);
+    EXPECT_EQ(vec(g.edgeArray()), want_dst);
     const std::vector<Weight> want_w{2, 3, 1, 1, 1, 2, 1, 2};
-    EXPECT_EQ(g.weightArray(), want_w);
+    EXPECT_EQ(vec(g.weightArray()), want_w);
 
     EXPECT_EQ(g.degree(0), 3u);
     EXPECT_EQ(g.degree(4), 0u);
@@ -112,8 +127,8 @@ TEST_P(DatasetGen, Deterministic)
     const std::string name = GetParam();
     CsrGraph a = makeDataset(name, 0.01, 7);
     CsrGraph b = makeDataset(name, 0.01, 7);
-    EXPECT_EQ(a.edgeArray(), b.edgeArray());
-    EXPECT_EQ(a.weightArray(), b.weightArray());
+    EXPECT_EQ(vec(a.edgeArray()), vec(b.edgeArray()));
+    EXPECT_EQ(vec(a.weightArray()), vec(b.weightArray()));
 }
 
 TEST_P(DatasetGen, SeedChangesGraph)
@@ -121,7 +136,7 @@ TEST_P(DatasetGen, SeedChangesGraph)
     const std::string name = GetParam();
     CsrGraph a = makeDataset(name, 0.01, 1);
     CsrGraph b = makeDataset(name, 0.01, 2);
-    EXPECT_NE(a.edgeArray(), b.edgeArray());
+    EXPECT_NE(vec(a.edgeArray()), vec(b.edgeArray()));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGen,
@@ -186,9 +201,9 @@ TEST(Loader, EdgeListRoundTrip)
     writeEdgeList(g, ss);
     EdgeList el = parseEdgeList(ss);
     CsrGraph g2 = CsrGraph::fromEdgeList(std::move(el));
-    EXPECT_EQ(g2.edgeArray(), g.edgeArray());
-    EXPECT_EQ(g2.weightArray(), g.weightArray());
-    EXPECT_EQ(g2.adjacencyOffsets(), g.adjacencyOffsets());
+    EXPECT_EQ(vec(g2.edgeArray()), vec(g.edgeArray()));
+    EXPECT_EQ(vec(g2.weightArray()), vec(g.weightArray()));
+    EXPECT_EQ(vec(g2.adjacencyOffsets()), vec(g.adjacencyOffsets()));
 }
 
 TEST(Loader, EdgeListCommentsAndDefaults)

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -26,6 +27,14 @@ CsrGraph
 testGraph()
 {
     return makeDataset("cond", 0.05, 1);
+}
+
+/** Materialize a span accessor for gtest container comparison. */
+template <typename T>
+std::vector<T>
+vec(std::span<const T> s)
+{
+    return {s.begin(), s.end()};
 }
 
 class PartitionGate : public ::testing::TestWithParam<unsigned>
@@ -128,9 +137,9 @@ TEST(PartitionSingle, OneFragmentIsTheParentGraphVerbatim)
 
     EXPECT_EQ(f.numInner, g.numNodes());
     EXPECT_EQ(f.numOuter, 0u);
-    EXPECT_EQ(f.csr.adjacencyOffsets(), g.adjacencyOffsets());
-    EXPECT_EQ(f.csr.edgeArray(), g.edgeArray());
-    EXPECT_EQ(f.csr.weightArray(), g.weightArray());
+    EXPECT_EQ(vec(f.csr.adjacencyOffsets()), vec(g.adjacencyOffsets()));
+    EXPECT_EQ(vec(f.csr.edgeArray()), vec(g.edgeArray()));
+    EXPECT_EQ(vec(f.csr.weightArray()), vec(g.weightArray()));
 }
 
 } // namespace

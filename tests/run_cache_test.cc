@@ -192,6 +192,29 @@ TEST(RunCache, StorabilityPolicy)
     graph::CsrGraph g;
     rec.run.graph = &g;
     EXPECT_FALSE(runCacheStorable(rec));
+    // ...unless the run is keyed by a durable content fingerprint
+    // (a store-backed graph): then the key means the same thing in
+    // every process and the record may be persisted.
+    rec.run.graphFp = "00000000cafef00d";
+    EXPECT_TRUE(runCacheStorable(rec));
+}
+
+TEST(RunCache, FingerprintKeyedGraphRunsRoundTripThroughDisk)
+{
+    CacheDirGuard cache("fpkeyed");
+    graph::CsrGraph g; // identity comes from the fp, not the graph
+    RunRecord rec = sampleRecord();
+    rec.run.graph = &g;
+    rec.run.graphFp = "0123456789abcdef";
+    rec.run.key = runKey(rec.run.cfg, &g, rec.run.graphFp);
+    ASSERT_NE(rec.run.key.find("|fp=0123456789abcdef"),
+              std::string::npos);
+
+    ASSERT_TRUE(storeCachedRun(cache.dir, rec));
+    RunRecord back;
+    back.run = rec.run;
+    EXPECT_TRUE(loadCachedRun(cache.dir, rec.run.key, back));
+    EXPECT_EQ(encodeRunRecord(back), encodeRunRecord(rec));
 }
 
 TEST(RunCache, SecondExecutionIsServedFromDiskByteIdentically)

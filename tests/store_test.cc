@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Tier-1 gate for the dataset store (`src/store`): the `.scug`
+ * container round-trips byte-identically, damaged files (bad magic,
+ * wrong schema, truncation, bit rot under the fingerprint) are
+ * rejected and quarantined rather than misread, concurrent readers
+ * share one file safely, and — the acceptance criterion of the
+ * subsystem — BFS/SSSP/PR stats dumps are byte-identical whether the
+ * graph is in-memory, mmap'd, or traversed through the out-of-core
+ * residency window on both modeled systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "graph/datasets.hh"
+#include "harness/runner.hh"
+#include "store/format.hh"
+#include "store/mapped_graph.hh"
+#include "store/store.hh"
+#include "store/writer.hh"
+
+using namespace scusim;
+using namespace scusim::store;
+
+namespace
+{
+
+/** Fresh store directory + SCUSIM_STORE_DIR for one test body. */
+class StoreDirGuard
+{
+  public:
+    explicit StoreDirGuard(const char *name)
+        : dir(::testing::TempDir() + "scusim_store_" + name)
+    {
+        std::filesystem::remove_all(dir);
+        std::filesystem::create_directories(dir);
+        ::setenv("SCUSIM_STORE_DIR", dir.c_str(), 1);
+    }
+
+    ~StoreDirGuard()
+    {
+        ::unsetenv("SCUSIM_STORE_DIR");
+        ::unsetenv("SCUSIM_STORE_BUDGET");
+        std::filesystem::remove_all(dir);
+    }
+
+    const std::string dir;
+};
+
+graph::CsrGraph
+testGraph()
+{
+    return graph::makeDataset("cond", 0.02, 3);
+}
+
+template <typename T>
+std::vector<T>
+vec(std::span<const T> s)
+{
+    return {s.begin(), s.end()};
+}
+
+/** Assert @p got exposes exactly the same CSR arrays as @p want. */
+void
+expectSameGraph(const graph::CsrGraph &got,
+                const graph::CsrGraph &want)
+{
+    ASSERT_EQ(got.numNodes(), want.numNodes());
+    ASSERT_EQ(got.numEdges(), want.numEdges());
+    EXPECT_EQ(vec(got.adjacencyOffsets()),
+              vec(want.adjacencyOffsets()));
+    EXPECT_EQ(vec(got.edgeArray()), vec(want.edgeArray()));
+    EXPECT_EQ(vec(got.weightArray()), vec(want.weightArray()));
+}
+
+/** Flip one byte at @p off in file @p path. */
+void
+corruptByte(const std::string &path, std::uint64_t off)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(off));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(off));
+    f.write(&c, 1);
+}
+
+} // namespace
+
+// ----------------------------------------------------------- format
+
+TEST(StoreFormat, HeaderEncodeDecodeRoundTrip)
+{
+    ScugHeader h;
+    std::memcpy(h.magic, scugMagic, sizeof h.magic);
+    h.flags = scugFlagWeights;
+    h.numNodes = 6;
+    h.numEdges = 9;
+    h.offsetsOff = scugPageBytes;
+    h.offsetsBytes = (h.numNodes + 1) * 8;
+    h.dstOff = pageAlign(h.offsetsOff + h.offsetsBytes);
+    h.dstBytes = h.numEdges * 4;
+    h.weightOff = pageAlign(h.dstOff + h.dstBytes);
+    h.weightBytes = h.numEdges * 4;
+    h.fingerprint = 0x0123456789ABCDEFull;
+
+    const std::string wire = encodeHeader(h);
+    ASSERT_EQ(wire.size(), scugHeaderBytes);
+    ScugHeader back;
+    std::string why;
+    ASSERT_TRUE(decodeHeader(wire.data(), wire.size(), back, 0,
+                             &why))
+        << why;
+    EXPECT_EQ(back.numNodes, h.numNodes);
+    EXPECT_EQ(back.numEdges, h.numEdges);
+    EXPECT_EQ(back.flags, h.flags);
+    EXPECT_EQ(back.fingerprint, h.fingerprint);
+    EXPECT_EQ(back.dstOff, h.dstOff);
+}
+
+TEST(StoreFormat, ParseByteSizeSuffixes)
+{
+    EXPECT_EQ(parseByteSize("4096"), 4096u);
+    EXPECT_EQ(parseByteSize("64k"), 64u << 10);
+    EXPECT_EQ(parseByteSize("16M"), 16u << 20);
+    EXPECT_EQ(parseByteSize("1G"), 1ull << 30);
+    EXPECT_EQ(parseByteSize(""), 0u);
+    EXPECT_EQ(parseByteSize("12q"), 0u);
+    EXPECT_EQ(parseByteSize("k"), 0u);
+}
+
+// ----------------------------------------------- writer round trips
+
+TEST(StoreWriter, MmapRoundTripIsByteIdentical)
+{
+    StoreDirGuard sd("roundtrip");
+    const graph::CsrGraph g = testGraph();
+    const std::string path = sd.dir + "/g.scug";
+
+    const PackResult pr = writeStore(g, path);
+    ASSERT_TRUE(pr.ok) << pr.error;
+    EXPECT_EQ(pr.fingerprint, graphFingerprint(g));
+
+    std::string err;
+    auto mg = MappedGraph::open(path, {}, &err);
+    ASSERT_TRUE(mg) << err;
+    EXPECT_EQ(mg->fingerprint(), pr.fingerprint);
+    EXPECT_FALSE(mg->windowed());
+    expectSameGraph(mg->graph(), g);
+    if (mg->mode() == MapMode::Mmap) {
+        EXPECT_TRUE(mg->graph().isView());
+    }
+}
+
+TEST(StoreWriter, HeapCopyFallbackIsByteIdentical)
+{
+    StoreDirGuard sd("heapcopy");
+    const graph::CsrGraph g = testGraph();
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(g, path).ok);
+
+    OpenOptions oo;
+    oo.forceCopy = true;
+    std::string err;
+    auto mg = MappedGraph::open(path, oo, &err);
+    ASSERT_TRUE(mg) << err;
+    EXPECT_EQ(mg->mode(), MapMode::HeapCopy);
+    expectSameGraph(mg->graph(), g);
+}
+
+TEST(StoreWriter, PackIsDeterministic)
+{
+    StoreDirGuard sd("det");
+    const graph::CsrGraph g = testGraph();
+    const std::string a = sd.dir + "/a.scug";
+    const std::string b = sd.dir + "/b.scug";
+    ASSERT_TRUE(writeStore(g, a).ok);
+    ASSERT_TRUE(writeStore(g, b).ok);
+    std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+    std::stringstream sa, sb;
+    sa << fa.rdbuf();
+    sb << fb.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+// ----------------------------------------------------- damage gates
+
+TEST(MappedGraphTest, RejectsBadMagic)
+{
+    StoreDirGuard sd("badmagic");
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(testGraph(), path).ok);
+    corruptByte(path, 0);
+    std::string err;
+    EXPECT_FALSE(MappedGraph::open(path, {}, &err));
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+}
+
+TEST(MappedGraphTest, RejectsWrongSchema)
+{
+    StoreDirGuard sd("badschema");
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(testGraph(), path).ok);
+    corruptByte(path, 8); // first byte of the u32 schema field
+    std::string err;
+    EXPECT_FALSE(MappedGraph::open(path, {}, &err));
+    EXPECT_NE(err.find("schema"), std::string::npos) << err;
+}
+
+TEST(MappedGraphTest, RejectsFingerprintMismatch)
+{
+    StoreDirGuard sd("rot");
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(testGraph(), path).ok);
+    ScugHeader h;
+    ASSERT_TRUE(readStoreHeader(path, h));
+    // One flipped bit inside the destination section: only the
+    // fingerprint can notice.
+    corruptByte(path, h.dstOff + h.dstBytes / 2);
+    std::string err;
+    EXPECT_FALSE(MappedGraph::open(path, {}, &err));
+    EXPECT_NE(err.find("fingerprint"), std::string::npos) << err;
+    // Skipping verification is explicit opt-out, not the default.
+    OpenOptions lax;
+    lax.verifyFingerprint = false;
+    EXPECT_TRUE(MappedGraph::open(path, lax, &err)) << err;
+}
+
+TEST(MappedGraphTest, RejectsTruncatedFile)
+{
+    StoreDirGuard sd("trunc");
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(testGraph(), path).ok);
+    const auto bytes = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, bytes - scugPageBytes);
+    std::string err;
+    EXPECT_FALSE(MappedGraph::open(path, {}, &err));
+    // A mid-write crash of a *non-atomic* writer looks the same as
+    // truncation; the atomic tmp+rename writer never exposes it, but
+    // the loader still has to reject the shape.
+    std::filesystem::resize_file(path, scugHeaderBytes / 2);
+    EXPECT_FALSE(MappedGraph::open(path, {}, &err));
+}
+
+TEST(StoreRegistry, DamagedStoreIsQuarantinedAndRepacked)
+{
+    StoreDirGuard sd("quarantine");
+    const std::uint64_t before = storeQuarantinedCount();
+    auto mg = openDataset("cond", 0.02, 3);
+    ASSERT_TRUE(mg);
+    const std::string path =
+        datasetStorePath(sd.dir, "cond", 0.02, 3);
+    ASSERT_TRUE(std::filesystem::exists(path));
+    mg.reset();
+
+    corruptByte(path, 0); // destroy the magic
+    auto again = openDataset("cond", 0.02, 3);
+    ASSERT_TRUE(again); // quarantined, then repacked
+    EXPECT_EQ(storeQuarantinedCount(), before + 1);
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+    expectSameGraph(again->graph(), testGraph());
+}
+
+TEST(StoreRegistry, CrashedWriterTempFileIsIgnored)
+{
+    StoreDirGuard sd("crashtmp");
+    const std::string path =
+        datasetStorePath(sd.dir, "cond", 0.02, 3);
+    // A writer killed mid-stream leaves only its process-unique temp
+    // file; the store slot itself reads as a clean miss.
+    std::ofstream(path + ".tmp.99999") << "partial garbage";
+    auto mg = openDataset("cond", 0.02, 3);
+    ASSERT_TRUE(mg);
+    expectSameGraph(mg->graph(), testGraph());
+    EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+// ------------------------------------------------ concurrent access
+
+TEST(MappedGraphTest, TwoConcurrentReadersSeeTheSameBytes)
+{
+    StoreDirGuard sd("readers");
+    const graph::CsrGraph g = testGraph();
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(g, path).ok);
+
+    std::string e1, e2;
+    auto a = MappedGraph::open(path, {}, &e1);
+    auto b = MappedGraph::open(path, {}, &e2);
+    ASSERT_TRUE(a) << e1;
+    ASSERT_TRUE(b) << e2;
+
+    auto sumAll = [](const graph::CsrGraph &gr) {
+        std::uint64_t s = 0;
+        for (NodeId u = 0; u < gr.numNodes(); ++u) {
+            for (NodeId v : gr.neighbors(u))
+                s += v;
+            for (Weight w : gr.edgeWeights(u))
+                s += w;
+        }
+        return s;
+    };
+    std::uint64_t sa = 0, sb = 0;
+    std::thread ta([&] { sa = sumAll(a->graph()); });
+    std::thread tb([&] { sb = sumAll(b->graph()); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(sa, sb);
+    EXPECT_EQ(sa, sumAll(g));
+}
+
+// --------------------------------------------------- out of core
+
+TEST(MappedGraphTest, WindowedTraversalEqualsInMemory)
+{
+    StoreDirGuard sd("window");
+    const graph::CsrGraph g = testGraph();
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(g, path).ok);
+
+    // A budget far below the edge-section bytes: the graph "exceeds
+    // SCUSIM_STORE_BUDGET" and must still traverse completely.
+    const std::uint64_t edgeBytes = g.numEdges() * 8;
+    OpenOptions oo;
+    oo.budgetBytes = 16 << 10;
+    ASSERT_LT(oo.budgetBytes, edgeBytes);
+    std::string err;
+    auto mg = MappedGraph::open(path, oo, &err);
+    ASSERT_TRUE(mg) << err;
+    if (mg->mode() != MapMode::Mmap)
+        GTEST_SKIP() << "no mmap on this host; windowing disabled";
+    ASSERT_TRUE(mg->windowed());
+
+    const graph::CsrGraph &w = mg->graph();
+    ASSERT_EQ(w.numNodes(), g.numNodes());
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        ASSERT_EQ(vec(w.neighbors(u)), vec(g.neighbors(u)))
+            << "row " << u;
+        ASSERT_EQ(vec(w.edgeWeights(u)), vec(g.edgeWeights(u)))
+            << "row " << u;
+    }
+    const WindowStats ws = mg->windowStats();
+    EXPECT_GT(ws.advances, 0u);
+    EXPECT_GT(ws.prefetchedBytes, 0u);
+    EXPECT_EQ(ws.windowBytes, oo.budgetBytes);
+}
+
+// --------------------------------------- end-to-end byte identity
+
+TEST(StoreHarness, StatsDumpsByteIdenticalAcrossLoadersOnBothSystems)
+{
+    StoreDirGuard sd("identity");
+    const graph::CsrGraph g = testGraph();
+    const std::string path = sd.dir + "/g.scug";
+    ASSERT_TRUE(writeStore(g, path).ok);
+
+    std::string err;
+    auto mmapped = MappedGraph::open(path, {}, &err);
+    ASSERT_TRUE(mmapped) << err;
+    OpenOptions oo;
+    oo.budgetBytes = 16 << 10;
+    auto windowed = MappedGraph::open(path, oo, &err);
+    ASSERT_TRUE(windowed) << err;
+
+    using harness::Primitive;
+    for (const char *sys : {"GTX980", "TX1"}) {
+        for (Primitive p :
+             {Primitive::Bfs, Primitive::Sssp, Primitive::Pr}) {
+            harness::RunConfig cfg;
+            cfg.systemName = sys;
+            cfg.primitive = p;
+            cfg.mode = harness::ScuMode::ScuEnhanced;
+            cfg.dataset = "cond";
+            cfg.scale = 0.02;
+            cfg.seed = 3;
+
+            auto dumpWith = [&](const graph::CsrGraph &gr) {
+                std::ostringstream os;
+                harness::RunConfig c = cfg;
+                c.dumpStatsTo = &os;
+                harness::RunResult r = harness::runPrimitive(c, gr);
+                EXPECT_TRUE(r.validated)
+                    << sys << "/" << harness::to_string(p);
+                return os.str();
+            };
+            const std::string inMem = dumpWith(g);
+            EXPECT_EQ(dumpWith(mmapped->graph()), inMem)
+                << "mmap diverged: " << sys << "/"
+                << harness::to_string(p);
+            EXPECT_EQ(dumpWith(windowed->graph()), inMem)
+                << "windowed diverged: " << sys << "/"
+                << harness::to_string(p);
+        }
+    }
+}
+
+TEST(StoreHarness, CachedDatasetUsesTheStoreWhenConfigured)
+{
+    StoreDirGuard sd("cached");
+    // A (name, scale, seed) triple no other test shares: the
+    // process-wide dataset memo would otherwise serve an entry built
+    // before this test set SCUSIM_STORE_DIR.
+    const graph::CsrGraph &g =
+        harness::cachedDataset("ca", 0.013, 77);
+    const std::string path =
+        datasetStorePath(sd.dir, "ca", 0.013, 77);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    expectSameGraph(g, graph::makeDataset("ca", 0.013, 77));
+}

@@ -37,6 +37,9 @@ usage(const char *argv0)
         "  --primitive P        BFS | SSSP | PR (default BFS)\n"
         "  --mode M             gpu-only | scu-basic | scu-enhanced\n"
         "  --dataset NAME       Table 5 dataset (default cond)\n"
+        "  --dataset-file PATH  packed .scug store file on the\n"
+        "                       daemon's filesystem (overrides\n"
+        "                       --dataset; label becomes scug:<fp>)\n"
         "  --scale F            dataset scale factor (default 0.25)\n"
         "  --seed N             run seed (default 1)\n"
         "  --devices N          simulated device count (default 1)\n"
@@ -57,6 +60,7 @@ main(int argc, char **argv)
     harness::RunConfig cfg;
     bool healthProbe = false;
     std::string outPath;
+    std::string storeFile;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -79,6 +83,8 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (a == "--dataset")
             cfg.dataset = need(i);
+        else if (a == "--dataset-file")
+            storeFile = need(i);
         else if (a == "--scale")
             cfg.scale = std::strtod(need(i), nullptr);
         else if (a == "--seed")
@@ -135,7 +141,7 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const harness::RunRecord rec = client.submit(cfg);
+    const harness::RunRecord rec = client.submit(cfg, storeFile);
 
     if (!outPath.empty() && rec.ok) {
         std::ofstream os(outPath,

@@ -328,6 +328,52 @@ TEST(RulesTest, WakeNotArmedNeedsPostDominatingWake)
     EXPECT_TRUE(runRules(lex("t.cc", armed)).findings.empty());
 }
 
+TEST(RulesTest, DeviceZeroFoldedThroughLocalConstFires)
+{
+    RuleResults rr = runRules(
+        lex("t.cc",
+            "int *p(System &sys, DeviceId dev) {"
+            "  const DeviceId primary = 0;"
+            "  return sys.memory(primary);"
+            "}"));
+    ASSERT_EQ(rr.findings.size(), 1u);
+    EXPECT_EQ(rr.findings[0].rule, "device-zero-hardcode");
+
+    // constexpr and brace-init fold the same way.
+    rr = runRules(lex("t.cc",
+                      "int *p(System &sys, DeviceId dev) {"
+                      "  constexpr DeviceId kHost{0};"
+                      "  return sys.gpuDevice(kHost);"
+                      "}"));
+    ASSERT_EQ(rr.findings.size(), 1u);
+    EXPECT_EQ(rr.findings[0].rule, "device-zero-hardcode");
+
+    // A non-zero constant is not a hardcoded zero...
+    EXPECT_TRUE(runRules(lex("t.cc",
+                             "int *p(System &sys, DeviceId dev) {"
+                             "  const DeviceId next = 1;"
+                             "  return sys.memory(next);"
+                             "}"))
+                    .findings.empty());
+    // ...a mutable local may be reassigned, so it never folds...
+    EXPECT_TRUE(runRules(lex("t.cc",
+                             "int *p(System &sys, DeviceId dev) {"
+                             "  DeviceId d = 0;"
+                             "  d = dev;"
+                             "  return sys.memory(d);"
+                             "}"))
+                    .findings.empty());
+    // ...and a dominating device comparison still exempts.
+    EXPECT_TRUE(runRules(lex("t.cc",
+                             "int *p(System &sys, DeviceId dev) {"
+                             "  const DeviceId primary = 0;"
+                             "  if (dev == 0)"
+                             "    return sys.gpuDevice(primary);"
+                             "  return sys.memory(dev);"
+                             "}"))
+                    .findings.empty());
+}
+
 TEST(RulesTest, UnusedAllowIsTracked)
 {
     LexedFile f = lex("t.cc",

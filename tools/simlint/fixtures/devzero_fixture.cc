@@ -62,3 +62,47 @@ nonLiteralArgIsFine(System &sys, DeviceId dev, int base)
 {
     return sys.memory(base + 0 * dev);
 }
+
+int *
+constFoldedWrong(System &sys, DeviceId dev)
+{
+    // Naming the zero does not un-hardcode it: the compiler folds
+    // the constant straight back into memory(0).
+    const DeviceId primary = 0;
+    return sys.memory(primary); // simlint: expect(device-zero-hardcode)
+}
+
+int *
+constexprFoldedWrong(System &sys, DeviceId dev)
+{
+    constexpr DeviceId kHost{0};
+    return sys.gpuDevice(kHost); // simlint: expect(device-zero-hardcode)
+}
+
+int *
+nonZeroConstIsFine(System &sys, DeviceId dev)
+{
+    const DeviceId next = 1;
+    return sys.memory(next);
+}
+
+int *
+guardedConstFoldIsFine(System &sys, DeviceId dev)
+{
+    // The dominating comparison marks deliberate special-casing,
+    // folded constant or not.
+    const DeviceId primary = 0;
+    if (dev == 0)
+        return sys.gpuDevice(primary);
+    return sys.memory(dev);
+}
+
+int *
+mutableLocalIsFine(System &sys, DeviceId dev)
+{
+    // Only const/constexpr locals fold; a mutable variable may have
+    // been reassigned on the way to the access.
+    DeviceId d = 0;
+    d = dev;
+    return sys.memory(d);
+}

@@ -280,9 +280,12 @@ ruleWakeNotArmed(const Engine &e, FindingSink &out)
 /**
  * device-zero-hardcode: code that receives a DeviceId but indexes a
  * per-device resource with literal 0 silently reads device 0's
- * state for every shard. Flow exception: a dominating comparison of
- * the DeviceId parameter against a literal (e.g. `if (dev == 0)`)
- * marks deliberate device-0 special-casing.
+ * state for every shard. The literal also counts when folded
+ * through a local `const`/`constexpr` variable in the same function
+ * (`const DeviceId primary = 0; ... memory(primary)`): naming the
+ * zero does not un-hardcode it. Flow exception: a dominating
+ * comparison of the DeviceId parameter against a literal (e.g.
+ * `if (dev == 0)`) marks deliberate device-0 special-casing.
  */
 void
 ruleDeviceZeroHardcode(const Engine &e, FindingSink &out)
@@ -313,6 +316,33 @@ ruleDeviceZeroHardcode(const Engine &e, FindingSink &out)
         if (devParams.empty())
             continue;
 
+        // Local const/constexpr variables initialized to exactly
+        // the literal 0 (`const DeviceId d = 0;` / `{0}`): uses of
+        // such a name are zeros the compiler folds, so the rule
+        // treats them as the literal itself.
+        std::set<std::string> zeroConsts;
+        for (std::size_t i = cfg.bodyOpen; i + 3 <= cfg.bodyClose;
+             ++i) {
+            if (!toks[i].is("const") && !toks[i].is("constexpr"))
+                continue;
+            std::string name;
+            for (std::size_t j = i + 1; j + 2 <= cfg.bodyClose;
+                 ++j) {
+                if (toks[j].is(";"))
+                    break;
+                if ((toks[j].is("=") && toks[j + 1].is("0") &&
+                     toks[j + 2].is(";")) ||
+                    (toks[j].is("{") && toks[j + 1].is("0") &&
+                     toks[j + 2].is("}"))) {
+                    if (!name.empty())
+                        zeroConsts.insert(name);
+                    break;
+                }
+                if (toks[j].isIdent())
+                    name = toks[j].text;
+            }
+        }
+
         // Fact 0: the DeviceId was explicitly compared against a
         // literal (deliberate special-casing).
         ForwardMust fm(cfg, 1);
@@ -342,33 +372,47 @@ ruleDeviceZeroHardcode(const Engine &e, FindingSink &out)
             std::size_t close = matchParenFwd(toks, i + 1);
             if (close == static_cast<std::size_t>(-1))
                 continue;
-            // A literal 0 as a complete top-level argument.
+            // A literal 0 — or a const-folded local zero constant —
+            // as a complete top-level argument.
             int depth = 0;
             bool zeroArg = false;
+            std::string folded;
             for (std::size_t k = i + 1; k <= close && !zeroArg;
                  ++k) {
                 if (toks[k].is("("))
                     ++depth;
                 else if (toks[k].is(")"))
                     --depth;
-                else if (depth == 1 && toks[k].is("0") &&
+                else if (depth == 1 &&
+                         (toks[k].is("0") ||
+                          (toks[k].isIdent() &&
+                           zeroConsts.count(toks[k].text))) &&
                          (toks[k - 1].is("(") ||
                           toks[k - 1].is(",")) &&
                          (toks[k + 1].is(")") ||
-                          toks[k + 1].is(",")))
+                          toks[k + 1].is(","))) {
                     zeroArg = true;
+                    if (!toks[k].is("0"))
+                        folded = toks[k].text;
+                }
             }
             if (!zeroArg)
                 continue;
             if (fm.holdsBefore(i, 0))
                 continue; // dominated by an explicit device check
+            const std::string what =
+                folded.empty()
+                    ? "'" + toks[i].text + "(0)' hardcodes device 0"
+                    : "'" + toks[i].text + "(" + folded +
+                          ")' hardcodes device 0 through local "
+                          "constant '" +
+                          folded + "'";
             addFinding(out, e.file, toks[i].line,
                        "device-zero-hardcode",
-                       "'" + toks[i].text +
-                           "(0)' hardcodes device 0 inside code "
-                           "that receives a DeviceId; index with "
-                           "the parameter (or guard with an "
-                           "explicit device comparison)");
+                       what +
+                           " inside code that receives a DeviceId; "
+                           "index with the parameter (or guard "
+                           "with an explicit device comparison)");
         }
     }
 }

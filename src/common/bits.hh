@@ -6,6 +6,7 @@
 #ifndef SCUSIM_COMMON_BITS_HH
 #define SCUSIM_COMMON_BITS_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "common/logging.hh"
@@ -62,6 +63,39 @@ constexpr std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)
 {
     return (a + b - 1) / b;
+}
+
+/**
+ * 64-bit occupancy/lane masks. The scheduler and coalescer hot paths
+ * iterate set bits with the classic ctz / clear-lowest idiom:
+ *
+ *     for (std::uint64_t m = mask; m; m &= m - 1)
+ *         use(ctz64(m));
+ *
+ * which visits indices in ascending order — the property the
+ * first-touch-order and way-scan-order invariants rely on.
+ */
+
+/** Index of the lowest set bit (64 when @p v is zero). */
+constexpr unsigned
+ctz64(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popcount64(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Mask with bits [0, n) set; @p n of 64 or more yields all ones. */
+constexpr std::uint64_t
+maskLow(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << n) - 1;
 }
 
 /**

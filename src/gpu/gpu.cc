@@ -66,6 +66,8 @@ Gpu::buildWarp(const KernelLaunch &k, std::uint64_t warp_id, Warp &out)
                  [pos[static_cast<std::size_t>(leader)]].kind;
         WarpInstr wi;
         wi.kind = kind;
+        if (kind != ThreadOp::Kind::Compute)
+            wi.laneAddrs.resize(lanes.size(), 0);
         for (std::size_t i = 0; i < lanes.size(); ++i) {
             if (pos[i] >= lanes[i].size())
                 continue;
@@ -76,7 +78,10 @@ Gpu::buildWarp(const KernelLaunch &k, std::uint64_t warp_id, Warp &out)
                 wi.computeCount =
                     std::max(wi.computeCount, op.count);
             } else {
-                wi.laneAddrs.push_back(op.addr);
+                // Slot-per-lane handoff: lane i's address lives in
+                // slot i, the mask says which slots participate.
+                wi.laneAddrs[i] = op.addr;
+                wi.laneMask |= std::uint64_t{1} << i;
                 wi.bytesPerLane = std::max(wi.bytesPerLane, op.count);
             }
             ++pos[i];

@@ -1,8 +1,12 @@
 #include "gpu/sm.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
 
 #include "common/logging.hh"
+#include "sim/check.hh"
 #include "sim/fault.hh"
 #include "sim/simulation.hh"
 #include "trace/profiler.hh"
@@ -11,11 +15,51 @@
 namespace scusim::gpu
 {
 
+namespace
+{
+
+/** Process-wide issue-path override: -1 unset, else SmIssuePath. */
+std::atomic<int> pathOverride{-1};
+
+} // namespace
+
+SmIssuePath
+StreamingMultiprocessor::defaultIssuePath()
+{
+    const int o = pathOverride.load(std::memory_order_relaxed);
+    if (o >= 0)
+        return static_cast<SmIssuePath>(o);
+    if (const char *s = std::getenv("SCUSIM_SM_PATH")) {
+        const std::string v = s;
+        if (v == "reference")
+            return SmIssuePath::Reference;
+        if (!v.empty() && v != "soa")
+            warn("ignoring unknown SCUSIM_SM_PATH='%s' "
+                 "(want 'soa' or 'reference')",
+                 s);
+    }
+    return SmIssuePath::SoaMasked;
+}
+
+void
+StreamingMultiprocessor::overrideDefaultIssuePath(SmIssuePath p)
+{
+    pathOverride.store(static_cast<int>(p),
+                       std::memory_order_relaxed);
+}
+
+void
+StreamingMultiprocessor::clearDefaultIssuePathOverride()
+{
+    pathOverride.store(-1, std::memory_order_relaxed);
+}
+
 StreamingMultiprocessor::StreamingMultiprocessor(
     const GpuParams &params, unsigned id, mem::MemLevel *shared_mem,
     stats::StatGroup *parent, sim::Simulation *sim)
     : p(params), smId(id), sharedMem(shared_mem), simPtr(sim),
       l1Cache(params.l1, shared_mem, parent),
+      path(defaultIssuePath()),
       grp(std::string("sm") + std::to_string(id), parent),
       smActiveCycles(&grp, "active_cycles",
                      "cycles with at least one resident warp"),
@@ -23,14 +67,21 @@ StreamingMultiprocessor::StreamingMultiprocessor(
       issueStallCycles(&grp, "issue_stalls",
                        "cycles with residents but nothing issuable")
 {
-    resident.reserve(p.maxResidentWarps());
+    panic_if(p.maxResidentWarps() > kMaxWarpSlots,
+             "maxResidentWarps %u exceeds the %u-slot ready mask",
+             p.maxResidentWarps(), kMaxWarpSlots);
+    body.reserve(p.maxResidentWarps());
+    wBlocked.reserve(p.maxResidentWarps());
+    wPc.reserve(p.maxResidentWarps());
+    wComputeLeft.reserve(p.maxResidentWarps());
+    wNumInstrs.reserve(p.maxResidentWarps());
 }
 
 void
 StreamingMultiprocessor::beginKernel(WarpSource source,
                                      KernelStats *sink)
 {
-    panic_if(!resident.empty(), "beginKernel on a busy SM");
+    panic_if(!body.empty(), "beginKernel on a busy SM");
     warpSource = std::move(source);
     kstats = sink;
     sourceDry = false;
@@ -47,6 +98,9 @@ StreamingMultiprocessor::endKernel(Tick now)
              "endKernel on a busy SM");
     warpSource = nullptr;
     kstats = nullptr;
+    // The MSHR high-water trace counter tracks one kernel's FIFO
+    // peak, not a monotone across launches.
+    mshrHighWater = 0;
     // GPU L1s are not kept coherent across kernel launches.
     l1Cache.invalidateAll(now);
 }
@@ -54,7 +108,7 @@ StreamingMultiprocessor::endKernel(Tick now)
 void
 StreamingMultiprocessor::refill()
 {
-    while (!sourceDry && resident.size() < p.maxResidentWarps()) {
+    while (!sourceDry && body.size() < p.maxResidentWarps()) {
         Warp w;
         if (!warpSource || !warpSource(w)) {
             sourceDry = true;
@@ -64,18 +118,64 @@ StreamingMultiprocessor::refill()
             ++kstats->warps;
             kstats->threads += w.threads;
         }
-        resident.push_back(std::move(w));
+        const std::size_t s = body.size();
+        const std::uint64_t bit = std::uint64_t{1} << s;
+        body.push_back({std::move(w.instrs), w.threads});
+        wBlocked.push_back(w.blockedUntil);
+        wPc.push_back(static_cast<std::uint32_t>(w.pc));
+        wComputeLeft.push_back(w.computeLeft);
+        wNumInstrs.push_back(
+            static_cast<std::uint32_t>(body.back().instrs.size()));
+        if (wPc[s] >= wNumInstrs[s])
+            doneMask |= bit;
+        // A slot arriving blocked in the past is promoted by the
+        // next advanceReady(); nothing reads the masks in between.
+        if (wBlocked[s] == 0)
+            readyMask |= bit;
+        else
+            blockedMin = std::min(blockedMin, wBlocked[s]);
     }
     recomputeWake();
 }
 
 void
+StreamingMultiprocessor::advanceReady(Tick now)
+{
+    if (blockedMin > now)
+        return;
+    const std::uint64_t blocked =
+        maskLow(static_cast<unsigned>(body.size())) & ~readyMask;
+    Tick rest = tickNever;
+    for (std::uint64_t m = blocked; m; m &= m - 1) {
+        const std::size_t s = ctz64(m);
+        if (wBlocked[s] <= now)
+            readyMask |= std::uint64_t{1} << s;
+        else
+            rest = std::min(rest, wBlocked[s]);
+    }
+    blockedMin = rest;
+}
+
+void
 StreamingMultiprocessor::recomputeWake()
 {
-    Tick t = tickNever;
-    for (const auto &w : resident)
-        t = std::min(t, w.blockedUntil);
+    // blockedMin already covers the blocked slots exactly; folding in
+    // the ready slots' (stale-low) blockedUntil reproduces the full
+    // min without touching the non-resident tail.
+    Tick t = blockedMin;
+    for (std::uint64_t m = readyMask; m; m &= m - 1)
+        t = std::min(t, wBlocked[ctz64(m)]);
     wakeCache = t;
+    if constexpr (sim::checksEnabled) {
+        Tick lin = tickNever;
+        for (const Tick b : wBlocked)
+            lin = std::min(lin, b);
+        sim_check(wakeCache == lin,
+                  "mask-folded wake %llu disagrees with linear scan "
+                  "%llu (blockedMin invariant broken)",
+                  static_cast<unsigned long long>(wakeCache),
+                  static_cast<unsigned long long>(lin));
+    }
 }
 
 bool
@@ -84,7 +184,7 @@ StreamingMultiprocessor::busy(Tick now) const
     // Busy if a warp can issue or retire this cycle; warps that are
     // merely blocked on memory make the SM wake-able, not busy, so
     // the simulation fast-forwards over pure stall intervals.
-    if (resident.empty())
+    if (body.empty())
         return !sourceDry && warpSource != nullptr;
     return wakeCache <= now;
 }
@@ -92,7 +192,7 @@ StreamingMultiprocessor::busy(Tick now) const
 Tick
 StreamingMultiprocessor::nextWakeTick() const
 {
-    return resident.empty() ? tickNever : wakeCache;
+    return body.empty() ? tickNever : wakeCache;
 }
 
 Tick
@@ -104,16 +204,17 @@ StreamingMultiprocessor::executeMem(const WarpInstr &wi, Tick now)
     txnScratch.clear();
     std::size_t txns;
     if (wi.kind == ThreadOp::Kind::Atomic) {
-        txns = mem::appendUniqueAddrs(wi.laneAddrs, txnScratch);
+        txns = mem::appendUniqueAddrs(wi.laneAddrs, wi.laneMask,
+                                      txnScratch);
     } else {
-        txns = mem::coalesceLanes(wi.laneAddrs, p.l1.lineBytes,
-                                  txnScratch);
+        txns = mem::coalesceLanes(wi.laneAddrs, wi.laneMask,
+                                  p.l1.lineBytes, txnScratch);
     }
 
     if (kstats) {
         ++kstats->warpMemInstrs;
         kstats->memTransactions += txns;
-        kstats->memLanes += wi.laneAddrs.size();
+        kstats->memLanes += popcount64(wi.laneMask);
     }
 
     // The LSU injects transactions at its throughput.
@@ -166,40 +267,172 @@ StreamingMultiprocessor::executeMem(const WarpInstr &wi, Tick now)
     return complete;
 }
 
-bool
-StreamingMultiprocessor::issueOne(Warp &w, Tick now)
+void
+StreamingMultiprocessor::issueSlot(std::size_t s, Tick now)
 {
-    if (w.done() || w.blockedUntil > now)
-        return false;
-
-    WarpInstr &wi = w.instrs[w.pc];
+    WarpBody &b = body[s];
+    WarpInstr &wi = b.instrs[wPc[s]];
     ++issuedInstrs;
     if (kstats) {
         ++kstats->warpInstrs;
         kstats->threadInstrs +=
             (wi.kind == ThreadOp::Kind::Compute)
-                ? w.threads
-                : wi.laneAddrs.size();
+                ? b.threads
+                : popcount64(wi.laneMask);
     }
 
+    Tick blocked_until;
     if (wi.kind == ThreadOp::Kind::Compute) {
-        if (w.computeLeft == 0)
-            w.computeLeft = wi.computeCount;
-        if (--w.computeLeft == 0)
-            ++w.pc;
+        if (wComputeLeft[s] == 0)
+            wComputeLeft[s] = wi.computeCount;
+        if (--wComputeLeft[s] == 0 && ++wPc[s] >= wNumInstrs[s])
+            doneMask |= std::uint64_t{1} << s;
         // Dependent issue: the warp waits out the ALU result
         // latency before its next instruction.
-        w.blockedUntil = now + p.depIssueLatency;
-        return true;
+        blocked_until = now + p.depIssueLatency;
+    } else {
+        const Tick complete = executeMem(wi, now);
+        if (++wPc[s] >= wNumInstrs[s])
+            doneMask |= std::uint64_t{1} << s;
+        blocked_until = wi.kind == ThreadOp::Kind::Load
+                            ? complete
+                            : now + p.depIssueLatency;
     }
+    wBlocked[s] = blocked_until;
+    if (blocked_until > now) {
+        readyMask &= ~(std::uint64_t{1} << s);
+        blockedMin = std::min(blockedMin, blocked_until);
+    }
+}
 
-    Tick complete = executeMem(wi, now);
-    ++w.pc;
-    if (wi.kind == ThreadOp::Kind::Load)
-        w.blockedUntil = complete;
+void
+StreamingMultiprocessor::compactRetired(std::uint64_t retire)
+{
+    const std::size_t n = body.size();
+    std::uint64_t new_ready = 0;
+    std::uint64_t new_done = 0;
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if ((retire >> j) & 1)
+            continue;
+        if (k != j) {
+            body[k] = std::move(body[j]);
+            wBlocked[k] = wBlocked[j];
+            wPc[k] = wPc[j];
+            wComputeLeft[k] = wComputeLeft[j];
+            wNumInstrs[k] = wNumInstrs[j];
+        }
+        new_ready |= ((readyMask >> j) & 1) << k;
+        new_done |= ((doneMask >> j) & 1) << k;
+        ++k;
+    }
+    body.resize(k);
+    wBlocked.resize(k);
+    wPc.resize(k);
+    wComputeLeft.resize(k);
+    wNumInstrs.resize(k);
+    readyMask = new_ready;
+    doneMask = new_done;
+    // Retired slots were all ready, so the blocked set — and
+    // blockedMin — are unchanged.
+}
+
+void
+StreamingMultiprocessor::tickSoa(Tick now)
+{
+    advanceReady(now);
+    smActiveCycles += 1;
+
+    // Round-robin over the residents starting at the cursor, walking
+    // only the slots that can actually issue: set bits of
+    // ready & ~done, rotated so slots >= start go first. ctz visits
+    // each half in ascending slot order, which is exactly the
+    // reference scan's visit order restricted to issuable slots. A
+    // wholly-blocked mask makes both loops vanish without touching
+    // the warp arrays.
+    unsigned issued = 0;
+    const std::size_t n = body.size();
+    const std::size_t start = rrCursor % n;
+    const std::uint64_t cand = readyMask & ~doneMask;
+    for (std::uint64_t m =
+             cand & ~maskLow(static_cast<unsigned>(start));
+         m && issued < p.issueWidth; m &= m - 1) {
+        issueSlot(ctz64(m), now);
+        ++issued;
+    }
+    for (std::uint64_t m =
+             cand & maskLow(static_cast<unsigned>(start));
+         m && issued < p.issueWidth; m &= m - 1) {
+        issueSlot(ctz64(m), now);
+        ++issued;
+    }
+    rrCursor = start + 1 == n ? 0 : start + 1;
+    if (issued)
+        noteProgress(issued);
     else
-        w.blockedUntil = now + p.depIssueLatency;
-    return true;
+        issueStallCycles += 1;
+
+    // Retire finished warps — a warp with its last memory access
+    // still in flight stays resident until it completes (its ready
+    // bit was cleared when the access issued, so done & ready is
+    // precisely "done with nothing in flight").
+    const std::uint64_t retire = readyMask & doneMask;
+    const std::size_t retired = popcount64(retire);
+    if (retire)
+        compactRetired(retire);
+    const std::size_t low = body.size();
+    refill();
+    const std::size_t added = body.size() - low;
+    if (retired + added)
+        noteProgress(retired + added);
+}
+
+void
+StreamingMultiprocessor::tickReference(Tick now)
+{
+    // The oracle still runs advanceReady so the mask invariants stay
+    // exact for the shared helpers; its scans below never read the
+    // masks.
+    advanceReady(now);
+    smActiveCycles += 1;
+
+    // Round-robin over the residents starting at the cursor. One
+    // modulo normalizes the cursor (retirement may have shrunk the
+    // list since last cycle); the walk itself wraps with a compare
+    // instead of a per-iteration `(rrCursor + i) % n` divide.
+    unsigned issued = 0;
+    const std::size_t n = body.size();
+    const std::size_t start = rrCursor % n;
+    std::size_t idx = start;
+    for (std::size_t i = 0; i < n && issued < p.issueWidth; ++i) {
+        if (wPc[idx] < wNumInstrs[idx] && wBlocked[idx] <= now) {
+            issueSlot(idx, now);
+            ++issued;
+        }
+        if (++idx == n)
+            idx = 0;
+    }
+    rrCursor = start + 1 == n ? 0 : start + 1;
+    if (issued)
+        noteProgress(issued);
+    else
+        issueStallCycles += 1;
+
+    // Retire finished warps — a warp with its last memory access
+    // still in flight stays resident until it completes.
+    std::uint64_t retire = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (wPc[j] >= wNumInstrs[j] && wBlocked[j] <= now)
+            retire |= std::uint64_t{1} << j;
+    }
+    const std::size_t retired = popcount64(retire);
+    if (retire)
+        compactRetired(retire);
+    const std::size_t low = body.size();
+    refill();
+    const std::size_t added = body.size() - low;
+    if (retired + added)
+        noteProgress(retired + added);
 }
 
 void
@@ -214,46 +447,16 @@ StreamingMultiprocessor::tick(Tick now)
             inj && inj->smStalled(smId, now))
             return;
     }
-    if (resident.empty()) {
+    if (body.empty()) {
         refill();
-        if (resident.empty())
+        if (body.empty())
             return;
-        noteProgress(resident.size());
+        noteProgress(body.size());
     }
-    smActiveCycles += 1;
-
-    // Round-robin over the residents starting at the cursor. One
-    // modulo normalizes the cursor (retirement may have shrunk the
-    // list since last cycle); the walk itself wraps with a compare
-    // instead of the old per-iteration `(rrCursor + i) % n` divide.
-    unsigned issued = 0;
-    const std::size_t n = resident.size();
-    const std::size_t start = rrCursor % n;
-    std::size_t idx = start;
-    for (std::size_t i = 0; i < n && issued < p.issueWidth; ++i) {
-        if (issueOne(resident[idx], now))
-            ++issued;
-        if (++idx == n)
-            idx = 0;
-    }
-    rrCursor = start + 1 == n ? 0 : start + 1;
-    if (issued)
-        noteProgress(issued);
+    if (path == SmIssuePath::Reference)
+        tickReference(now);
     else
-        issueStallCycles += 1;
-
-    // Retire finished warps — a warp with its last memory access
-    // still in flight stays resident until it completes.
-    const std::size_t before = resident.size();
-    std::erase_if(resident, [now](const Warp &w) {
-        return w.done() && w.blockedUntil <= now;
-    });
-    const std::size_t retired = before - resident.size();
-    const std::size_t low = resident.size();
-    refill();
-    const std::size_t added = resident.size() - low;
-    if (retired + added)
-        noteProgress(retired + added);
+        tickSoa(now);
 }
 
 } // namespace scusim::gpu

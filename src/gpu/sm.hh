@@ -4,11 +4,19 @@
  * round-robin warp scheduling with a configurable issue width, an
  * LSU that injects one coalesced transaction per cycle, per-SM L1,
  * and an MSHR-style cap on outstanding load transactions.
+ *
+ * The scheduling hot path keeps the per-warp fields tick() actually
+ * reads — blockedUntil, pc, computeLeft, instruction count — in
+ * parallel packed arrays (SoA) beside 64-bit ready/done masks, so a
+ * serviced cycle walks a handful of cache lines instead of a vector
+ * of fat Warp structs. A reference scan path (`SmIssuePath`) keeps
+ * the straightforward linear loop alive as an equivalence oracle.
  */
 
 #ifndef SCUSIM_GPU_SM_HH
 #define SCUSIM_GPU_SM_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -40,10 +48,23 @@ struct WarpInstr
     ThreadOp::Kind kind = ThreadOp::Kind::Compute;
     std::uint32_t computeCount = 0;  ///< Compute: instructions
     std::uint32_t bytesPerLane = 4;  ///< mem ops
-    std::vector<Addr> laneAddrs;     ///< active lanes' addresses
+    /** Active lanes of a mem op: bit i set means lane i participates. */
+    std::uint64_t laneMask = 0;
+    /**
+     * Mem ops: one address slot per warp lane (laneAddrs[i] is lane
+     * i's address; slots whose laneMask bit is clear are don't-care).
+     * Compute ops leave this empty. The coalescer consumes the
+     * (span, laneMask) pair directly.
+     */
+    std::vector<Addr> laneAddrs;
 };
 
-/** A resident warp: merged instruction stream plus pipeline state. */
+/**
+ * A warp as handed over by the dispatcher: merged instruction stream
+ * plus initial pipeline state. The SM unpacks it into its SoA arrays
+ * on refill; this struct is the handoff/test-construction type, not
+ * the resident representation.
+ */
 struct Warp
 {
     std::vector<WarpInstr> instrs;
@@ -62,9 +83,31 @@ struct Warp
  */
 using WarpSource = std::function<bool(Warp &out)>;
 
+/**
+ * Which issue-scan implementation tick() runs. Both produce
+ * byte-identical stats and tick trajectories; `Reference` is the
+ * plain linear scan kept as the equivalence oracle for the mask
+ * path (`sm_equiv_test` pits them against each other).
+ */
+enum class SmIssuePath
+{
+    SoaMasked, ///< ctz walk over readyMask & ~doneMask (default)
+    Reference, ///< linear rotated scan testing every resident slot
+};
+
 class StreamingMultiprocessor : public sim::Clocked
 {
   public:
+    /**
+     * Resident-slot capacity of the mask machinery: one bit per slot
+     * in a 64-bit word. Both modeled systems resolve
+     * maxResidentWarps() to 64 (2048 threads / 32-wide warps); the
+     * constructor rejects configs that exceed the mask width.
+     */
+    static constexpr unsigned kMaxWarpSlots = 64;
+    static_assert(kMaxWarpSlots <= 64,
+                  "ready/done masks are single 64-bit words");
+
     StreamingMultiprocessor(const GpuParams &params, unsigned id,
                             mem::MemLevel *shared_mem,
                             stats::StatGroup *parent,
@@ -87,15 +130,60 @@ class StreamingMultiprocessor : public sim::Clocked
     /** Bind this SM's trace channel (non-owning, null detaches). */
     void setTraceChannel(trace::TraceChannel *c) { traceChan = c; }
 
+    /** The issue path this SM resolved at construction. */
+    SmIssuePath issuePath() const { return path; }
+
+    /**
+     * Issue path new SMs use: the override if set, else
+     * SCUSIM_SM_PATH=soa|reference, else SoaMasked.
+     */
+    static SmIssuePath defaultIssuePath();
+    /** Process-wide override (tests/bench); survives until cleared. */
+    static void overrideDefaultIssuePath(SmIssuePath path);
+    static void clearDefaultIssuePathOverride();
+
   private:
-    /** Issue one instruction of @p w; true if it issued. */
-    bool issueOne(Warp &w, Tick now);
+    /** Cold per-warp state the issue scan never touches. */
+    struct WarpBody
+    {
+        std::vector<WarpInstr> instrs;
+        unsigned threads = 0;
+    };
+
+    /**
+     * Promote blocked slots whose blockedUntil has arrived into
+     * readyMask and re-derive blockedMin over the rest. No-op (one
+     * compare) while blockedMin is still in the future — the
+     * wholly-blocked rejection that keeps stall-adjacent ticks off
+     * the warp arrays entirely.
+     */
+    void advanceReady(Tick now);
+
+    /**
+     * Issue slot @p s's current instruction. The caller guarantees
+     * the slot is ready and not done; mask/blockedMin bookkeeping for
+     * the slot's new blockedUntil happens here.
+     */
+    void issueSlot(std::size_t s, Tick now);
 
     /** Execute a memory warp instruction; returns block-until tick. */
     Tick executeMem(const WarpInstr &wi, Tick now);
 
+    /**
+     * Remove the slots of @p retire, preserving the relative order of
+     * the survivors (an order-preserving two-pointer compaction — a
+     * swap-with-back would permute round-robin issue order and break
+     * the byte-identical-stats mandate; see DESIGN).
+     */
+    void compactRetired(std::uint64_t retire);
+
     /** Pull new warps from the source while slots are free. */
     void refill();
+
+    /** The mask issue scan (default path). */
+    void tickSoa(Tick now);
+    /** The linear reference scan (equivalence oracle). */
+    void tickReference(Tick now);
 
     const GpuParams &p;
     unsigned smId;
@@ -103,13 +191,36 @@ class StreamingMultiprocessor : public sim::Clocked
     sim::Simulation *simPtr;  ///< for fault-injector lookups (may
                               ///< be null in unit tests)
     mem::Cache l1Cache;
+    SmIssuePath path;
 
-    /** Recompute wakeCache from the resident warps' blockedUntil. */
+    /** Recompute wakeCache (blockedMin folded with the ready slots). */
     void recomputeWake();
 
     WarpSource warpSource;
     KernelStats *kstats = nullptr;
-    std::vector<Warp> resident;
+
+    /**
+     * Resident warps in SoA layout, index = slot. `body` holds the
+     * cold halves (instruction vectors, thread counts); the packed
+     * arrays below are everything the per-cycle scan reads, so the
+     * scan streams over ~n*16 bytes instead of n fat structs.
+     * Invariants (outside tick()):
+     *  - readyMask bit s set  ⇔ wBlocked[s] <= some past now (ticks
+     *    are monotone, so ready slots never revert on their own);
+     *  - doneMask bit s set   ⇔ wPc[s] >= wNumInstrs[s];
+     *  - blockedMin == exact min wBlocked[] over slots NOT in
+     *    readyMask (tickNever when none);
+     *  - masks never carry bits >= body.size().
+     */
+    std::vector<WarpBody> body;
+    std::vector<Tick> wBlocked;
+    std::vector<std::uint32_t> wPc;
+    std::vector<std::uint32_t> wComputeLeft;
+    std::vector<std::uint32_t> wNumInstrs;
+    std::uint64_t readyMask = 0;
+    std::uint64_t doneMask = 0;
+    Tick blockedMin = tickNever;
+
     std::size_t rrCursor = 0;
     bool sourceDry = true;
     /**
@@ -126,6 +237,8 @@ class StreamingMultiprocessor : public sim::Clocked
     std::vector<Addr> txnScratch;
     trace::TraceChannel *traceChan = nullptr;
     std::size_t mshrHighWater = 0; ///< outstanding-load FIFO peak
+                                   ///< (per kernel; reset on
+                                   ///< endKernel)
 
     stats::StatGroup grp;
     stats::Scalar smActiveCycles;

@@ -42,10 +42,14 @@ HashTableBase::HashTableBase(const HashConfig &config,
                              mem::AddressSpace &as,
                              const std::string &name)
     : cfg(config), sets(config.numSets()),
-      base(as.alloc(name, config.sizeBytes))
+      base(as.alloc(name, config.sizeBytes)), occ(sets, 0),
+      waysMask(maskLow(config.ways))
 {
     panic_if(sets == 0, "hash table '%s' has zero sets",
              name.c_str());
+    panic_if(cfg.ways > 64,
+             "hash table '%s' has %u ways; occupancy words hold 64",
+             name.c_str(), cfg.ways);
 }
 
 UniqueFilterTable::UniqueFilterTable(const HashConfig &cfg,
@@ -72,24 +76,23 @@ UniqueFilterTable::probe(std::uint32_t key, ProbeTraffic &traffic)
         }
     }
 
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        if (way0[w] == key) {
+    // Match only the occupied ways (ctz walks them in the same
+    // ascending order the full-width scan used to).
+    for (std::uint64_t m = occ[s]; m; m &= m - 1) {
+        if (way0[ctz64(m)] == key) {
             // Duplicate found: discard the element, no update.
             traffic.wrote = false;
             return false;
         }
     }
-    unsigned victim = victimWay(key);
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        if (way0[w] == emptyKey) {
-            victim = w;
-            break;
-        }
-    }
+    const std::uint64_t empties = ~occ[s] & waysMask;
+    const unsigned victim =
+        empties ? ctz64(empties) : victimWay(key);
     // Empty way, or a collision: overwrite a victim. Future
     // duplicates of an evicted element become false negatives —
     // accepted trade-off.
     way0[victim] = key;
+    markOccupied(s, victim);
     if constexpr (sim::checksEnabled)
         parity[s * cfg.ways + victim] = parityOf(key);
     traffic.wrote = true;
@@ -108,6 +111,7 @@ void
 UniqueFilterTable::reset()
 {
     std::fill(entries.begin(), entries.end(), emptyKey);
+    clearOccupancy();
     if constexpr (sim::checksEnabled)
         parity.assign(entries.size(), parityOf(emptyKey));
 }
@@ -160,7 +164,8 @@ BestCostFilterTable::probe(std::uint32_t key, std::uint32_t cost,
         }
     };
 
-    for (unsigned w = 0; w < cfg.ways; ++w) {
+    for (std::uint64_t m = occ[s]; m; m &= m - 1) {
+        const unsigned w = ctz64(m);
         if (way0[w].key == key) {
             if (cost < way0[w].cost) {
                 way0[w].cost = cost;
@@ -172,16 +177,11 @@ BestCostFilterTable::probe(std::uint32_t key, std::uint32_t cost,
             return false; // same element, no better cost
         }
     }
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        if (way0[w].key == static_cast<std::uint32_t>(-1)) {
-            way0[w] = {key, cost};
-            record(w);
-            traffic.wrote = true;
-            return true;
-        }
-    }
-    const unsigned victim = victimWay(key);
+    const std::uint64_t empties = ~occ[s] & waysMask;
+    const unsigned victim =
+        empties ? ctz64(empties) : victimWay(key);
     way0[victim] = {key, cost};
+    markOccupied(s, victim);
     record(victim);
     traffic.wrote = true;
     return true;
@@ -203,6 +203,7 @@ void
 BestCostFilterTable::reset()
 {
     std::fill(entries.begin(), entries.end(), Entry{});
+    clearOccupancy();
     if constexpr (sim::checksEnabled) {
         parity.assign(entries.size(),
                       parityOf(entryPayload(Entry{}.key,
@@ -231,8 +232,8 @@ GroupingTable::probe(std::uint64_t line_key, std::uint32_t elem_idx,
     traffic.wrote = true; // grouping always updates its entry
     auto *way0 = &entries[s * cfg.ways];
 
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        Group &g = way0[w];
+    for (std::uint64_t m = occ[s]; m; m &= m - 1) {
+        Group &g = way0[ctz64(m)];
         if (g.lineKey == line_key) {
             if (g.elems.size() >= grpSize) {
                 // Full group: emit it and restart with this element.
@@ -246,15 +247,17 @@ GroupingTable::probe(std::uint64_t line_key, std::uint32_t elem_idx,
             return;
         }
     }
-    for (unsigned w = 0; w < cfg.ways; ++w) {
+    const std::uint64_t empties = ~occ[s] & waysMask;
+    if (empties) {
+        const unsigned w = ctz64(empties);
         Group &g = way0[w];
-        if (g.elems.empty()) {
-            g.lineKey = line_key;
-            g.elems.push_back(elem_idx);
-            return;
-        }
+        g.lineKey = line_key;
+        g.elems.push_back(elem_idx);
+        markOccupied(s, w);
+        return;
     }
     // Evict a victim group: its members are written out together.
+    // The way is immediately reused, so its occupancy bit stands.
     Group &victim = way0[victimWay(line_key)];
     emit_order.insert(emit_order.end(), victim.elems.begin(),
                       victim.elems.end());
@@ -276,6 +279,7 @@ GroupingTable::flush(std::vector<std::uint32_t> &emit_order)
         }
         g.lineKey = static_cast<std::uint64_t>(-1);
     }
+    clearOccupancy();
 }
 
 void
@@ -285,6 +289,7 @@ GroupingTable::reset()
         g.lineKey = static_cast<std::uint64_t>(-1);
         g.elems.clear();
     }
+    clearOccupancy();
 }
 
 } // namespace scusim::scu

@@ -19,6 +19,7 @@
 #ifndef SCUSIM_SCU_HASH_TABLE_HH
 #define SCUSIM_SCU_HASH_TABLE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,25 @@ class HashTableBase
     HashConfig cfg;
     std::uint64_t sets;
     Addr base;
+
+    /**
+     * Per-set way-occupancy words: bit w of occ[s] is set while way w
+     * of set s holds a live entry. Match loops iterate set bits via
+     * ctz (ascending way order — the same order the old full-width
+     * scans visited), and the first-empty-way choice is
+     * ctz(~occ & waysMask); both skip the per-way compare against the
+     * empty sentinel entirely. ways <= 64 is enforced at
+     * construction.
+     */
+    std::vector<std::uint64_t> occ;
+    /** maskLow(cfg.ways): the valid way bits of one occupancy word. */
+    std::uint64_t waysMask = 0;
+
+    void markOccupied(std::uint64_t s, unsigned w)
+    {
+        occ[s] |= std::uint64_t{1} << w;
+    }
+    void clearOccupancy() { std::fill(occ.begin(), occ.end(), 0); }
 };
 
 /** Unique-element filter (BFS configuration, Section 4.2). */

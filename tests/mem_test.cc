@@ -69,6 +69,96 @@ TEST(Coalescer, FullyDivergentWarp)
     EXPECT_EQ(coalesceLanes(lanes, 128, out), 32u);
 }
 
+TEST(Coalescer, MaskSelectsActiveLanes)
+{
+    // Slot-per-lane span: only the masked slots participate, the
+    // rest are don't-care (and deliberately colliding here).
+    std::vector<Addr> lanes(8, 0);
+    lanes[1] = 0x1000;
+    lanes[3] = 0x1040;
+    lanes[6] = 0x1080;
+    std::vector<Addr> out;
+    const std::uint64_t active = (1u << 1) | (1u << 3) | (1u << 6);
+    EXPECT_EQ(coalesceLanes(lanes, active, 128, out), 2u);
+    EXPECT_EQ(out, (std::vector<Addr>{0x1000, 0x1080}));
+}
+
+TEST(Coalescer, MaskBitsPastSpanAreIgnored)
+{
+    std::vector<Addr> lanes{0x0, 0x1000, 0x2000};
+    std::vector<Addr> out;
+    EXPECT_EQ(appendUniqueAddrs(lanes, ~std::uint64_t{0}, out), 3u);
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Coalescer, FirstTouchOrderUnderMask)
+{
+    // Lane order — not value order — decides output order, and a
+    // value reappearing after unrelated lanes is still a duplicate
+    // (the membership table, not just the prev-value run check).
+    std::vector<Addr> lanes{0x300, 0x100, 0x100, 0x200,
+                            0x100, 0x300, 0x050};
+    std::vector<Addr> out;
+    const std::uint64_t all = maskLow(7);
+    EXPECT_EQ(appendUniqueAddrs(lanes, all, out), 4u);
+    EXPECT_EQ(out, (std::vector<Addr>{0x300, 0x100, 0x200, 0x050}));
+}
+
+TEST(Coalescer, FullTableOf32DistinctValues)
+{
+    // 32 distinct values is the membership table's capacity limit
+    // (64 slots, load factor 1/2): all insert, order preserved.
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 32; ++i)
+        lanes.push_back((31 - i) * 4096);
+    std::vector<Addr> out;
+    EXPECT_EQ(appendUniqueAddrs(lanes, maskLow(32), out), 32u);
+    for (Addr i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], (31 - i) * 4096);
+}
+
+TEST(Coalescer, WideMaskFallsBackToLinearRescan)
+{
+    // >32 active lanes exceed the table's load-factor budget and run
+    // the linear-rescan path; dedup and order must be unchanged.
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 48; ++i)
+        lanes.push_back((i % 20) * 4096);
+    std::vector<Addr> out;
+    EXPECT_EQ(appendUniqueAddrs(lanes, maskLow(48), out), 20u);
+    for (Addr i = 0; i < 20; ++i)
+        EXPECT_EQ(out[i], i * 4096);
+}
+
+TEST(Coalescer, DenseSpanWiderThan64Lanes)
+{
+    // No 64-bit mask can address a 70-lane span: the dense overload
+    // must still dedup it (legacy linear loop).
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 70; ++i)
+        lanes.push_back((i % 7) * 128);
+    std::vector<Addr> out;
+    EXPECT_EQ(coalesceLanes(lanes, 128, out), 7u);
+    for (Addr i = 0; i < 7; ++i)
+        EXPECT_EQ(out[i], i * 128);
+}
+
+TEST(Coalescer, DenseAndMaskedPathsAgree)
+{
+    // The dense overload forwards to the masked one for spans <= 64;
+    // a scattered-duplicate pattern must produce identical output
+    // through both entry points.
+    std::vector<Addr> lanes;
+    for (Addr i = 0; i < 32; ++i)
+        lanes.push_back(mixBits(i) % 5 * 4096);
+    std::vector<Addr> dense, masked;
+    const std::size_t a = appendUniqueAddrs(lanes, dense);
+    const std::size_t b =
+        appendUniqueAddrs(lanes, maskLow(32), masked);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(dense, masked);
+}
+
 TEST(Coalescer, StatsEfficiency)
 {
     CoalesceStats cs;

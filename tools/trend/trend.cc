@@ -203,6 +203,13 @@ parseFailuresJson(const std::string &doc)
 struct BenchEntry
 {
     std::string label;
+    /**
+     * Row flavor since bench schema 2: "scheduler" (event vs polling
+     * full runs) or "smtick" (Sm::tick microbench, reference scan vs
+     * SoA+mask path reusing the pollingSec/eventSec keys). Schema-1
+     * artifacts carry no kind; those rows are all scheduler rows.
+     */
+    std::string kind;
     std::string simTicks;
     std::string pollingSec;
     std::string eventSec;
@@ -250,6 +257,9 @@ parseBenchJson(const std::string &doc)
             end = doc.size();
         BenchEntry e;
         e.label = valueAfter(p, "label", end);
+        e.kind = valueAfter(p, "kind", end);
+        if (e.kind.empty())
+            e.kind = "scheduler"; // schema-1 rows
         e.simTicks = valueAfter(p, "simTicks", end);
         e.pollingSec = valueAfter(p, "pollingSec", end);
         e.eventSec = valueAfter(p, "eventSec", end);
@@ -260,20 +270,31 @@ parseBenchJson(const std::string &doc)
     return out;
 }
 
-/** Print the scheduler-speedup table of a perf_core artifact. */
+/** Print one kind's rows with its column vocabulary. */
 void
-printBench(const std::vector<BenchEntry> &entries)
+printBenchTable(const std::vector<BenchEntry> &entries,
+                const std::string &kind, const char *baseCol,
+                const char *fastCol)
 {
     std::size_t wLabel = 8;
-    for (const auto &e : entries)
+    std::size_t count = 0;
+    for (const auto &e : entries) {
+        if (e.kind != kind)
+            continue;
         wLabel = std::max(wLabel, e.label.size());
-    std::printf("%-*s %12s %10s %10s %8s\n",
+        ++count;
+    }
+    if (!count)
+        return;
+    std::printf("%-*s %12s %12s %12s %8s\n",
                 static_cast<int>(wLabel), "workload", "sim ticks",
-                "polling s", "event s", "speedup");
+                baseCol, fastCol, "speedup");
     double worst = 0;
     bool first = true;
     for (const auto &e : entries) {
-        std::printf("%-*s %12s %10s %10s %7sx\n",
+        if (e.kind != kind)
+            continue;
+        std::printf("%-*s %12s %12s %12s %7sx\n",
                     static_cast<int>(wLabel), e.label.c_str(),
                     e.simTicks.c_str(), e.pollingSec.c_str(),
                     e.eventSec.c_str(), e.speedup.c_str());
@@ -283,8 +304,20 @@ printBench(const std::vector<BenchEntry> &entries)
             first = false;
         }
     }
-    std::printf("\n%zu workloads, worst speedup %.2fx\n",
-                entries.size(), worst);
+    std::printf("%zu %s workloads, worst speedup %.2fx\n\n", count,
+                kind.c_str(), worst);
+}
+
+/**
+ * Print a perf_core artifact: the scheduler-speedup table, then the
+ * Sm::tick microbench table when the artifact carries smtick rows
+ * (bench schema 2+).
+ */
+void
+printBench(const std::vector<BenchEntry> &entries)
+{
+    printBenchTable(entries, "scheduler", "polling s", "event s");
+    printBenchTable(entries, "smtick", "reference s", "soa s");
 }
 
 /** One device slice of a sharded run, from the dev<k>_* columns. */
@@ -524,6 +557,37 @@ selfTest()
            "bench eventSec surfaced");
     expect(parseBenchJson("{}").empty(),
            "workload-free bench JSON parses empty");
+    expect(entries[0].kind == "scheduler" &&
+               entries[1].kind == "scheduler",
+           "schema-1 rows default to the scheduler kind");
+
+    // Schema-2 artifacts tag each row with a kind; smtick rows reuse
+    // the pollingSec/eventSec keys for reference/soa seconds.
+    const std::string bench2 =
+        "{\n  \"bench\": \"perf_core\",\n  \"schema\": 2,\n"
+        "  \"scale\": 0.05,\n  \"workloads\": [\n"
+        "    {\"label\": \"BFS/GTX980/cond/gpu-only@0.05\", "
+        "\"kind\": \"scheduler\", "
+        "\"simTicks\": 513203, \"pollingSec\": 0.117000, "
+        "\"eventSec\": 0.051000, \"speedup\": 1.725, "
+        "\"eventTicksPerSec\": 38011039},\n"
+        "    {\"label\": \"smtick/allbusy-compute@16384w\", "
+        "\"kind\": \"smtick\", "
+        "\"simTicks\": 175233, \"pollingSec\": 0.039000, "
+        "\"eventSec\": 0.023000, \"speedup\": 1.691, "
+        "\"eventTicksPerSec\": 7618826}\n  ]\n}\n";
+    auto entries2 = parseBenchJson(bench2);
+    expect(entries2.size() == 2, "two schema-2 bench rows");
+    expect(entries2[0].kind == "scheduler",
+           "schema-2 scheduler kind surfaced");
+    expect(entries2[1].kind == "smtick",
+           "schema-2 smtick kind surfaced");
+    expect(entries2[1].label == "smtick/allbusy-compute@16384w",
+           "smtick label surfaced");
+    expect(entries2[1].pollingSec == "0.039000",
+           "smtick reference seconds surfaced");
+    expect(entries2[1].eventSec == "0.023000",
+           "smtick soa seconds surfaced");
 
     // Per-device CSV columns (--by-device mode). The second row is a
     // single-device run whose dev<k>_* cells were written empty.
